@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (DESIGN.md §3),
+prints the same rows/series the paper reports, and writes the rendering to
+``benchmarks/output/<name>.txt`` so results survive pytest's capture. The
+pytest-benchmark timing wraps the regeneration itself.
+
+Benchmarks default to ``QUICK`` scale so ``pytest benchmarks/
+--benchmark-only`` completes in minutes on one core; set
+``REPRO_BENCH_FULL=1`` for the container-scale runs recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+QUICK = not FULL
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendering and persist it under benchmarks/output/."""
+    print(f"\n===== {name} =====\n{text}\n")
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time *fn* exactly once (experiments are deterministic and heavy)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Ablation A7 — message-size growth: CA-BCD's s vs RC-SFISTA's k.
+
+The paper's §1 positions RC-SFISTA against s-step CA methods: both cut
+latency by their unrolling factor, but the CA methods "increase the amount
+of communicated data at each round" while RC-SFISTA's bandwidth is flat in
+k (Table 1). This ablation measures both sides of that sentence.
+"""
+
+from benchmarks._common import emit, run_once
+from repro.core.ca_bcd import ca_bcd_communication
+from repro.perf.model import rc_sfista_costs
+from repro.perf.report import format_table
+
+
+def _compute():
+    d, P, N = 100, 64, 64
+    blk = 4
+    mbar, f = 100, 0.2
+    rows = []
+    for factor in (1, 2, 4, 8):
+        bcd = ca_bcd_communication(d, blk, factor, N, P)
+        rc = rc_sfista_costs(N, d, mbar, f, P, k=factor, S=1)
+        rows.append(
+            [factor,
+             bcd["latency"], bcd["bandwidth"],
+             rc.latency, rc.bandwidth]
+        )
+    return rows
+
+
+def test_ablation_ca_bcd(benchmark):
+    rows = run_once(benchmark, _compute)
+    emit(
+        "ablation_ca_bcd",
+        format_table(
+            ["s (=k)", "CA-BCD latency", "CA-BCD bandwidth",
+             "RC-SFISTA latency", "RC-SFISTA bandwidth"],
+            [[s, f"{a:.0f}", f"{b:.4g}", f"{c:.0f}", f"{dd:.4g}"]
+             for s, a, b, c, dd in rows],
+            title="A7 — unrolling factor vs per-processor communication "
+            "(d=100, P=64, N=64 block/inner iterations)",
+        ),
+    )
+
+    base_bcd, base_rc = rows[0][2], rows[0][4]
+    last_bcd, last_rc = rows[-1][2], rows[-1][4]
+    # Both methods cut latency by the unrolling factor...
+    assert rows[-1][1] == rows[0][1] / 8
+    assert rows[-1][3] == rows[0][3] / 8
+    # ...but only CA-BCD pays for it in bandwidth.
+    assert last_bcd > 4 * base_bcd
+    assert last_rc == base_rc

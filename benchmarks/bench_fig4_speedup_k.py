@@ -1,0 +1,39 @@
+"""Figure 4 — speedup of RC-SFISTA over SFISTA vs k for several P.
+
+Paper claim (§5.3): increasing k yields up to ~4× speedup by cutting
+latency by k; gains flatten where bandwidth/compute dominates (epsilon).
+"""
+
+from benchmarks._common import QUICK, emit, run_once
+from repro.experiments.figures import fig4_speedup_vs_k
+from repro.perf.report import format_table
+
+
+def test_fig4(benchmark):
+    kwargs = dict(quick=True) if QUICK else dict(
+        ks=(1, 2, 4, 8, 16), nranks=(16, 64, 256)
+    )
+    out = run_once(benchmark, fig4_speedup_vs_k, **kwargs)
+    rows = [
+        [r["dataset"], r["nranks"], r["k"], f"{r['speedup']:.2f}x",
+         r["iters_sfista"], r["iters_rc"]]
+        for r in out["rows"]
+    ]
+    emit(
+        "fig4_speedup_k",
+        format_table(
+            ["dataset", "P", "k", "speedup", "N_sfista", "N_rc"],
+            rows,
+            title=f"Fig 4 — RC-SFISTA vs SFISTA speedup (machine={out['machine']}, "
+            f"tol={out['tol']})",
+        ),
+    )
+
+    # Qualitative: for every (dataset, P), the best-k speedup beats k=1.
+    by_key = {}
+    for r in out["rows"]:
+        by_key.setdefault((r["dataset"], r["nranks"]), []).append(r)
+    for cells in by_key.values():
+        base = next(c["speedup"] for c in cells if c["k"] == 1)
+        best = max(c["speedup"] for c in cells)
+        assert best > base

@@ -1,0 +1,29 @@
+"""Figure 5 — speedup of RC-SFISTA over SFISTA for different S on 256 ranks.
+
+Paper claim (§5.3): moderate S improves the trade-off (e.g. 3× for mnist at
+S=5); pushing S further makes redundant flops dominate and speedup drops.
+"""
+
+from benchmarks._common import QUICK, emit, run_once
+from repro.experiments.figures import fig5_speedup_vs_S
+from repro.perf.report import format_table
+
+
+def test_fig5(benchmark):
+    kwargs = dict(quick=True) if QUICK else dict(Ss=(1, 2, 5, 10), nranks=256)
+    out = run_once(benchmark, fig5_speedup_vs_S, **kwargs)
+    rows = [
+        [r["dataset"], r["k"], r["S"], f"{r['speedup']:.2f}x", r["rounds_rc"]]
+        for r in out["rows"]
+    ]
+    emit(
+        "fig5_speedup_S",
+        format_table(
+            ["dataset", "k", "S", "speedup vs SFISTA", "rc rounds"],
+            rows,
+            title=f"Fig 5 — speedup vs S on P={out['nranks']} ({out['machine']})",
+        ),
+    )
+
+    for r in out["rows"]:
+        assert r["speedup"] > 0

@@ -1,0 +1,35 @@
+"""Figure 7 — proximal Newton with RC-SFISTA vs FISTA inner solver (512 ranks).
+
+Paper claim (§5.5): while latency dominates, increasing k in the inner
+solver gives increasing speedups over the FISTA inner solver.
+"""
+
+from benchmarks._common import QUICK, emit, run_once
+from repro.experiments.figures import fig7_pn_inner_solver
+from repro.perf.report import format_table
+
+
+def test_fig7(benchmark):
+    kwargs = dict(quick=True) if QUICK else dict(ks=(1, 2, 4, 8, 16), nranks=512)
+    out = run_once(benchmark, fig7_pn_inner_solver, **kwargs)
+    rows = [
+        [r["dataset"], r["k"], f"{r['time_pn_fista']:.4g}", f"{r['time_pn_rc']:.4g}",
+         f"{r['speedup']:.2f}x"]
+        for r in out["rows"]
+    ]
+    emit(
+        "fig7_pn_inner",
+        format_table(
+            ["dataset", "k", "PN+FISTA time", "PN+RC-SFISTA time", "speedup"],
+            rows,
+            title=f"Fig 7 — PN inner-solver speedup on P={out['nranks']}",
+        ),
+    )
+
+    # Qualitative: speedup grows with k for every dataset.
+    by_ds = {}
+    for r in out["rows"]:
+        by_ds.setdefault(r["dataset"], []).append((r["k"], r["speedup"]))
+    for cells in by_ds.values():
+        cells.sort()
+        assert cells[-1][1] > cells[0][1]

@@ -1,0 +1,76 @@
+"""Substrate micro-benchmarks (real wall-clock, pytest-benchmark timing).
+
+Unlike the figure benches (which regenerate paper artifacts once), these
+time the hot kernels the solvers are built on — the numbers that determine
+how large a simulated experiment the repo can run per second of host time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distsim.collectives import allreduce_values
+from repro.sparse.csr import CSCMatrix, CSRMatrix
+from repro.sparse.ops import sampled_gram
+from repro.sparse.random import random_csr
+
+
+@pytest.fixture(scope="module")
+def csr():
+    return random_csr(200, 5000, 0.2, rng=0)
+
+
+@pytest.fixture(scope="module")
+def csc(csr):
+    return csr.to_csc()
+
+
+@pytest.fixture(scope="module")
+def dense(csr):
+    return csr.to_dense()
+
+
+def test_spmv_csr(benchmark, csr):
+    x = np.random.default_rng(0).standard_normal(csr.shape[1])
+    out = benchmark(csr.matvec, x)
+    assert out.shape == (200,)
+
+
+def test_spmv_transpose_csr(benchmark, csr):
+    v = np.random.default_rng(0).standard_normal(csr.shape[0])
+    out = benchmark(csr.rmatvec, v)
+    assert out.shape == (5000,)
+
+
+def test_column_selection_csc(benchmark, csc):
+    idx = np.random.default_rng(1).integers(0, csc.shape[1], size=200)
+    out = benchmark(csc.select_columns, idx)
+    assert out.shape == (200, 200)
+
+
+def test_sampled_gram_sparse(benchmark, csc):
+    idx = np.random.default_rng(2).integers(0, csc.shape[1], size=100)
+    H = benchmark(sampled_gram, csc, idx)
+    assert H.shape == (200, 200)
+
+
+def test_sampled_gram_dense(benchmark, dense):
+    idx = np.random.default_rng(2).integers(0, dense.shape[1], size=100)
+    H = benchmark(sampled_gram, dense, idx)
+    assert H.shape == (200, 200)
+
+
+def test_allreduce_values_64_ranks(benchmark):
+    gen = np.random.default_rng(3)
+    buffers = [gen.standard_normal(3000) for _ in range(64)]
+    out = benchmark(allreduce_values, buffers)
+    np.testing.assert_allclose(out, np.sum(buffers, axis=0), atol=1e-9)
+
+
+def test_csr_to_csc_conversion(benchmark, csr):
+    out = benchmark(csr.to_csc)
+    assert isinstance(out, CSCMatrix)
+
+
+def test_dense_roundtrip(benchmark, csr):
+    out = benchmark(CSRMatrix.from_dense, csr.to_dense())
+    assert out.nnz == csr.nnz

@@ -1,0 +1,30 @@
+"""Table 2 — the benchmark dataset registry (paper facts + scaled instances)."""
+
+from benchmarks._common import QUICK, emit, run_once
+from repro.experiments.figures import table2_datasets
+from repro.perf.report import format_table
+
+
+def test_table2(benchmark):
+    out = run_once(benchmark, table2_datasets, size="tiny" if QUICK else "scaled")
+    rows = [
+        [r["dataset"], r["paper_rows"], r["paper_cols"], f"{r['paper_f']:.2%}",
+         r["paper_size"], r["scaled_rows"], r["scaled_cols"], f"{r['scaled_f']:.2%}",
+         r["lambda"]]
+        for r in out["rows"]
+    ]
+    emit(
+        "table2_datasets",
+        format_table(
+            ["dataset", "paper m", "paper d", "paper f", "paper size",
+             "repro m", "repro d", "repro f", "repro λ"],
+            rows,
+            title="Table 2 — datasets (paper vs this reproduction)",
+        ),
+    )
+
+    assert {r["dataset"] for r in out["rows"]} == {
+        "abalone", "susy", "covtype", "mnist", "epsilon"
+    }
+    for r in out["rows"]:
+        assert abs(r["scaled_f"] - r["paper_f"]) < 0.05

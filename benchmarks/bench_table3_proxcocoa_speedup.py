@@ -1,0 +1,31 @@
+"""Table 3 — speedup of RC-SFISTA over ProxCoCoA per dataset.
+
+Paper values: SUSY 1.57×, covtype 4.74×, mnist 12.15×, epsilon 3.53×.
+Absolute factors depend on the authors' testbed; the reproduced claim is
+the *direction* (RC-SFISTA wins on every dataset).
+"""
+
+import math
+
+from benchmarks._common import QUICK, emit, run_once
+from repro.experiments.figures import table3_proxcocoa_speedup
+from repro.perf.report import format_table
+
+
+def test_table3(benchmark):
+    kwargs = dict(quick=True) if QUICK else dict(nranks=256, max_rounds=300)
+    out = run_once(benchmark, table3_proxcocoa_speedup, **kwargs)
+    rows = [
+        [r["dataset"], f"{r['paper_speedup']:.2f}x",
+         f"{r['measured_speedup']:.2f}x" if math.isfinite(r["measured_speedup"]) else "n/a"]
+        for r in out["rows"]
+    ]
+    emit(
+        "table3_proxcocoa_speedup",
+        format_table(["dataset", "paper speedup", "measured speedup"], rows,
+                     title="Table 3 — RC-SFISTA vs ProxCoCoA"),
+    )
+
+    finite = [r["measured_speedup"] for r in out["rows"] if math.isfinite(r["measured_speedup"])]
+    assert finite, "no dataset produced a comparable time-to-tolerance"
+    assert all(s > 1.0 for s in finite)

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject metadata is the source of truth; this file exists so that
+``pip install -e .`` works on minimal offline environments whose setuptools
+lacks PEP-660 editable-wheel support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

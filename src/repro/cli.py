@@ -1,0 +1,178 @@
+"""Top-level solve CLI: ``python -m repro``.
+
+One-command access to the solvers on registry datasets or LIBSVM files::
+
+    python -m repro solve --dataset covtype --solver rc_sfista --k 4 --S 2 --b 0.01
+    python -m repro solve --libsvm data.svm --solver fista --tol 1e-4
+    python -m repro solve --dataset mnist --solver rc_sfista_dist --nranks 64
+    python -m repro datasets
+    python -m repro machines
+
+Results print as a summary table; ``--output result.json`` persists the
+full :class:`SolveResult` for post-processing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+import numpy as np
+
+from repro.core.fista import fista, ista
+from repro.core.cd import coordinate_descent_lasso
+from repro.core.objectives import L1LeastSquares
+from repro.core.proxcocoa import proxcocoa
+from repro.core.rc_sfista import rc_sfista
+from repro.core.rc_sfista_dist import rc_sfista_distributed
+from repro.core.reference import solve_reference
+from repro.core.sfista import sfista
+from repro.core.sfista_dist import sfista_distributed
+from repro.core.stopping import StoppingCriterion
+from repro.data.datasets import DATASETS, get_dataset
+from repro.distsim.machine import MACHINES
+from repro.perf.report import format_table
+from repro.sparse.io import load_libsvm
+from repro.utils.serialization import save_result
+
+__all__ = ["main"]
+
+SERIAL_SOLVERS = ("fista", "ista", "cd", "sfista", "rc_sfista")
+DIST_SOLVERS = ("sfista_dist", "rc_sfista_dist", "proxcocoa")
+
+
+def _load_problem(args: argparse.Namespace) -> L1LeastSquares:
+    if args.libsvm:
+        X, y = load_libsvm(args.libsvm)
+        lam = args.lam
+        if lam is None:
+            grad0 = (X.matvec(y) if not isinstance(X, np.ndarray) else X @ y) / X.shape[1]
+            lam = 0.1 * float(np.max(np.abs(grad0)))
+        return L1LeastSquares(X, y, lam)
+    ds = get_dataset(args.dataset, size=args.size)
+    return ds.problem(lam=args.lam)
+
+
+def _solve(args: argparse.Namespace) -> int:
+    problem = _load_problem(args)
+    stopping = None
+    if args.tol is not None:
+        fstar = solve_reference(problem, tol=min(args.tol * 1e-3, 1e-8)).meta["fstar"]
+        stopping = StoppingCriterion(tol=args.tol, fstar=fstar)
+
+    common: dict[str, Any] = dict(stopping=stopping)
+    budget = dict(epochs=args.epochs, iters_per_epoch=args.iters_per_epoch)
+    name = args.solver
+    if name == "fista":
+        result = fista(problem, max_iter=args.epochs * args.iters_per_epoch, **common)
+    elif name == "ista":
+        result = ista(problem, max_iter=args.epochs * args.iters_per_epoch, **common)
+    elif name == "cd":
+        result = coordinate_descent_lasso(problem, max_epochs=args.epochs, **common)
+    elif name == "sfista":
+        result = sfista(problem, b=args.b, seed=args.seed, **budget, **common)
+    elif name == "rc_sfista":
+        result = rc_sfista(
+            problem, k=args.k, S=args.S, b=args.b, seed=args.seed, **budget, **common
+        )
+    elif name == "sfista_dist":
+        result = sfista_distributed(
+            problem, args.nranks, machine=args.machine, b=args.b, seed=args.seed,
+            **budget, **common,
+        )
+    elif name == "rc_sfista_dist":
+        result = rc_sfista_distributed(
+            problem, args.nranks, machine=args.machine, k=args.k, S=args.S,
+            b=args.b, seed=args.seed, **budget, **common,
+        )
+    elif name == "proxcocoa":
+        result = proxcocoa(
+            problem, args.nranks, machine=args.machine,
+            n_rounds=args.epochs * args.iters_per_epoch,
+            local_epochs=2, seed=args.seed, **common,
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown solver {name}")
+
+    rows = [
+        ["solver", name],
+        ["d × m", f"{problem.d} × {problem.m}"],
+        ["lambda", f"{problem.lam:.5g}"],
+        ["iterations", result.n_iterations],
+        ["comm rounds", result.n_comm_rounds],
+        ["converged", result.converged],
+        ["final F", f"{result.final_objective:.8g}" if len(result.history) else "n/a"],
+        ["nnz(w)", int(np.sum(result.w != 0))],
+    ]
+    if result.cost is not None:
+        rows.append(["sim time", f"{result.sim_time:.5g}s"])
+        rows.append(["words/rank", f"{result.cost['words_per_rank_max']:.5g}"])
+    print(format_table(["field", "value"], rows))
+    if args.output:
+        save_result(args.output, result)
+        print(f"\nresult written to {args.output}")
+    return 0
+
+
+def _list_datasets() -> int:
+    rows = [
+        [name, spec.scaled_d, spec.scaled_m, f"{spec.density:.2%}", spec.note]
+        for name, spec in DATASETS.items()
+    ]
+    print(format_table(["dataset", "d", "m", "fill", "note"], rows))
+    return 0
+
+
+def _list_machines() -> int:
+    rows = [
+        [name, f"{m.alpha:.3g}", f"{m.beta:.3g}", f"{m.gamma:.3g}", m.description]
+        for name, m in MACHINES.items()
+    ]
+    print(format_table(["machine", "alpha (s)", "beta (s/word)", "gamma (s/flop)", "notes"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description="RC-SFISTA reproduction toolkit."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve an l1-least-squares problem")
+    src = solve.add_mutually_exclusive_group()
+    src.add_argument("--dataset", choices=sorted(DATASETS), default="covtype")
+    src.add_argument("--libsvm", help="path to a LIBSVM-format file")
+    solve.add_argument("--size", choices=("scaled", "tiny"), default="scaled")
+    solve.add_argument("--solver", choices=SERIAL_SOLVERS + DIST_SOLVERS, default="rc_sfista")
+    solve.add_argument("--lam", type=float, default=None, help="override λ")
+    solve.add_argument("--k", type=int, default=1, help="iteration-overlap factor")
+    solve.add_argument("--S", type=int, default=1, help="Hessian-reuse steps")
+    solve.add_argument("--b", type=float, default=0.01, help="sampling rate")
+    solve.add_argument("--epochs", type=int, default=20)
+    solve.add_argument("--iters-per-epoch", type=int, default=100)
+    solve.add_argument("--tol", type=float, default=None,
+                       help="relative objective tolerance (computes a reference)")
+    solve.add_argument("--nranks", type=int, default=16, help="simulated ranks")
+    solve.add_argument("--machine", choices=sorted(MACHINES), default="comet_effective")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--output", help="write the SolveResult as JSON")
+
+    sub.add_parser("datasets", help="list the Table 2 dataset registry")
+    sub.add_parser("machines", help="list the machine-model presets")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "solve":
+        return _solve(args)
+    if args.command == "datasets":
+        return _list_datasets()
+    if args.command == "machines":
+        return _list_machines()
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

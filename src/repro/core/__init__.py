@@ -1,0 +1,88 @@
+"""Optimization core: the paper's algorithms and baselines.
+
+Solvers
+-------
+* :func:`repro.core.fista.fista` / :func:`repro.core.fista.ista` —
+  deterministic baselines (paper Alg. 2).
+* :func:`repro.core.sfista.sfista` — stochastic variance-reduced FISTA
+  (paper Algs. 3–4).
+* :func:`repro.core.rc_sfista.rc_sfista` — serial reference of
+  RC-SFISTA with iteration overlapping ``k`` and Hessian-reuse ``S``
+  (paper Alg. 5).
+* :func:`repro.core.sfista_dist.sfista_distributed` /
+  :func:`repro.core.rc_sfista_dist.rc_sfista_distributed` — the
+  distributed implementations on the simulated cluster (paper Fig. 1).
+* :func:`repro.core.prox_newton.proximal_newton` — the outer PN method
+  (paper Alg. 1) with pluggable inner solvers.
+* :func:`repro.core.cd.coordinate_descent_lasso` — coordinate-descent
+  lasso (PN inner-solver alternative and the ProxCoCoA local solver).
+* :func:`repro.core.proxcocoa.proxcocoa` — the ProxCoCoA baseline
+  (Smith et al. 2015) on the same simulated cluster.
+* :func:`repro.core.reference.solve_reference` — high-accuracy optimum
+  (the paper's TFOCS stand-in).
+"""
+
+from repro.core.proximal import (
+    soft_threshold,
+    L1Prox,
+    L2SquaredProx,
+    ElasticNetProx,
+    BoxProx,
+    ZeroProx,
+    GroupL1Prox,
+)
+from repro.core.objectives import L1LeastSquares, QuadraticModel
+from repro.core.results import SolveResult, History
+from repro.core.stopping import StoppingCriterion, relative_objective_error
+from repro.core.fista import fista, ista
+from repro.core.sfista import sfista, GradientEstimator, stochastic_step_size
+from repro.core.rc_sfista import rc_sfista
+from repro.core.sfista_dist import sfista_distributed
+from repro.core.rc_sfista_dist import rc_sfista_distributed
+from repro.core.prox_newton import proximal_newton
+from repro.core.cd import coordinate_descent_lasso
+from repro.core.proxcocoa import proxcocoa
+from repro.core.reference import solve_reference
+from repro.core.logistic import L1Logistic
+from repro.core.path import lasso_path, lambda_max, PathResult
+from repro.core.rc_sfista_spmd import rc_sfista_spmd
+from repro.core.ca_bcd import ca_bcd, ca_bcd_communication
+from repro.core.cv import cross_validate_lambda, kfold_indices, CVResult
+
+__all__ = [
+    "soft_threshold",
+    "L1Prox",
+    "L2SquaredProx",
+    "ElasticNetProx",
+    "BoxProx",
+    "ZeroProx",
+    "GroupL1Prox",
+    "L1LeastSquares",
+    "QuadraticModel",
+    "SolveResult",
+    "History",
+    "StoppingCriterion",
+    "relative_objective_error",
+    "fista",
+    "ista",
+    "sfista",
+    "GradientEstimator",
+    "stochastic_step_size",
+    "rc_sfista",
+    "sfista_distributed",
+    "rc_sfista_distributed",
+    "proximal_newton",
+    "coordinate_descent_lasso",
+    "proxcocoa",
+    "solve_reference",
+    "L1Logistic",
+    "lasso_path",
+    "lambda_max",
+    "PathResult",
+    "rc_sfista_spmd",
+    "ca_bcd",
+    "ca_bcd_communication",
+    "cross_validate_lambda",
+    "kfold_indices",
+    "CVResult",
+]

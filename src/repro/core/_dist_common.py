@@ -1,0 +1,135 @@
+"""Shared machinery for the distributed solvers.
+
+Implements the data placement of paper §4.1 / Fig. 1: ``X`` (features ×
+samples) is partitioned *column-wise* and ``y`` *row-wise* over ``P``
+ranks; the iterate ``w`` and all update state are replicated. Sampling
+decisions are derived from a seed shared by all ranks, so the global index
+set ``I_n`` is agreed upon without communication — each rank keeps the
+indices it owns (paper §5.5: "initializing all processors with the same
+seed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.objectives import L1LeastSquares
+from repro.exceptions import ValidationError
+from repro.sparse.csr import CSCMatrix, CSRMatrix
+from repro.sparse.ops import gram_flops, rhs_flops, sampled_gram, sampled_rhs
+from repro.sparse.partition import ColumnPartition, partition_columns
+
+__all__ = ["RankData", "DistributedData", "distribute_problem", "UPDATE_FLOPS"]
+
+
+def UPDATE_FLOPS(d: int) -> float:
+    """Per-rank flops of one replicated inner update: d×d GEMV + vector ops.
+
+    Must stay in sync with :func:`repro.perf.model.update_flops_per_step`
+    (the Table 1 model) — the tests assert the two agree.
+    """
+    return 2.0 * d * d + 8.0 * d
+
+
+@dataclass
+class RankData:
+    """One rank's share of the data."""
+
+    rank: int
+    X_local: np.ndarray | CSCMatrix  # d × m_local column block
+    y_local: np.ndarray
+    col_offset: int  # global index of the first owned column
+
+    @property
+    def m_local(self) -> int:
+        return self.X_local.shape[1]
+
+    def sampled_hessian_contribution(
+        self, global_idx: np.ndarray, mbar: int, d: int
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Local contribution ``(1/m̄) X_p,S X_p,Sᵀ`` plus its flop cost.
+
+        Returns ``(H_p, local_idx, flops)`` where summing ``H_p`` over
+        ranks gives the global sampled Hessian exactly.
+        """
+        local_idx = self._restrict(global_idx)
+        if local_idx.size == 0:
+            return np.zeros((d, d)), local_idx, 0.0
+        H_p = sampled_gram(self.X_local, local_idx, scale=1.0 / mbar)
+        flops = float(gram_flops(self.X_local, local_idx))
+        return H_p, local_idx, flops
+
+    def sampled_rhs_contribution(
+        self, local_idx: np.ndarray, mbar: int, d: int
+    ) -> tuple[np.ndarray, float]:
+        """Local contribution ``(1/m̄) X_p,S y_p,S`` plus its flop cost."""
+        if local_idx.size == 0:
+            return np.zeros(d), 0.0
+        R_p = sampled_rhs(self.X_local, self.y_local, local_idx, scale=1.0 / mbar)
+        return R_p, float(rhs_flops(self.X_local, local_idx))
+
+    def full_gradient_contribution(self, w: np.ndarray, m: int) -> tuple[np.ndarray, float]:
+        """Local contribution ``(1/m) X_p (X_pᵀ w − y_p)`` plus flops."""
+        if self.m_local == 0:
+            return np.zeros(w.shape[0]), 0.0
+        if isinstance(self.X_local, np.ndarray):
+            r = self.X_local.T @ w - self.y_local
+            g = self.X_local @ r / m
+            flops = float(4 * self.X_local.shape[0] * self.m_local)
+        else:
+            r = self.X_local.rmatvec(w) - self.y_local
+            g = self.X_local.matvec(r) / m
+            flops = float(4 * self.X_local.nnz)
+        return g, flops
+
+    def _restrict(self, global_idx: np.ndarray) -> np.ndarray:
+        lo = self.col_offset
+        hi = lo + self.m_local
+        mine = global_idx[(global_idx >= lo) & (global_idx < hi)]
+        return mine - lo
+
+
+@dataclass
+class DistributedData:
+    """The problem's data scattered over all ranks."""
+
+    problem: L1LeastSquares
+    partition: ColumnPartition
+    ranks: list[RankData]
+
+    @property
+    def nranks(self) -> int:
+        return len(self.ranks)
+
+
+def distribute_problem(problem: L1LeastSquares, nranks: int) -> DistributedData:
+    """Column-partition *problem* over *nranks* ranks (paper §4.1)."""
+    if nranks < 1:
+        raise ValidationError(f"nranks must be >= 1, got {nranks}")
+    part = partition_columns(problem.m, nranks)
+    X = problem.X
+    csc: CSCMatrix | None = None
+    if isinstance(X, CSRMatrix):
+        csc = X.to_csc()
+    elif isinstance(X, CSCMatrix):
+        csc = X
+    ranks = []
+    for p in range(nranks):
+        sl = part.local_slice(p)
+        if csc is not None:
+            block: np.ndarray | CSCMatrix = csc.select_columns(
+                np.arange(sl.start, sl.stop, dtype=np.int64)
+            )
+        else:
+            block = X[:, sl]  # type: ignore[index]
+        ranks.append(
+            RankData(
+                rank=p,
+                X_local=block,
+                y_local=problem.y[sl],
+                col_offset=sl.start,
+            )
+        )
+    return DistributedData(problem=problem, partition=part, ranks=ranks)

@@ -1,0 +1,289 @@
+"""Objective functions for the l1-regularized least squares problem.
+
+The paper's problem (Eq. 3), in its data layout (``X`` is features ×
+samples, one *column* per data point):
+
+.. math::
+
+    F(w) = \\underbrace{\\frac{1}{2m}\\|X^T w - y\\|^2}_{f(w)}
+           + \\underbrace{λ\\|w\\|_1}_{g(w)},
+    \\qquad
+    \\nabla f(w) = \\frac{1}{m}(X X^T w - X y) = Hw - R,
+
+with Hessian ``H = (1/m) X Xᵀ`` and ``R = (1/m) X y`` (Eqs. 4–5).
+
+:class:`QuadraticModel` is the PN subproblem smooth part (Eq. 19):
+``Φ(u) = ½ uᵀHu − Rᵀu (+ const)`` whose gradient has the *same form*
+``Hu − R`` — the observation §3.3 uses to run RC-SFISTA as a PN inner
+solver unchanged.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.sparse.csr import CSCMatrix, CSRMatrix
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive, check_vector
+
+__all__ = ["L1LeastSquares", "QuadraticModel"]
+
+Matrix = np.ndarray | CSRMatrix | CSCMatrix
+
+
+def _shape_of(X: Matrix) -> tuple[int, int]:
+    return X.shape
+
+
+def _matvec_xt(X: Matrix, w: np.ndarray) -> np.ndarray:
+    """Compute ``Xᵀ w`` (per-sample predictions) for any storage format."""
+    if isinstance(X, np.ndarray):
+        return X.T @ w
+    return X.rmatvec(w)
+
+
+def _matvec_x(X: Matrix, r: np.ndarray) -> np.ndarray:
+    """Compute ``X r`` for any storage format."""
+    if isinstance(X, np.ndarray):
+        return X @ r
+    return X.matvec(r)
+
+
+class L1LeastSquares:
+    """The l1-regularized least squares problem instance.
+
+    Parameters
+    ----------
+    X:
+        Data matrix of shape ``(d, m)`` — features × samples (paper
+        layout). Dense ndarray, :class:`CSRMatrix` or :class:`CSCMatrix`.
+    y:
+        Labels, shape ``(m,)``.
+    lam:
+        l1 penalty ``λ >= 0``.
+    """
+
+    def __init__(self, X: Matrix, y: np.ndarray, lam: float) -> None:
+        d, m = _shape_of(X)
+        if m == 0 or d == 0:
+            raise ValidationError(f"X must be non-empty, got shape {(d, m)}")
+        y = check_vector(y, "y")
+        if y.shape != (m,):
+            raise ShapeError(f"y must have shape ({m},) to match X {(d, m)}, got {y.shape}")
+        self.X = X
+        self.y = y
+        self.lam = check_positive(lam, "lambda", strict=False)
+        self.d = d
+        self.m = m
+        self._deviation_cache: dict[int, float] = {}
+        self._lipschitz_cache: float | None = None
+
+    # ------------------------------------------------------------------ #
+    # values and derivatives
+    # ------------------------------------------------------------------ #
+    def residual(self, w: np.ndarray) -> np.ndarray:
+        """Per-sample residual ``Xᵀw − y``."""
+        return _matvec_xt(self.X, np.asarray(w, dtype=np.float64)) - self.y
+
+    def smooth_value(self, w: np.ndarray) -> float:
+        """``f(w) = (1/2m)‖Xᵀw − y‖²``."""
+        r = self.residual(w)
+        return 0.5 * float(np.dot(r, r)) / self.m
+
+    def reg_value(self, w: np.ndarray) -> float:
+        """``g(w) = λ‖w‖₁``."""
+        return self.lam * float(np.sum(np.abs(w)))
+
+    def value(self, w: np.ndarray) -> float:
+        """``F(w) = f(w) + g(w)``."""
+        return self.smooth_value(w) + self.reg_value(w)
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        """Full gradient ``∇f(w) = (1/m) X (Xᵀw − y)``."""
+        return _matvec_x(self.X, self.residual(w)) / self.m
+
+    @cached_property
+    def hessian(self) -> np.ndarray:
+        """Dense Hessian ``H = (1/m) X Xᵀ`` (cached; O(d²) storage)."""
+        if isinstance(self.X, np.ndarray):
+            dense = self.X
+        else:
+            dense = self.X.to_dense()
+        H = dense @ dense.T / self.m
+        return 0.5 * (H + H.T)
+
+    @cached_property
+    def rhs(self) -> np.ndarray:
+        """``R = (1/m) X y`` so that ``∇f(w) = Hw − R`` (Eq. 5)."""
+        return _matvec_x(self.X, self.y) / self.m
+
+    # ------------------------------------------------------------------ #
+    # curvature
+    # ------------------------------------------------------------------ #
+    def lipschitz(self, *, n_iter: int = 100, tol: float = 1e-9, rng: RandomState = 0) -> float:
+        """Largest Hessian eigenvalue via power iteration on ``(1/m)XXᵀ``.
+
+        The FISTA step size is ``γ = 1/L`` with this constant. A small
+        safety margin is *not* applied; callers are expected to use
+        ``1/L`` (the classical FISTA requirement γ ≤ 1/L). The
+        default-argument result is memoized.
+        """
+        defaults = n_iter == 100 and tol == 1e-9 and rng == 0
+        if defaults and self._lipschitz_cache is not None:
+            return self._lipschitz_cache
+        gen = as_generator(rng)
+        u = gen.standard_normal(self.d)
+        norm = np.linalg.norm(u)
+        if norm == 0:  # pragma: no cover - probability zero
+            u = np.ones(self.d)
+            norm = np.sqrt(self.d)
+        u /= norm
+        lam_prev = 0.0
+        for _ in range(n_iter):
+            hu = _matvec_x(self.X, _matvec_xt(self.X, u)) / self.m
+            lam = float(np.dot(u, hu))
+            norm = np.linalg.norm(hu)
+            if norm == 0:
+                return 0.0
+            u = hu / norm
+            if abs(lam - lam_prev) <= tol * max(1.0, abs(lam)):
+                lam_prev = lam
+                break
+            lam_prev = lam
+        result = abs(lam_prev)
+        if defaults:
+            self._lipschitz_cache = result
+        return result
+
+    def sampled_hessian_deviation(
+        self,
+        mbar: int,
+        *,
+        trials: int = 3,
+        power_iters: int = 30,
+        rng: RandomState = 0,
+    ) -> float:
+        """Estimate ``max ‖H_S − H‖₂`` over random size-``m̄`` sample sets.
+
+        The sampling noise each SFISTA step injects is
+        ``γ (H_S − H)(v − ŵ)``; with FISTA momentum the per-step deviation
+        gain is ``≈ (1 + μ) γ ‖H_S − H‖``, so the step must be bounded by
+        the *deviation* norm, not just the Hessian norm. Uses power
+        iteration on the (symmetric) difference operator; results are
+        memoized per ``m̄``.
+        """
+        if not (0 < mbar <= self.m):
+            raise ValidationError(f"mbar must lie in (0, {self.m}], got {mbar}")
+        cached = self._deviation_cache.get(mbar)
+        if cached is not None:
+            return cached
+        gen = as_generator(rng)
+        worst = 0.0
+        for _ in range(trials):
+            idx = gen.integers(0, self.m, size=mbar, dtype=np.int64)
+            if isinstance(self.X, np.ndarray):
+                A = self.X[:, idx]
+            else:
+                csc = self.X.to_csc() if isinstance(self.X, CSRMatrix) else self.X
+                A = csc.select_columns(idx).to_dense()
+            u = gen.standard_normal(self.d)
+            u /= np.linalg.norm(u)
+            lam = 0.0
+            for _it in range(power_iters):
+                du = A @ (A.T @ u) / mbar - _matvec_x(self.X, _matvec_xt(self.X, u)) / self.m
+                norm = np.linalg.norm(du)
+                if norm == 0:
+                    lam = 0.0
+                    break
+                lam = norm  # |rayleigh| of the symmetric difference operator
+                u = du / norm
+            worst = max(worst, lam)
+        self._deviation_cache[mbar] = worst
+        return worst
+
+    @cached_property
+    def max_sample_lipschitz(self) -> float:
+        """``L_max = max_i ‖x_i‖²`` — the largest per-sample gradient Lipschitz
+        constant. Controls the worst-case operator norm of a sampled Hessian
+        (``λmax(H_S) ≤ L_max``); used by the stochastic step-size rule.
+        """
+        if isinstance(self.X, np.ndarray):
+            norms = np.einsum("ij,ij->j", self.X, self.X)
+        else:
+            csc = self.X.to_csc() if isinstance(self.X, CSRMatrix) else self.X
+            norms = csc.col_norms_sq()
+        return float(norms.max()) if norms.size else 0.0
+
+    def default_step(self, **kwargs: object) -> float:
+        """Convenience ``γ = 1/L`` (``inf``-guarded for the zero matrix)."""
+        L = self.lipschitz(**kwargs)  # type: ignore[arg-type]
+        if L <= 0:
+            raise ValidationError("cannot derive a step size: the data matrix is zero")
+        return 1.0 / L
+
+    # ------------------------------------------------------------------ #
+    # optimality
+    # ------------------------------------------------------------------ #
+    def optimality_residual(self, w: np.ndarray) -> float:
+        """Distance of ``−∇f(w)`` from ``∂g(w)`` in the ∞-norm.
+
+        Zero iff ``w`` is optimal: on the support ``∇f_j = −λ·sign(w_j)``,
+        off the support ``|∇f_j| ≤ λ``. Used to certify the reference
+        solution.
+        """
+        w = np.asarray(w, dtype=np.float64)
+        grad = self.gradient(w)
+        res = np.where(
+            w != 0.0,
+            np.abs(grad + self.lam * np.sign(w)),
+            np.maximum(np.abs(grad) - self.lam, 0.0),
+        )
+        return float(np.max(res)) if res.size else 0.0
+
+
+class QuadraticModel:
+    """The PN subproblem smooth part: ``Φ(u) = ½uᵀHu − Rᵀu + c`` (Eq. 19).
+
+    ``∇Φ(u) = Hu − R`` — identical in form to the full problem's gradient,
+    so any solver written against ``gradient()`` works on both.
+    """
+
+    def __init__(self, H: np.ndarray, R: np.ndarray, constant: float = 0.0) -> None:
+        H = np.asarray(H, dtype=np.float64)
+        R = np.asarray(R, dtype=np.float64)
+        if H.ndim != 2 or H.shape[0] != H.shape[1]:
+            raise ShapeError(f"H must be square, got shape {H.shape}")
+        if R.shape != (H.shape[0],):
+            raise ShapeError(f"R must have shape ({H.shape[0]},), got {R.shape}")
+        self.H = H
+        self.R = R
+        self.constant = float(constant)
+        self.d = H.shape[0]
+
+    @staticmethod
+    def from_linearization(H: np.ndarray, grad: np.ndarray, w: np.ndarray) -> "QuadraticModel":
+        """Model of Eq. (19) around ``w``: ``½(u−w)ᵀH(u−w) + ∇f(w)ᵀ(u−w)``.
+
+        Expanding gives ``Φ(u) = ½uᵀHu − (Hw − ∇f(w))ᵀu + const``, i.e.
+        ``R = Hw − ∇f(w)`` — the substitution §3.3 relies on.
+        """
+        H = np.asarray(H, dtype=np.float64)
+        w = np.asarray(w, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        R = H @ w - grad
+        const = 0.5 * float(w @ (H @ w)) - float(grad @ w)
+        return QuadraticModel(H, R, constant=const)
+
+    def value(self, u: np.ndarray) -> float:
+        u = np.asarray(u, dtype=np.float64)
+        return 0.5 * float(u @ (self.H @ u)) - float(self.R @ u) + self.constant
+
+    def gradient(self, u: np.ndarray) -> np.ndarray:
+        return self.H @ np.asarray(u, dtype=np.float64) - self.R
+
+    def lipschitz(self) -> float:
+        """Largest eigenvalue of ``H`` (dense, exact)."""
+        return float(np.linalg.eigvalsh(self.H)[-1])

@@ -1,0 +1,346 @@
+"""Proximal Newton method (paper Alg. 1) with pluggable inner solvers.
+
+Each outer iteration builds the quadratic model of Eq. (19) around the
+current iterate,
+
+.. math::
+
+    z_n = \\operatorname*{argmin}_y \\tfrac12 (y-w_n)^T H_n (y-w_n)
+          + \\nabla f(w_n)^T (y - w_n) + g(y),
+
+approximately minimizes it with a first-order inner solver, and steps
+``w_{n+1} = w_n + γ_n (z_n − w_n)``. The Hessian approximation ``H_n`` is
+either exact or the uniformly-sampled ``(1/m̄) X_S X_Sᵀ`` (paper §3.3 /
+§5.5).
+
+:func:`proximal_newton` is the serial method (inner solvers: FISTA on the
+quadratic model, or exact coordinate descent).
+
+:func:`proximal_newton_distributed` reproduces the Fig. 7 experiment: the
+*inner solver's* communication dominates, and the choice of inner solver
+changes the communication pattern:
+
+* ``inner="fista"`` — deterministic FISTA; every inner iteration applies
+  the exact Hessian through the distributed data (one d-word allreduce per
+  inner iteration).
+* ``inner="sfista"`` — stochastic inner solver; every inner iteration
+  builds a fresh sampled Hessian (one (d²+d)-word allreduce per inner
+  iteration).
+* ``inner="rc_sfista"`` — the paper's method; ``k`` sampled blocks per
+  allreduce (k(d²+d) words every k inner iterations) and Hessian-reuse
+  ``S``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core._dist_common import UPDATE_FLOPS, distribute_problem
+from repro.core.cd import coordinate_descent_quadratic
+from repro.core.fista import fista, momentum_mu, t_next
+from repro.core.objectives import L1LeastSquares, QuadraticModel
+from repro.core.proximal import L1Prox, soft_threshold
+from repro.core.results import History, SolveResult
+from repro.core.stopping import StoppingCriterion
+from repro.distsim.bsp import BSPCluster
+from repro.distsim.machine import MachineSpec
+from repro.exceptions import ValidationError
+from repro.sparse.ops import sampled_gram
+from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["proximal_newton", "proximal_newton_distributed"]
+
+
+def proximal_newton(
+    problem: L1LeastSquares,
+    *,
+    n_outer: int = 10,
+    inner: str = "fista",
+    inner_iters: int = 50,
+    b_hessian: float = 1.0,
+    damping: float = 1.0,
+    line_search: bool = False,
+    seed: RandomState = 0,
+    stopping: StoppingCriterion | None = None,
+    w0: np.ndarray | None = None,
+) -> SolveResult:
+    """Serial proximal Newton (Alg. 1).
+
+    Parameters
+    ----------
+    inner:
+        ``"fista"`` (accelerated proximal gradient on the model) or
+        ``"cd"`` (exact coordinate minimization, ``inner_iters`` epochs).
+    b_hessian:
+        Hessian sampling rate; 1.0 uses the exact Hessian.
+    damping:
+        Step ``γ_n`` applied to the Newton direction (Alg. 1 line 6).
+    line_search:
+        Backtracking on ``γ_n``: halve the step until ``F`` does not
+        increase (Lee–Sun–Saunders-style globalization). Makes PN robust
+        when the sampled Hessian misestimates curvature; a full step is
+        tried first, so well-behaved problems are unaffected.
+    """
+    if n_outer < 1 or inner_iters < 1:
+        raise ValidationError("n_outer and inner_iters must be >= 1")
+    if inner not in ("fista", "cd"):
+        raise ValidationError(f"inner must be 'fista' or 'cd', got {inner!r}")
+    check_in_range(b_hessian, "b_hessian", 0.0, 1.0, low_inclusive=False)
+    check_positive(damping, "damping")
+    stopping = stopping or StoppingCriterion()
+    rng = as_generator(seed)
+    d, lam = problem.d, problem.lam
+
+    w = np.zeros(d) if w0 is None else np.asarray(w0, dtype=np.float64).copy()
+    if w.shape != (d,):
+        raise ValidationError(f"w0 must have shape ({d},), got {w.shape}")
+    mbar = minibatch_size(problem.m, b_hessian) if b_hessian < 1.0 else problem.m
+
+    history = History()
+    prev_obj: float | None = None
+    converged = False
+    outer_done = 0
+    has_pointwise_hessian = hasattr(problem, "hessian_at")
+    for n in range(1, n_outer + 1):
+        grad = problem.gradient(w)
+        if has_pointwise_hessian:
+            # General ERM objectives (e.g. logistic) expose curvature at the
+            # current iterate — Alg. 1 line 3 in its general form.
+            H = problem.hessian_at(w)
+        elif b_hessian >= 1.0:
+            H = problem.hessian
+        else:
+            idx = sample_indices(rng, problem.m, mbar)
+            H = sampled_gram(problem.X, idx)
+        model = QuadraticModel.from_linearization(H, grad, w)
+        if inner == "fista":
+            L = model.lipschitz()
+            step = 1.0 / L if L > 0 else 1.0
+            z = fista(
+                model,
+                prox=L1Prox(lam),
+                w0=w,
+                step_size=step,
+                max_iter=inner_iters,
+                monitor_every=max(1, inner_iters),
+            ).w
+        else:
+            z = coordinate_descent_quadratic(model.H, model.R, lam, u0=w, max_epochs=inner_iters)
+        direction = z - w
+        if line_search:
+            current = problem.value(w)
+            step = damping
+            for _bt in range(30):
+                candidate = w + step * direction
+                if problem.value(candidate) <= current + 1e-12:
+                    break
+                step *= 0.5
+            w = w + step * direction
+        else:
+            w = w + damping * direction
+        outer_done = n
+
+        obj = problem.value(w)
+        history.append(n, obj, stopping.rel_error(obj))
+        if stopping.satisfied(obj, prev_obj):
+            converged = True
+            break
+        prev_obj = obj
+
+    return SolveResult(
+        w=w,
+        converged=converged,
+        n_iterations=outer_done,
+        history=history,
+        meta={
+            "solver": "proximal_newton",
+            "inner": inner,
+            "inner_iters": inner_iters,
+            "b_hessian": b_hessian,
+            "damping": damping,
+            "line_search": line_search,
+        },
+    )
+
+
+def proximal_newton_distributed(
+    problem: L1LeastSquares,
+    nranks: int,
+    *,
+    machine: str | MachineSpec = "comet_effective",
+    inner: str = "rc_sfista",
+    n_outer: int = 5,
+    inner_iters: int = 40,
+    k: int = 1,
+    S: int = 1,
+    b: float = 0.1,
+    damping: float = 1.0,
+    step_size: float | None = None,
+    seed: RandomState = 0,
+    stopping: StoppingCriterion | None = None,
+    monitor_every: int = 1,
+    allreduce_algorithm: str = "recursive_doubling",
+    cluster: BSPCluster | None = None,
+) -> SolveResult:
+    """Distributed PN (Fig. 7 experiment) — see module docstring.
+
+    The subproblem iterates run FISTA-style accelerated steps; the inner
+    solver choice controls where the data for ``∇Φ`` comes from and hence
+    the communication pattern. ``step_size`` is the inner γ (defaults to
+    the problem's 1/L, shared by all variants for comparability).
+    """
+    if inner not in ("fista", "sfista", "rc_sfista"):
+        raise ValidationError(f"inner must be fista|sfista|rc_sfista, got {inner!r}")
+    if inner != "rc_sfista" and (k != 1 or S != 1):
+        raise ValidationError("k and S only apply to the rc_sfista inner solver")
+    if n_outer < 1 or inner_iters < 1 or k < 1 or S < 1:
+        raise ValidationError("n_outer, inner_iters, k, S must be >= 1")
+    if monitor_every < 1:
+        raise ValidationError(f"monitor_every must be >= 1, got {monitor_every}")
+    stopping = stopping or StoppingCriterion()
+    rng = as_generator(seed)
+    d, lam = problem.d, problem.lam
+    gamma = (
+        check_positive(step_size, "step_size") if step_size is not None else problem.default_step()
+    )
+    thresh = lam * gamma
+    mbar = minibatch_size(problem.m, b)
+    # Proximal-point damping of the Hessian-reuse subproblem (see rc_sfista).
+    eps_reg = (
+        0.25 * problem.sampled_hessian_deviation(mbar)
+        if (inner == "rc_sfista" and S > 1)
+        else 0.0
+    )
+
+    data = distribute_problem(problem, nranks)
+    if cluster is None:
+        cluster = BSPCluster(nranks, machine, allreduce_algorithm=allreduce_algorithm)
+    elif cluster.nranks != nranks:
+        raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
+
+    def dist_full_gradient(point: np.ndarray) -> np.ndarray:
+        contribs, flops = [], []
+        for rd in data.ranks:
+            g_p, fl = rd.full_gradient_contribution(point, problem.m)
+            contribs.append(g_p)
+            flops.append(fl)
+        cluster.compute(flops, label="full_gradient")
+        return cluster.allreduce(contribs, label="allreduce_grad")
+
+    def dist_hessian_apply(vec: np.ndarray) -> np.ndarray:
+        """Exact Hessian-vector product through the distributed data."""
+        contribs, flops = [], []
+        for rd in data.ranks:
+            if rd.m_local == 0:
+                contribs.append(np.zeros(d))
+                flops.append(0.0)
+                continue
+            if isinstance(rd.X_local, np.ndarray):
+                hv = rd.X_local @ (rd.X_local.T @ vec) / problem.m
+                flops.append(float(4 * rd.X_local.shape[0] * rd.m_local))
+            else:
+                hv = rd.X_local.matvec(rd.X_local.rmatvec(vec)) / problem.m
+                flops.append(float(4 * rd.X_local.nnz))
+            contribs.append(hv)
+        cluster.compute(flops, label="hessian_apply")
+        return cluster.allreduce(contribs, label="allreduce_Hv")
+
+    def sampled_blocks(count: int) -> np.ndarray:
+        """Stages A–C for *count* fresh sampled Hessians: one allreduce."""
+        payload: list[list[np.ndarray]] = [[] for _ in range(nranks)]
+        flops = np.zeros(nranks)
+        for _ in range(count):
+            idx = sample_indices(rng, problem.m, mbar)
+            for p, rd in enumerate(data.ranks):
+                H_p, _local, fl = rd.sampled_hessian_contribution(idx, mbar, d)
+                payload[p].append(H_p.ravel())
+                flops[p] += fl
+        cluster.compute(flops, label="hessian_blocks")
+        return cluster.allreduce(
+            [np.concatenate(chunks) for chunks in payload], label="allreduce_G"
+        )
+
+    w = np.zeros(d)
+    history = History()
+    prev_obj: float | None = None
+    converged = False
+    comm_rounds = 0
+    outer_done = 0
+
+    for n in range(1, n_outer + 1):
+        grad = dist_full_gradient(w)
+        comm_rounds += 1
+
+        # Inner solve of Eq. (19) warm-started at w.
+        u = w.copy()
+        u_prev = u.copy()
+        t_prev = 1.0
+        if inner == "fista":
+            for _i in range(inner_iters):
+                t_cur = t_next(t_prev)
+                mu = momentum_mu(t_prev, t_cur)
+                v = u + mu * (u - u_prev)
+                g = dist_hessian_apply(v - w) + grad
+                comm_rounds += 1
+                cluster.compute(8.0 * d, label="update")
+                u_new = soft_threshold(v - gamma * g, thresh)
+                u_prev, u = u, u_new
+                t_prev = t_cur
+        else:
+            block_k = k if inner == "rc_sfista" else 1
+            reuse_S = S if inner == "rc_sfista" else 1
+            n_rounds = -(-inner_iters // block_k)
+            done = 0
+            for _rnd in range(n_rounds):
+                block = min(block_k, inner_iters - done)
+                G = sampled_blocks(block)
+                comm_rounds += 1
+                for j in range(block):
+                    H_j = G[j * d * d : (j + 1) * d * d].reshape(d, d)
+                    # R of the linearized model with sampled H: Hw − ∇f(w).
+                    R_j = H_j @ w - grad
+                    cluster.compute(2.0 * d * d, label="model_rhs")
+                    t_cur = t_next(t_prev)
+                    mu = momentum_mu(t_prev, t_cur)
+                    v = u + mu * (u - u_prev)
+                    z = v
+                    for _s in range(reuse_S):  # Hessian-reuse prox steps
+                        step_dir = H_j @ z - R_j + eps_reg * (z - v)
+                        z = soft_threshold(z - gamma * step_dir, thresh)
+                        cluster.compute(UPDATE_FLOPS(d), label="update")
+                    u_prev, u = u, z
+                    t_prev = t_cur
+                    done += 1
+
+        w = w + damping * (u - w)
+        outer_done = n
+        if n % monitor_every == 0 or n == n_outer:
+            obj = problem.value(w)  # out of band
+            history.append(
+                n, obj, stopping.rel_error(obj), sim_time=cluster.elapsed, comm_round=comm_rounds
+            )
+            if stopping.satisfied(obj, prev_obj):
+                converged = True
+                break
+            prev_obj = obj
+
+    return SolveResult(
+        w=w,
+        converged=converged,
+        n_iterations=outer_done,
+        history=history,
+        n_comm_rounds=comm_rounds,
+        cost=cluster.cost.summary(),
+        meta={
+            "solver": "proximal_newton_distributed",
+            "inner": inner,
+            "n_outer": n_outer,
+            "inner_iters": inner_iters,
+            "k": k,
+            "S": S,
+            "b": b,
+            "nranks": nranks,
+            "machine": cluster.machine.name,
+        },
+    )

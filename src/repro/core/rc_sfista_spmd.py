@@ -1,0 +1,145 @@
+"""RC-SFISTA written as a true SPMD rank program on the generator engine.
+
+The BSP implementation (:mod:`repro.core.rc_sfista_dist`) executes the
+lock-step schedule directly; this module expresses the *same algorithm* as
+a per-rank program against the mini-MPI
+(:class:`repro.distsim.engine.SPMDEngine`) — each virtual rank owns its
+column block, draws the shared-seed samples itself, builds its local
+``(H_p, R_p)`` contributions and participates in the stage-C allreduce.
+It exists to validate the substrate end-to-end: the integration tests
+assert that the engine run produces the same iterates and the same
+per-rank message/word counters as the BSP run and the serial reference.
+
+Fixed iteration budget, plain or SVRG estimator; for the fully-featured
+front-end (stopping rules, monitoring, Hessian-reuse damping) use
+:func:`repro.core.rc_sfista_dist.rc_sfista_distributed`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core._dist_common import distribute_problem
+from repro.core.fista import momentum_mu, t_next
+from repro.core.objectives import L1LeastSquares
+from repro.core.proximal import soft_threshold
+from repro.core.results import SolveResult
+from repro.core.sfista import GradientEstimator, stochastic_step_size
+from repro.distsim.engine import SPMDEngine
+from repro.distsim.machine import MachineSpec
+from repro.exceptions import ValidationError
+from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
+from repro.utils.validation import check_positive
+
+__all__ = ["rc_sfista_spmd"]
+
+
+def rc_sfista_spmd(
+    problem: L1LeastSquares,
+    nranks: int,
+    *,
+    machine: str | MachineSpec = "comet_effective",
+    k: int = 1,
+    b: float = 0.1,
+    step_size: float | None = None,
+    n_iterations: int = 100,
+    estimator: GradientEstimator | str = GradientEstimator.PLAIN,
+    seed: RandomState = 0,
+    allreduce_algorithm: str = "recursive_doubling",
+) -> SolveResult:
+    """Run RC-SFISTA (k-overlap, S=1, single epoch) on the SPMD engine."""
+    estimator = GradientEstimator(estimator)
+    if estimator is GradientEstimator.EXACT:
+        raise ValidationError("SPMD RC-SFISTA requires a sampled estimator")
+    if k < 1 or n_iterations < 1:
+        raise ValidationError("k and n_iterations must be >= 1")
+    mbar = minibatch_size(problem.m, b)
+    gamma = (
+        check_positive(step_size, "step_size")
+        if step_size is not None
+        else stochastic_step_size(
+            problem.lipschitz(),
+            problem.m,
+            mbar,
+            problem.max_sample_lipschitz,
+            epoch_length=n_iterations,
+            deviation=problem.sampled_hessian_deviation(mbar),
+        )
+    )
+    if not isinstance(seed, (int, np.integer)):
+        raise ValidationError("rc_sfista_spmd needs an integer seed shared by all ranks")
+    d = problem.d
+    thresh = problem.lam * gamma
+    data = distribute_problem(problem, nranks)
+
+    def program(ctx):
+        rank_data = data.ranks[ctx.rank]
+        # Every rank derives the same sampling stream from the shared seed
+        # (paper §5.5) — no communication needed to agree on I_n.
+        rng = as_generator(int(seed))
+
+        w = np.zeros(d)
+        w_prev = w.copy()
+        t_prev = 1.0
+        anchor = w.copy()
+        full_grad = None
+        if estimator is GradientEstimator.SVRG:
+            g_p, _fl = rank_data.full_gradient_contribution(anchor, problem.m)
+            full_grad = yield ctx.allreduce(g_p)
+
+        done = 0
+        while done < n_iterations:
+            block = min(k, n_iterations - done)
+            # Stages A+B: local contributions for the whole block.
+            chunks = []
+            for _j in range(block):
+                idx = sample_indices(rng, problem.m, mbar)
+                H_p, local_idx, _fl = rank_data.sampled_hessian_contribution(idx, mbar, d)
+                if estimator is GradientEstimator.PLAIN:
+                    R_p, _flr = rank_data.sampled_rhs_contribution(local_idx, mbar, d)
+                else:
+                    R_p = np.zeros(d)
+                chunks.append(H_p.ravel())
+                chunks.append(R_p)
+            # Stage C: one allreduce of k(d² + d) words.
+            combined = yield ctx.allreduce(np.concatenate(chunks))
+            # Stage D: replicated updates.
+            stride = d * d + d
+            for j in range(block):
+                base = j * stride
+                H = combined[base : base + d * d].reshape(d, d)
+                if estimator is GradientEstimator.PLAIN:
+                    R = combined[base + d * d : base + stride]
+                else:
+                    R = H @ anchor - full_grad
+                t_cur = t_next(t_prev)
+                mu = momentum_mu(t_prev, t_cur)
+                v = w + mu * (w - w_prev)
+                w_new = soft_threshold(v - gamma * (H @ v - R), thresh)
+                w_prev, w = w, w_new
+                t_prev = t_cur
+            done += block
+        return w
+
+    engine = SPMDEngine(nranks, machine, allreduce_algorithm=allreduce_algorithm)
+    per_rank_w = engine.run(program)
+    for other in per_rank_w[1:]:
+        if not np.allclose(other, per_rank_w[0], atol=1e-12):
+            raise ValidationError("replicated iterates diverged across ranks")
+    return SolveResult(
+        w=per_rank_w[0],
+        converged=False,
+        n_iterations=n_iterations,
+        n_comm_rounds=-(-n_iterations // k)
+        + (1 if estimator is GradientEstimator.SVRG else 0),
+        cost=engine.cost.summary(),
+        meta={
+            "solver": "rc_sfista_spmd",
+            "k": k,
+            "b": b,
+            "mbar": mbar,
+            "estimator": estimator.value,
+            "step_size": gamma,
+            "nranks": nranks,
+        },
+    )

@@ -1,0 +1,146 @@
+"""Solver result and convergence-history containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["History", "SolveResult"]
+
+
+@dataclass
+class History:
+    """Per-checkpoint convergence trace.
+
+    One row is appended per monitored point (usually each iteration for
+    serial solvers, each communication round for distributed ones):
+
+    * ``iteration`` — inner-iteration count at the checkpoint,
+    * ``objective`` — ``F(w)`` (monitoring is *out of band*: it is never
+      charged to the simulated cost model, matching how the paper measures
+      relative objective error offline),
+    * ``rel_error`` — ``|F(w) − F*| / |F*|`` when ``F*`` was supplied,
+    * ``sim_time`` — simulated wall-clock seconds (distributed solvers),
+    * ``comm_rounds`` — collective rounds completed so far.
+    """
+
+    iterations: list[int] = field(default_factory=list)
+    objectives: list[float] = field(default_factory=list)
+    rel_errors: list[float] = field(default_factory=list)
+    sim_times: list[float] = field(default_factory=list)
+    comm_rounds: list[int] = field(default_factory=list)
+
+    def append(
+        self,
+        iteration: int,
+        objective: float,
+        rel_error: float = np.nan,
+        sim_time: float = np.nan,
+        comm_round: int = 0,
+    ) -> None:
+        self.iterations.append(int(iteration))
+        self.objectives.append(float(objective))
+        self.rel_errors.append(float(rel_error))
+        self.sim_times.append(float(sim_time))
+        self.comm_rounds.append(int(comm_round))
+
+    def __len__(self) -> int:
+        return len(self.iterations)
+
+    # vector views ------------------------------------------------------ #
+    @property
+    def iteration_array(self) -> np.ndarray:
+        return np.asarray(self.iterations, dtype=np.int64)
+
+    @property
+    def objective_array(self) -> np.ndarray:
+        return np.asarray(self.objectives, dtype=np.float64)
+
+    @property
+    def rel_error_array(self) -> np.ndarray:
+        return np.asarray(self.rel_errors, dtype=np.float64)
+
+    @property
+    def sim_time_array(self) -> np.ndarray:
+        return np.asarray(self.sim_times, dtype=np.float64)
+
+    def best_objective(self) -> float:
+        if not self.objectives:
+            raise ValidationError("empty history")
+        return float(np.min(self.objective_array))
+
+    def first_below(self, tol: float) -> int | None:
+        """Index of the first checkpoint with ``rel_error <= tol`` (or None)."""
+        arr = self.rel_error_array
+        hits = np.flatnonzero(arr <= tol)
+        return int(hits[0]) if hits.size else None
+
+    def time_to_tolerance(self, tol: float) -> float | None:
+        """Simulated time at the first checkpoint reaching *tol* (or None)."""
+        idx = self.first_below(tol)
+        if idx is None:
+            return None
+        t = self.sim_times[idx]
+        return float(t) if np.isfinite(t) else None
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver run.
+
+    Attributes
+    ----------
+    w:
+        Final iterate.
+    converged:
+        Whether the stopping criterion fired before the iteration budget.
+    n_iterations:
+        Inner iterations executed.
+    history:
+        Convergence trace (possibly empty if monitoring was disabled).
+    n_comm_rounds:
+        Collective communication rounds (distributed solvers, else 0).
+    cost:
+        Simulated-cluster cost summary dict (distributed solvers, else None).
+    meta:
+        Solver-specific extras (parameters, tuned values...).
+    """
+
+    w: np.ndarray
+    converged: bool
+    n_iterations: int
+    history: History = field(default_factory=History)
+    n_comm_rounds: int = 0
+    cost: dict[str, float] | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def final_objective(self) -> float:
+        if not self.history.objectives:
+            raise ValidationError("no monitored objective values in this result")
+        return self.history.objectives[-1]
+
+    @property
+    def sim_time(self) -> float:
+        """Total simulated wall-clock of the run (0 for serial solvers)."""
+        if self.cost is None:
+            return 0.0
+        return float(self.cost.get("elapsed", 0.0))
+
+    def summary(self) -> str:
+        parts = [
+            f"iters={self.n_iterations}",
+            f"converged={self.converged}",
+        ]
+        if self.history.objectives:
+            parts.append(f"F={self.history.objectives[-1]:.6g}")
+            if np.isfinite(self.history.rel_errors[-1]):
+                parts.append(f"rel_err={self.history.rel_errors[-1]:.3g}")
+        if self.cost is not None:
+            parts.append(f"sim_time={self.sim_time:.4g}s")
+            parts.append(f"rounds={self.n_comm_rounds}")
+        return "SolveResult(" + ", ".join(parts) + ")"

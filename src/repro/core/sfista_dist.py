@@ -1,0 +1,238 @@
+"""Distributed SFISTA baseline — one allreduce per iteration.
+
+This is the algorithm RC-SFISTA is compared against in Figs. 4–5: identical
+arithmetic, but the ``(H_n, R_n)`` blocks are allreduced every iteration,
+so latency is paid ``N`` times (Table 1, SFISTA row).
+
+Two communication modes:
+
+* ``"hessian"`` (paper-faithful) — allreduce the ``d² + d`` words of
+  ``[H_n | R_n]`` each iteration, matching Table 1's ``O(N d² log P)``
+  bandwidth. Required by the PN framing where every rank needs ``H_n``.
+* ``"gradient"`` (ablation, DESIGN.md choice #3) — each rank computes its
+  local *gradient* contribution and only ``d`` words are allreduced. Not
+  compatible with Hessian-reuse, but shows the design space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core._dist_common import UPDATE_FLOPS, distribute_problem
+from repro.core.fista import momentum_mu, t_next
+from repro.core.objectives import L1LeastSquares
+from repro.core.proximal import soft_threshold
+from repro.core.results import History, SolveResult
+from repro.core.sfista import GradientEstimator, stochastic_step_size
+from repro.core.stopping import StoppingCriterion
+from repro.distsim.bsp import BSPCluster
+from repro.distsim.machine import MachineSpec
+from repro.exceptions import ValidationError
+from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
+from repro.utils.validation import check_positive
+
+__all__ = ["sfista_distributed"]
+
+
+def _epoch_anchor_gradient(
+    cluster: BSPCluster, data, w: np.ndarray, m: int
+) -> np.ndarray:
+    """SVRG anchor gradient: local contributions + one d-word allreduce."""
+    contribs = []
+    flops = []
+    for rank_data in data.ranks:
+        g_p, fl = rank_data.full_gradient_contribution(w, m)
+        contribs.append(g_p)
+        flops.append(fl)
+    cluster.compute(flops, label="anchor_gradient")
+    return cluster.allreduce(contribs, label="allreduce_anchor_grad")
+
+
+def sfista_distributed(
+    problem: L1LeastSquares,
+    nranks: int,
+    *,
+    machine: str | MachineSpec = "comet_effective",
+    b: float = 0.1,
+    step_size: float | None = None,
+    epochs: int = 1,
+    iters_per_epoch: int = 100,
+    estimator: GradientEstimator | str = GradientEstimator.SVRG,
+    comm_mode: str = "hessian",
+    seed: RandomState = 0,
+    stopping: StoppingCriterion | None = None,
+    monitor_every: int = 1,
+    restart_momentum: bool = True,
+    allreduce_algorithm: str = "recursive_doubling",
+    jitter_seed: RandomState = None,
+    cluster: BSPCluster | None = None,
+) -> SolveResult:
+    """Distributed SFISTA on the simulated cluster.
+
+    Returns a :class:`SolveResult` whose ``history`` carries simulated
+    times per checkpoint and whose ``cost`` holds the cluster counters
+    (critical-path messages/words per rank — the L and W of Table 1).
+    Objective monitoring is out of band (not charged).
+    """
+    estimator = GradientEstimator(estimator)
+    if comm_mode not in ("hessian", "gradient"):
+        raise ValidationError(f"comm_mode must be 'hessian' or 'gradient', got {comm_mode!r}")
+    if estimator is GradientEstimator.EXACT:
+        raise ValidationError("distributed SFISTA requires a sampled estimator (plain or svrg)")
+    if epochs < 1 or iters_per_epoch < 1:
+        raise ValidationError("epochs and iters_per_epoch must be >= 1")
+    if monitor_every < 1:
+        raise ValidationError(f"monitor_every must be >= 1, got {monitor_every}")
+    stopping = stopping or StoppingCriterion()
+    rng = as_generator(seed)
+    mbar = minibatch_size(problem.m, b)
+    gamma = (
+        check_positive(step_size, "step_size")
+        if step_size is not None
+        else stochastic_step_size(
+            problem.lipschitz(),
+            problem.m,
+            mbar,
+            problem.max_sample_lipschitz,
+            epoch_length=iters_per_epoch if restart_momentum else epochs * iters_per_epoch,
+            deviation=problem.sampled_hessian_deviation(mbar),
+        )
+    )
+    d = problem.d
+    thresh = problem.lam * gamma
+
+    data = distribute_problem(problem, nranks)
+    if cluster is None:
+        cluster = BSPCluster(
+            nranks, machine, allreduce_algorithm=allreduce_algorithm, jitter_seed=jitter_seed
+        )
+    elif cluster.nranks != nranks:
+        raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
+
+    w = np.zeros(d)
+    w_prev = w.copy()
+    t_prev = 1.0
+    history = History()
+    prev_obj: float | None = None
+    converged = False
+    diverged = False
+    total_iter = 0
+    comm_rounds = 0
+
+    for epoch in range(epochs):
+        anchor = w.copy()
+        full_grad = (
+            _epoch_anchor_gradient(cluster, data, anchor, problem.m)
+            if estimator is GradientEstimator.SVRG
+            else None
+        )
+        if estimator is GradientEstimator.SVRG:
+            comm_rounds += 1
+        if restart_momentum:
+            t_prev = 1.0
+            w_prev = w.copy()
+
+        for _n in range(iters_per_epoch):
+            total_iter += 1
+            idx = sample_indices(rng, problem.m, mbar)
+
+            t_cur = t_next(t_prev)
+            mu = momentum_mu(t_prev, t_cur)
+            v = w + mu * (w - w_prev)
+
+            if comm_mode == "hessian":
+                # Stages A+B: local sampled Gram blocks.
+                packed = []
+                flops = []
+                for rank_data in data.ranks:
+                    H_p, local_idx, fl = rank_data.sampled_hessian_contribution(idx, mbar, d)
+                    if estimator is GradientEstimator.PLAIN:
+                        R_p, fl_r = rank_data.sampled_rhs_contribution(local_idx, mbar, d)
+                    else:
+                        R_p, fl_r = np.zeros(d), 0.0
+                    packed.append(np.concatenate([H_p.ravel(), R_p]))
+                    flops.append(fl + fl_r)
+                cluster.compute(flops, label="hessian_blocks")
+                # Stage C: one allreduce of d² + d words.
+                combined = cluster.allreduce(packed, label="allreduce_HR")
+                comm_rounds += 1
+                H = combined[: d * d].reshape(d, d)
+                if estimator is GradientEstimator.PLAIN:
+                    R = combined[d * d :]
+                else:  # svrg: R = Hŵ − ∇f(ŵ), replicated arithmetic
+                    R = H @ anchor - full_grad  # type: ignore[operator]
+                    cluster.compute(2.0 * d * d, label="svrg_rhs")
+                g = H @ v - R
+                cluster.compute(UPDATE_FLOPS(d), label="update")
+            else:
+                # Gradient mode: local sampled-gradient contributions.
+                contribs = []
+                flops = []
+                for rank_data in data.ranks:
+                    local_idx = rank_data._restrict(idx)
+                    if local_idx.size == 0:
+                        contribs.append(np.zeros(d))
+                        flops.append(0.0)
+                        continue
+                    if isinstance(rank_data.X_local, np.ndarray):
+                        A = rank_data.X_local[:, local_idx]
+                    else:
+                        A = rank_data.X_local.select_columns(local_idx).to_dense()
+                    if estimator is GradientEstimator.PLAIN:
+                        g_p = A @ (A.T @ v - rank_data.y_local[local_idx]) / mbar
+                    else:
+                        g_p = A @ (A.T @ (v - anchor)) / mbar
+                    contribs.append(g_p)
+                    flops.append(float(4 * A.shape[0] * A.shape[1]))
+                cluster.compute(flops, label="gradient_blocks")
+                g = cluster.allreduce(contribs, label="allreduce_grad")
+                comm_rounds += 1
+                if estimator is GradientEstimator.SVRG:
+                    g = g + full_grad  # type: ignore[operator]
+                cluster.compute(8.0 * d, label="update")
+
+            w_new = soft_threshold(v - gamma * g, thresh)
+            w_prev, w = w, w_new
+            t_prev = t_cur
+
+            if total_iter % monitor_every == 0 or (
+                epoch == epochs - 1 and _n == iters_per_epoch - 1
+            ):
+                obj = problem.value(w)  # out of band
+                history.append(
+                    total_iter,
+                    obj,
+                    stopping.rel_error(obj),
+                    sim_time=cluster.elapsed,
+                    comm_round=comm_rounds,
+                )
+                if not np.isfinite(obj):
+                    diverged = True
+                    break
+                if stopping.satisfied(obj, prev_obj):
+                    converged = True
+                    break
+                prev_obj = obj
+        if converged or diverged:
+            break
+
+    return SolveResult(
+        w=w,
+        converged=converged,
+        n_iterations=total_iter,
+        history=history,
+        n_comm_rounds=comm_rounds,
+        cost=cluster.cost.summary(),
+        meta={
+            "solver": "sfista_distributed",
+            "diverged": diverged,
+            "b": b,
+            "mbar": mbar,
+            "estimator": estimator.value,
+            "comm_mode": comm_mode,
+            "step_size": gamma,
+            "nranks": nranks,
+            "machine": cluster.machine.name,
+            "allreduce_algorithm": cluster.allreduce_algorithm,
+        },
+    )

@@ -1,0 +1,83 @@
+"""Stopping criteria.
+
+The paper stops when the *relative objective error*
+
+.. math:: e_n = \\left| \\frac{F(w_n) - F(w^*)}{F(w^*)} \\right|
+
+drops below a user tolerance ``tol`` (§5.1), with ``F(w*)`` obtained from a
+high-accuracy reference solve. :class:`StoppingCriterion` implements that,
+plus iteration budgets and (for solvers without a reference) relative
+objective *change*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["relative_objective_error", "StoppingCriterion"]
+
+
+def relative_objective_error(objective: float, fstar: float) -> float:
+    """``|F(w) − F*| / |F*|`` with a safe fallback when ``F* = 0``."""
+    denom = abs(fstar)
+    if denom == 0.0:
+        return abs(objective)
+    return abs(objective - fstar) / denom
+
+
+@dataclass(frozen=True)
+class StoppingCriterion:
+    """Declarative stopping rule shared by all solvers.
+
+    Parameters
+    ----------
+    tol:
+        Threshold on the relative objective error (requires ``fstar``).
+        ``None`` disables objective-based stopping.
+    fstar:
+        Reference optimal value ``F(w*)``.
+    rel_change_tol:
+        Alternative criterion on ``|F_n − F_{n-1}| / max(1, |F_n|)``; used
+        when no reference is available. ``None`` disables it.
+    """
+
+    tol: float | None = None
+    fstar: float | None = None
+    rel_change_tol: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.tol is not None:
+            if self.tol <= 0 or not np.isfinite(self.tol):
+                raise ValidationError(f"tol must be finite and > 0, got {self.tol}")
+            if self.fstar is None:
+                raise ValidationError("tol-based stopping requires fstar")
+        if self.rel_change_tol is not None and (
+            self.rel_change_tol <= 0 or not np.isfinite(self.rel_change_tol)
+        ):
+            raise ValidationError(f"rel_change_tol must be > 0, got {self.rel_change_tol}")
+
+    @property
+    def monitors_objective(self) -> bool:
+        """Whether the criterion needs F(w) evaluated at checkpoints."""
+        return self.tol is not None or self.rel_change_tol is not None
+
+    def rel_error(self, objective: float) -> float:
+        """Relative objective error at *objective* (NaN without a reference)."""
+        if self.fstar is None:
+            return float("nan")
+        return relative_objective_error(objective, self.fstar)
+
+    def satisfied(self, objective: float, previous_objective: float | None = None) -> bool:
+        """Evaluate the rule at a checkpoint."""
+        if self.tol is not None and self.fstar is not None:
+            if relative_objective_error(objective, self.fstar) <= self.tol:
+                return True
+        if self.rel_change_tol is not None and previous_objective is not None:
+            change = abs(objective - previous_objective) / max(1.0, abs(objective))
+            if change <= self.rel_change_tol:
+                return True
+        return False

@@ -1,0 +1,66 @@
+"""Simulated distributed-memory machine with an α-β-γ performance model.
+
+This package is the substitute for the paper's MPI substrate (see
+DESIGN.md §1). It provides:
+
+* :mod:`repro.distsim.machine` — machine specifications (α latency, β
+  inverse bandwidth, γ inverse flop rate) with presets including the XSEDE
+  Comet constants quoted in the paper (§5.3).
+* :mod:`repro.distsim.cost` — per-rank counters for flops, words and
+  messages plus simulated clocks.
+* :mod:`repro.distsim.collectives` — numerically-correct collective
+  operations with per-algorithm cost formulas (binomial tree, recursive
+  doubling, ring / Rabenseifner).
+* :mod:`repro.distsim.bsp` — the lock-step bulk-synchronous cluster the
+  solvers run on (local compute phases + collectives).
+* :mod:`repro.distsim.engine` — a generator-based SPMD engine with
+  point-to-point messaging, a miniature MPI for writing rank programs.
+* :mod:`repro.distsim.trace` — event timeline recording and reporting.
+
+Every communication primitive *actually moves the data* between per-rank
+numpy buffers — results are numerically identical to a real MPI run — while
+the clocks advance according to the cost model, so simulated wall-clock
+time, message counts and word counts can be reported exactly as the paper
+does in Table 1 and Figures 4–7.
+"""
+
+from repro.distsim.machine import MachineSpec, MACHINES, get_machine
+from repro.distsim.cost import CostCounter, ClusterCost, PhaseKind
+from repro.distsim.collectives import (
+    CollectiveCost,
+    allreduce_cost,
+    allgather_cost,
+    bcast_cost,
+    reduce_cost,
+    gather_cost,
+    scatter_cost,
+    barrier_cost,
+    alltoall_cost,
+)
+from repro.distsim.bsp import BSPCluster
+from repro.distsim.engine import SPMDEngine, RankContext, run_spmd
+from repro.distsim.trace import Trace, TraceEvent
+
+__all__ = [
+    "MachineSpec",
+    "MACHINES",
+    "get_machine",
+    "CostCounter",
+    "ClusterCost",
+    "PhaseKind",
+    "CollectiveCost",
+    "allreduce_cost",
+    "allgather_cost",
+    "bcast_cost",
+    "reduce_cost",
+    "gather_cost",
+    "scatter_cost",
+    "barrier_cost",
+    "alltoall_cost",
+    "BSPCluster",
+    "SPMDEngine",
+    "RankContext",
+    "run_spmd",
+    "Trace",
+    "TraceEvent",
+]

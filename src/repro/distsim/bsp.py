@@ -1,0 +1,270 @@
+"""Lock-step bulk-synchronous cluster — the solvers' execution substrate.
+
+The algorithms in this paper are bulk-synchronous: every iteration is a
+local compute phase followed by a collective (Fig. 1, stages A–D). The
+:class:`BSPCluster` models exactly that: per-rank clocks advance through
+compute phases (optionally with straggler jitter), and collectives
+synchronize all clocks to ``max(clocks) + T_collective`` while charging each
+rank its message/word counts. All collective *results* are computed for
+real, so a solver run on the cluster produces numerically the same iterates
+as a genuine MPI run with the same data placement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CommunicatorError, ValidationError
+from repro.distsim import collectives as coll
+from repro.distsim.cost import ClusterCost, CostCounter, PhaseKind
+from repro.distsim.machine import MachineSpec, get_machine
+from repro.distsim.trace import Trace, TraceEvent
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["BSPCluster"]
+
+
+def _words_of(value: np.ndarray | float) -> float:
+    """Message size in 8-byte words of a numeric payload."""
+    arr = np.asarray(value)
+    return float(arr.size)
+
+
+class BSPCluster:
+    """``P`` virtual ranks executing lock-step supersteps.
+
+    Parameters
+    ----------
+    nranks:
+        Number of virtual processors ``P``.
+    machine:
+        Machine preset name or :class:`MachineSpec`.
+    allreduce_algorithm:
+        One of ``"recursive_doubling"`` (default, matches the paper's
+        Table 1 accounting), ``"binomial_tree"``, ``"ring"``.
+    jitter_seed:
+        Seed for the straggler model; only used when the machine spec has
+        ``straggler_sigma > 0``.
+    trace:
+        Optional :class:`Trace` to record phases into (a fresh enabled
+        trace is created when omitted).
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        machine: str | MachineSpec = "comet_effective",
+        *,
+        allreduce_algorithm: str = "recursive_doubling",
+        jitter_seed: RandomState = None,
+        trace: Trace | None = None,
+    ) -> None:
+        if nranks < 1:
+            raise ValidationError(f"nranks must be >= 1, got {nranks}")
+        if allreduce_algorithm not in coll.ALLREDUCE_ALGORITHMS:
+            raise ValidationError(
+                f"unknown allreduce algorithm {allreduce_algorithm!r}; "
+                f"choose from {coll.ALLREDUCE_ALGORITHMS}"
+            )
+        self.nranks = int(nranks)
+        self.machine = get_machine(machine)
+        self.allreduce_algorithm = allreduce_algorithm
+        self.counters = [CostCounter(rank=r) for r in range(self.nranks)]
+        self.trace = trace if trace is not None else Trace()
+        self._jitter_rng = as_generator(jitter_seed) if self.machine.straggler_sigma else None
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def cost(self) -> ClusterCost:
+        """Aggregate cost view (live — reflects counters as they stand)."""
+        return ClusterCost(self.counters)
+
+    @property
+    def elapsed(self) -> float:
+        """Current simulated wall-clock time."""
+        return max(c.clock for c in self.counters)
+
+    def reset(self) -> None:
+        """Zero all counters, clocks and the trace."""
+        self.counters = [CostCounter(rank=r) for r in range(self.nranks)]
+        self.trace.events.clear()
+
+    def _sync_start(self) -> float:
+        """Synchronize all ranks at the start of a collective."""
+        t = self.elapsed
+        for c in self.counters:
+            c.wait_until(t)
+        return t
+
+    def _per_rank(self, value: float | Sequence[float] | np.ndarray) -> np.ndarray:
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.ndim == 0:
+            return np.full(self.nranks, float(arr))
+        if arr.shape != (self.nranks,):
+            raise ValidationError(
+                f"per-rank value must be scalar or length-{self.nranks}, got shape {arr.shape}"
+            )
+        return arr
+
+    # ------------------------------------------------------------------ #
+    # compute phase
+    # ------------------------------------------------------------------ #
+    def compute(self, flops: float | Sequence[float] | np.ndarray, label: str = "compute") -> None:
+        """Advance every rank through a local compute phase.
+
+        *flops* is a scalar (same work everywhere) or a per-rank vector.
+        Straggler jitter, when enabled on the machine, multiplies each
+        rank's phase time independently.
+        """
+        per_rank = self._per_rank(flops)
+        if np.any(per_rank < 0):
+            raise ValidationError("flops must be non-negative")
+        start = self.elapsed
+        factors = self.machine.jitter_factors(self.nranks, self._jitter_rng)
+        for c, f, j in zip(self.counters, per_rank, factors):
+            c.charge_compute(float(f), self.machine.compute_time(float(f)) * float(j))
+        self.trace.record(
+            TraceEvent(
+                kind=PhaseKind.COMPUTE,
+                label=label,
+                start=start,
+                end=self.elapsed,
+                flops=float(per_rank.sum()),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # collectives
+    # ------------------------------------------------------------------ #
+    def _finish_collective(
+        self, label: str, start: float, cost: coll.CollectiveCost, kind: PhaseKind
+    ) -> None:
+        for c in self.counters:
+            c.charge_comm(cost.messages, cost.words, cost.time)
+        self.trace.record(
+            TraceEvent(
+                kind=kind,
+                label=label,
+                start=start,
+                end=self.elapsed,
+                words=cost.words * self.nranks,
+                messages=cost.messages * self.nranks,
+            )
+        )
+
+    def _check_buffers(self, values: Sequence[np.ndarray], what: str) -> list[np.ndarray]:
+        if len(values) != self.nranks:
+            raise CommunicatorError(
+                f"{what} needs one buffer per rank ({self.nranks}), got {len(values)}"
+            )
+        return [np.asarray(v, dtype=np.float64) for v in values]
+
+    def allreduce(
+        self,
+        values: Sequence[np.ndarray],
+        op: Callable[[np.ndarray, np.ndarray], np.ndarray] | str = "sum",
+        label: str = "allreduce",
+    ) -> np.ndarray:
+        """Reduce per-rank arrays; the (replicated) result is returned once.
+
+        This is the simulator's ``MPI_Allreduce`` — the single collective
+        the RC-SFISTA implementation uses (Fig. 1, stage C).
+        """
+        arrays = self._check_buffers(values, "allreduce")
+        start = self._sync_start()
+        result = coll.allreduce_values(arrays, op)
+        cost = coll.allreduce_cost(
+            self.machine, self.nranks, _words_of(arrays[0]), self.allreduce_algorithm
+        )
+        self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
+        return result
+
+    def charge_allreduce(self, words: float, label: str = "allreduce") -> None:
+        """Charge an allreduce of *words* words without moving data.
+
+        Used by the dry-run cost replays (:mod:`repro.experiments.runner`):
+        identical clock/counter effects to :meth:`allreduce`, zero
+        allocation. Callers that need the *result* must use
+        :meth:`allreduce`.
+        """
+        if words < 0:
+            raise ValidationError(f"words must be >= 0, got {words}")
+        start = self._sync_start()
+        cost = coll.allreduce_cost(self.machine, self.nranks, float(words), self.allreduce_algorithm)
+        self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
+
+    def allgather(
+        self, values: Sequence[np.ndarray], label: str = "allgather"
+    ) -> list[np.ndarray]:
+        """Gather every rank's buffer onto all ranks."""
+        arrays = self._check_buffers(values, "allgather")
+        start = self._sync_start()
+        words_local = max(_words_of(a) for a in arrays)
+        cost = coll.allgather_cost(self.machine, self.nranks, words_local)
+        self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
+        return [a.copy() for a in arrays]
+
+    def bcast(self, value: np.ndarray, root: int = 0, label: str = "bcast") -> np.ndarray:
+        """Broadcast *value* from *root* to all ranks."""
+        self._check_root(root)
+        arr = np.asarray(value, dtype=np.float64)
+        start = self._sync_start()
+        cost = coll.bcast_cost(self.machine, self.nranks, _words_of(arr))
+        self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
+        return arr.copy()
+
+    def reduce(
+        self,
+        values: Sequence[np.ndarray],
+        root: int = 0,
+        op: Callable[[np.ndarray, np.ndarray], np.ndarray] | str = "sum",
+        label: str = "reduce",
+    ) -> np.ndarray:
+        """Reduce per-rank arrays onto *root* (returned to the caller)."""
+        self._check_root(root)
+        arrays = self._check_buffers(values, "reduce")
+        start = self._sync_start()
+        result = coll.allreduce_values(arrays, op)
+        cost = coll.reduce_cost(self.machine, self.nranks, _words_of(arrays[0]))
+        self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
+        return result
+
+    def gather(self, values: Sequence[np.ndarray], root: int = 0, label: str = "gather") -> list[np.ndarray]:
+        """Gather per-rank buffers to *root*."""
+        self._check_root(root)
+        arrays = self._check_buffers(values, "gather")
+        start = self._sync_start()
+        words_local = max(_words_of(a) for a in arrays)
+        cost = coll.gather_cost(self.machine, self.nranks, words_local)
+        self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
+        return [a.copy() for a in arrays]
+
+    def scatter(self, chunks: Sequence[np.ndarray], root: int = 0, label: str = "scatter") -> list[np.ndarray]:
+        """Scatter *chunks* (one per rank) from *root*; returns the rank views."""
+        self._check_root(root)
+        arrays = self._check_buffers(chunks, "scatter")
+        start = self._sync_start()
+        words_local = max(_words_of(a) for a in arrays)
+        cost = coll.scatter_cost(self.machine, self.nranks, words_local)
+        self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
+        return [a.copy() for a in arrays]
+
+    def barrier(self, label: str = "barrier") -> None:
+        """Synchronize all ranks."""
+        start = self._sync_start()
+        cost = coll.barrier_cost(self.machine, self.nranks)
+        self._finish_collective(label, start, cost, PhaseKind.BARRIER)
+
+    def _check_root(self, root: int) -> None:
+        if not (0 <= root < self.nranks):
+            raise CommunicatorError(f"root {root} out of range [0, {self.nranks})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BSPCluster(nranks={self.nranks}, machine={self.machine.name!r}, "
+            f"allreduce={self.allreduce_algorithm!r}, elapsed={self.elapsed:.3e}s)"
+        )

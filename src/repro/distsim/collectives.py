@@ -1,0 +1,271 @@
+"""Collective operations: correct numerics + per-algorithm cost formulas.
+
+Each collective does two independent things:
+
+1. **Numerics** — compute the mathematically-correct result from the
+   per-rank inputs (a real data movement between per-rank buffers).
+2. **Costing** — return a :class:`CollectiveCost` describing, *per rank*,
+   the number of messages, words and the critical-path time under the
+   selected algorithm, using the standard LogP-style formulas from the
+   collective-communication literature (Thakur et al., Chan et al.):
+
+   ===================  =============================  ======================
+   algorithm            time                            per-rank words
+   ===================  =============================  ======================
+   recursive doubling   ⌈log₂P⌉ (α + βn)               n⌈log₂P⌉
+   binomial tree        2⌈log₂P⌉ (α + βn)  (red+bcast) 2n⌈log₂P⌉
+   ring (Rabenseifner)  2(P−1)(α + βn/P)               2n(P−1)/P
+   ===================  =============================  ======================
+
+   with ``n`` the reduced-vector length in words. The recursive-doubling
+   allreduce matches the paper's Table 1 accounting: latency O(log P) per
+   round and bandwidth O(n log P).
+
+The numerics use pairwise-ordered reduction identical across algorithms so
+that the simulated result does not depend on the algorithm choice (the cost
+does).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CommunicatorError, ValidationError
+from repro.distsim.machine import HierarchicalMachine, MachineSpec
+
+__all__ = [
+    "CollectiveCost",
+    "ALLREDUCE_ALGORITHMS",
+    "allreduce_values",
+    "allreduce_cost",
+    "allgather_cost",
+    "bcast_cost",
+    "reduce_cost",
+    "gather_cost",
+    "scatter_cost",
+    "barrier_cost",
+    "alltoall_cost",
+    "ceil_log2",
+]
+
+ALLREDUCE_ALGORITHMS = ("recursive_doubling", "binomial_tree", "ring")
+
+
+def ceil_log2(p: int) -> int:
+    """⌈log₂ p⌉ with ⌈log₂ 1⌉ = 0."""
+    if p < 1:
+        raise ValidationError(f"p must be >= 1, got {p}")
+    return int(math.ceil(math.log2(p))) if p > 1 else 0
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Per-rank cost of one collective call.
+
+    ``messages``/``words`` are what *each participating rank* sends —
+    the quantities L and W of the paper's model accrue per processor along
+    the critical path. ``time`` is the synchronous completion time of the
+    collective, identical for all ranks (lock-step model).
+    """
+
+    messages: float
+    words: float
+    time: float
+
+    def scaled(self, factor: float) -> "CollectiveCost":
+        return CollectiveCost(self.messages * factor, self.words * factor, self.time * factor)
+
+
+# ---------------------------------------------------------------------- #
+# numerics
+# ---------------------------------------------------------------------- #
+def allreduce_values(
+    values: Sequence[np.ndarray], op: Callable[[np.ndarray, np.ndarray], np.ndarray] | str = "sum"
+) -> np.ndarray:
+    """Reduce per-rank arrays with a fixed pairwise order.
+
+    The pairwise (tournament) order mirrors what tree-structured MPI
+    reductions compute, and keeps the result independent of rank count
+    quirks like Python's ``sum`` left-fold.
+    """
+    if len(values) == 0:
+        raise CommunicatorError("allreduce over zero ranks")
+    arrays = [np.asarray(v, dtype=np.float64) for v in values]
+    shape = arrays[0].shape
+    for i, a in enumerate(arrays):
+        if a.shape != shape:
+            raise CommunicatorError(
+                f"allreduce buffer shape mismatch: rank 0 has {shape}, rank {i} has {a.shape}"
+            )
+    if callable(op):
+        combine = op
+    elif op == "sum":
+        combine = np.add
+    elif op == "max":
+        combine = np.maximum
+    elif op == "min":
+        combine = np.minimum
+    elif op == "prod":
+        combine = np.multiply
+    else:
+        raise ValidationError(f"unknown reduction op {op!r}")
+    level = [a.copy() for a in arrays]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(combine(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+# ---------------------------------------------------------------------- #
+# cost formulas
+# ---------------------------------------------------------------------- #
+def _check(p: int, words: float) -> None:
+    if p < 1:
+        raise ValidationError(f"nranks must be >= 1, got {p}")
+    if words < 0:
+        raise ValidationError(f"message size must be >= 0, got {words}")
+
+
+def _two_level_split(machine: HierarchicalMachine, p: int) -> tuple[int, int]:
+    """(ranks per node, node count) for *p* ranks on a hierarchical machine."""
+    s = min(machine.node_size, p)
+    return s, -(-p // s)
+
+
+def allreduce_cost(
+    machine: MachineSpec, p: int, words: float, algorithm: str = "recursive_doubling"
+) -> CollectiveCost:
+    """Cost of an allreduce of a *words*-long vector over *p* ranks.
+
+    On a :class:`HierarchicalMachine` the schedule is two-level: intra-node
+    reduce (shared-memory constants), inter-node allreduce with the selected
+    *algorithm* over one rank per node (network constants), intra-node
+    broadcast.
+    """
+    _check(p, words)
+    if p == 1:
+        return CollectiveCost(0.0, 0.0, 0.0)
+    if isinstance(machine, HierarchicalMachine) and machine.node_size > 1:
+        ranks_per_node, n_nodes = _two_level_split(machine, p)
+        intra_rounds = ceil_log2(ranks_per_node)
+        flat = MachineSpec(
+            name=machine.name, alpha=machine.alpha, beta=machine.beta, gamma=machine.gamma
+        )
+        inter = allreduce_cost(flat, n_nodes, words, algorithm)
+        intra_time = 2 * intra_rounds * machine.intra_message_time(words)
+        return CollectiveCost(
+            messages=2.0 * intra_rounds + inter.messages,
+            words=2.0 * words * intra_rounds + inter.words,
+            time=intra_time + inter.time,
+        )
+    rounds = ceil_log2(p)
+    if algorithm == "recursive_doubling":
+        msgs = float(rounds)
+        w = words * rounds
+        t = rounds * (machine.alpha + machine.beta * words)
+    elif algorithm == "binomial_tree":
+        msgs = float(2 * rounds)
+        w = 2.0 * words * rounds
+        t = 2 * rounds * (machine.alpha + machine.beta * words)
+    elif algorithm == "ring":
+        msgs = float(2 * (p - 1))
+        w = 2.0 * words * (p - 1) / p
+        t = 2 * (p - 1) * (machine.alpha + machine.beta * words / p)
+    else:
+        raise ValidationError(
+            f"unknown allreduce algorithm {algorithm!r}; choose from {ALLREDUCE_ALGORITHMS}"
+        )
+    return CollectiveCost(messages=msgs, words=w, time=t)
+
+
+def allgather_cost(machine: MachineSpec, p: int, words_local: float) -> CollectiveCost:
+    """Recursive-doubling allgather; each rank contributes *words_local*."""
+    _check(p, words_local)
+    if p == 1:
+        return CollectiveCost(0.0, 0.0, 0.0)
+    rounds = ceil_log2(p)
+    # round r exchanges 2^r * words_local; total (p-1) * words_local.
+    w = words_local * (p - 1)
+    t = rounds * machine.alpha + machine.beta * w
+    return CollectiveCost(messages=float(rounds), words=w, time=t)
+
+
+def bcast_cost(machine: MachineSpec, p: int, words: float) -> CollectiveCost:
+    """Binomial-tree broadcast (two-level on hierarchical machines)."""
+    _check(p, words)
+    if p == 1:
+        return CollectiveCost(0.0, 0.0, 0.0)
+    if isinstance(machine, HierarchicalMachine) and machine.node_size > 1:
+        ranks_per_node, n_nodes = _two_level_split(machine, p)
+        intra_rounds = ceil_log2(ranks_per_node)
+        inter_rounds = ceil_log2(n_nodes)
+        t = inter_rounds * (machine.alpha + machine.beta * words) + intra_rounds * (
+            machine.intra_message_time(words)
+        )
+        return CollectiveCost(
+            messages=float(inter_rounds + intra_rounds),
+            words=words * (inter_rounds + intra_rounds),
+            time=t,
+        )
+    rounds = ceil_log2(p)
+    t = rounds * (machine.alpha + machine.beta * words)
+    return CollectiveCost(messages=float(rounds), words=words * rounds, time=t)
+
+
+def reduce_cost(machine: MachineSpec, p: int, words: float) -> CollectiveCost:
+    """Binomial-tree reduction to a root."""
+    return bcast_cost(machine, p, words)
+
+
+def gather_cost(machine: MachineSpec, p: int, words_local: float) -> CollectiveCost:
+    """Binomial-tree gather of *words_local* per rank to the root."""
+    _check(p, words_local)
+    if p == 1:
+        return CollectiveCost(0.0, 0.0, 0.0)
+    rounds = ceil_log2(p)
+    w = words_local * (p - 1)  # total data funnelled to the root
+    t = rounds * machine.alpha + machine.beta * w
+    return CollectiveCost(messages=float(rounds), words=w, time=t)
+
+
+def scatter_cost(machine: MachineSpec, p: int, words_local: float) -> CollectiveCost:
+    """Binomial-tree scatter (same cost structure as gather)."""
+    return gather_cost(machine, p, words_local)
+
+
+def barrier_cost(machine: MachineSpec, p: int) -> CollectiveCost:
+    """Dissemination barrier: ⌈log₂P⌉ zero-payload rounds (two-level on
+    hierarchical machines)."""
+    _check(p, 0.0)
+    if p == 1:
+        return CollectiveCost(0.0, 0.0, 0.0)
+    if isinstance(machine, HierarchicalMachine) and machine.node_size > 1:
+        ranks_per_node, n_nodes = _two_level_split(machine, p)
+        intra_rounds = ceil_log2(ranks_per_node)
+        inter_rounds = ceil_log2(n_nodes)
+        return CollectiveCost(
+            messages=float(2 * intra_rounds + inter_rounds),
+            words=0.0,
+            time=2 * intra_rounds * machine.alpha_intra + inter_rounds * machine.alpha,
+        )
+    rounds = ceil_log2(p)
+    return CollectiveCost(messages=float(rounds), words=0.0, time=rounds * machine.alpha)
+
+
+def alltoall_cost(machine: MachineSpec, p: int, words_per_pair: float) -> CollectiveCost:
+    """Pairwise-exchange all-to-all, *words_per_pair* to every other rank."""
+    _check(p, words_per_pair)
+    if p == 1:
+        return CollectiveCost(0.0, 0.0, 0.0)
+    msgs = float(p - 1)
+    w = words_per_pair * (p - 1)
+    t = (p - 1) * (machine.alpha + machine.beta * words_per_pair)
+    return CollectiveCost(messages=msgs, words=w, time=t)

@@ -1,0 +1,522 @@
+"""Generator-based SPMD engine — a miniature MPI over virtual ranks.
+
+Rank programs are written as generator functions receiving a
+:class:`RankContext` and *yielding* communication operations::
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, np.arange(4.0))
+        elif ctx.rank == 1:
+            data = yield ctx.recv(0)
+        total = yield ctx.allreduce(np.ones(3))
+        return total
+
+    results = run_spmd(2, program)
+
+The engine interleaves all ranks in one OS thread, matching sends with
+receives (non-overtaking per (source, tag) pair, like MPI) and executing
+collectives once every rank has entered them. Clocks advance under the
+same α-β-γ machine model as :class:`~repro.distsim.bsp.BSPCluster`:
+
+* ``send``: eager/buffered — the sender is charged one message of ``n``
+  words and ``α + βn`` seconds, then continues; the message becomes
+  available to the receiver at that completion time.
+* ``recv``: the receiver stalls until the matching message's availability
+  time.
+* collectives: all ranks synchronize to ``max(clocks) + T_collective``.
+
+Deadlocks (all live ranks blocked with nothing deliverable) and collective
+mismatches raise immediately instead of hanging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Sequence
+
+import numpy as np
+
+from repro.exceptions import CommunicatorError, DeadlockError, ValidationError
+from repro.distsim import collectives as coll
+from repro.distsim.cost import ClusterCost, CostCounter, PhaseKind
+from repro.distsim.machine import MachineSpec, get_machine
+from repro.distsim.trace import Trace, TraceEvent
+
+__all__ = ["RankContext", "RecvRequest", "SPMDEngine", "run_spmd", "ANY_SOURCE", "ANY_TAG"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+# ---------------------------------------------------------------------- #
+# operations a rank program can yield
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _Op:
+    pass
+
+
+@dataclass(frozen=True)
+class _Send(_Op):
+    dest: int
+    tag: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class _Recv(_Op):
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class _IRecv(_Op):
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class _Wait(_Op):
+    handle: "RecvRequest"
+
+
+@dataclass
+class RecvRequest:
+    """Handle returned by :meth:`RankContext.irecv`.
+
+    Pass it to :meth:`RankContext.wait` to obtain the payload. ``ready``
+    flips once a matching message has been delivered into the handle.
+    """
+
+    rank: int
+    source: int
+    tag: int
+    ready: bool = False
+    payload: Any = None
+    available_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class _Collective(_Op):
+    kind: str  # "allreduce" | "bcast" | "allgather" | "reduce" | "gather" | "barrier"
+    value: Any = None
+    root: int = 0
+    op: str | Callable = "sum"
+
+
+class RankContext:
+    """Per-rank handle passed to SPMD programs.
+
+    The methods build operation descriptors; the program must ``yield``
+    them to the engine (calling without yielding does nothing).
+    """
+
+    def __init__(self, rank: int, size: int) -> None:
+        self.rank = rank
+        self.size = size
+
+    # point-to-point ---------------------------------------------------- #
+    def send(self, dest: int, payload: Any, tag: int = 0) -> _Send:
+        """Eager send of *payload* to rank *dest*."""
+        return _Send(dest=dest, tag=tag, payload=payload)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _Recv:
+        """Blocking receive from *source* (or :data:`ANY_SOURCE`)."""
+        return _Recv(source=source, tag=tag)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _IRecv:
+        """Nonblocking receive: yields immediately with a :class:`RecvRequest`.
+
+        The request is matched against incoming messages in posting order;
+        complete it with ``payload = yield ctx.wait(request)``.
+        """
+        return _IRecv(source=source, tag=tag)
+
+    def wait(self, handle: "RecvRequest") -> _Wait:
+        """Block until *handle* (from :meth:`irecv`) completes."""
+        return _Wait(handle=handle)
+
+    # collectives ------------------------------------------------------- #
+    def allreduce(self, value: np.ndarray, op: str | Callable = "sum") -> _Collective:
+        return _Collective(kind="allreduce", value=value, op=op)
+
+    def bcast(self, value: Any = None, root: int = 0) -> _Collective:
+        return _Collective(kind="bcast", value=value, root=root)
+
+    def allgather(self, value: Any) -> _Collective:
+        return _Collective(kind="allgather", value=value)
+
+    def reduce(self, value: np.ndarray, root: int = 0, op: str | Callable = "sum") -> _Collective:
+        return _Collective(kind="reduce", value=value, root=root, op=op)
+
+    def gather(self, value: Any, root: int = 0) -> _Collective:
+        return _Collective(kind="gather", value=value, root=root)
+
+    def scatter(self, chunks: Sequence[Any] | None = None, root: int = 0) -> _Collective:
+        """Scatter one chunk per rank from *root* (others pass ``None``)."""
+        return _Collective(kind="scatter", value=chunks, root=root)
+
+    def alltoall(self, chunks: Sequence[Any]) -> _Collective:
+        """Personalized all-to-all: ``chunks[j]`` goes to rank ``j``."""
+        return _Collective(kind="alltoall", value=chunks)
+
+    def barrier(self) -> _Collective:
+        return _Collective(kind="barrier")
+
+
+@dataclass
+class _Mail:
+    payload: Any
+    available_at: float
+    seq: int
+
+
+@dataclass
+class _RankState:
+    gen: Generator
+    blocked_on: _Op | None = None
+    done: bool = False
+    result: Any = None
+    to_inject: Any = None
+    has_injection: bool = False
+    started: bool = False
+
+
+def _words_of(value: Any) -> float:
+    if value is None:
+        return 0.0
+    if isinstance(value, np.ndarray):
+        return float(value.size)
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return 1.0
+    if isinstance(value, (list, tuple)):
+        return float(sum(_words_of(v) for v in value))
+    # Opaque python object: charge a nominal pickled size of 8 words.
+    return 8.0
+
+
+class SPMDEngine:
+    """Executes one SPMD program over ``nranks`` virtual ranks."""
+
+    def __init__(
+        self,
+        nranks: int,
+        machine: str | MachineSpec = "comet_effective",
+        *,
+        allreduce_algorithm: str = "recursive_doubling",
+        trace: Trace | None = None,
+        max_steps: int = 10_000_000,
+    ) -> None:
+        if nranks < 1:
+            raise ValidationError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.machine = get_machine(machine)
+        self.allreduce_algorithm = allreduce_algorithm
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.counters = [CostCounter(rank=r) for r in range(nranks)]
+        self.max_steps = max_steps
+        self._mailboxes: dict[tuple[int, int, int], deque[_Mail]] = {}
+        self._posted: list[RecvRequest] = []  # unmatched irecv requests, posting order
+        self._seq = 0
+
+    @property
+    def cost(self) -> ClusterCost:
+        return ClusterCost(self.counters)
+
+    @property
+    def elapsed(self) -> float:
+        return max(c.clock for c in self.counters)
+
+    # ------------------------------------------------------------------ #
+    def run(self, program: Callable[..., Generator], *args: Any, **kwargs: Any) -> list[Any]:
+        """Run *program* on every rank; returns per-rank return values."""
+        states = [
+            _RankState(gen=program(RankContext(r, self.nranks), *args, **kwargs))
+            for r in range(self.nranks)
+        ]
+        steps = 0
+        while not all(s.done for s in states):
+            steps += 1
+            if steps > self.max_steps:
+                raise CommunicatorError(f"SPMD run exceeded {self.max_steps} scheduler steps")
+            progressed = False
+            for rank, state in enumerate(states):
+                if state.done or state.blocked_on is not None:
+                    continue
+                progressed |= self._advance(rank, states)
+            progressed |= self._try_deliver(states)
+            progressed |= self._try_collective(states)
+            if not progressed and not all(s.done for s in states):
+                self._raise_deadlock(states)
+        return [s.result for s in states]
+
+    # ------------------------------------------------------------------ #
+    def _advance(self, rank: int, states: list[_RankState]) -> bool:
+        """Drive one rank forward until it blocks or finishes."""
+        state = states[rank]
+        progressed = False
+        while True:
+            try:
+                if not state.started:
+                    state.started = True
+                    op = next(state.gen)
+                elif state.has_injection:
+                    value, state.to_inject, state.has_injection = state.to_inject, None, False
+                    op = state.gen.send(value)
+                else:
+                    op = next(state.gen)
+            except StopIteration as stop:
+                state.done = True
+                state.result = stop.value
+                return True
+            progressed = True
+            if isinstance(op, _Send):
+                self._do_send(rank, op)
+                state.to_inject, state.has_injection = None, True
+                continue
+            if isinstance(op, _IRecv):
+                handle = RecvRequest(rank=rank, source=op.source, tag=op.tag)
+                self._posted.append(handle)
+                self._match_posted()
+                state.to_inject, state.has_injection = handle, True
+                continue
+            if isinstance(op, _Wait):
+                if not isinstance(op.handle, RecvRequest):
+                    raise CommunicatorError(f"rank {rank} waited on {op.handle!r}")
+                if op.handle.rank != rank:
+                    raise CommunicatorError(
+                        f"rank {rank} waited on a request posted by rank {op.handle.rank}"
+                    )
+                if op.handle.ready:
+                    self.counters[rank].wait_until(op.handle.available_at)
+                    state.to_inject, state.has_injection = op.handle.payload, True
+                    continue
+                state.blocked_on = op
+                return progressed
+            if isinstance(op, (_Recv, _Collective)):
+                state.blocked_on = op
+                return progressed
+            raise CommunicatorError(
+                f"rank {rank} yielded {op!r}; programs must yield RankContext operations"
+            )
+
+    def _do_send(self, rank: int, op: _Send) -> None:
+        if not (0 <= op.dest < self.nranks):
+            raise CommunicatorError(f"send to invalid rank {op.dest}")
+        if op.dest == rank:
+            raise CommunicatorError(f"rank {rank} attempted to send to itself")
+        words = _words_of(op.payload)
+        sender = self.counters[rank]
+        seconds = self.machine.message_time(words)
+        start = sender.clock
+        sender.charge_comm(1.0, words, seconds)
+        self._seq += 1
+        key = (op.dest, rank, op.tag)
+        self._mailboxes.setdefault(key, deque()).append(
+            _Mail(payload=op.payload, available_at=sender.clock, seq=self._seq)
+        )
+        self.trace.record(
+            TraceEvent(
+                kind=PhaseKind.P2P,
+                label=f"send:{rank}->{op.dest}",
+                start=start,
+                end=sender.clock,
+                words=words,
+                messages=1.0,
+            )
+        )
+
+    def _match_mail(self, rank: int, op: _Recv) -> tuple[tuple[int, int, int], _Mail] | None:
+        candidates: list[tuple[tuple[int, int, int], _Mail]] = []
+        for key, queue in self._mailboxes.items():
+            dest, source, tag = key
+            if dest != rank or not queue:
+                continue
+            if op.source not in (ANY_SOURCE, source):
+                continue
+            if op.tag not in (ANY_TAG, tag):
+                continue
+            candidates.append((key, queue[0]))
+        if not candidates:
+            return None
+        # Earliest available, ties broken by send order (FIFO fairness).
+        candidates.sort(key=lambda kv: (kv[1].available_at, kv[1].seq))
+        return candidates[0]
+
+    def _match_posted(self) -> None:
+        """Match pending irecv requests against mailboxes, posting order."""
+        still_pending: list[RecvRequest] = []
+        for handle in self._posted:
+            match = self._match_mail(handle.rank, _Recv(handle.source, handle.tag))
+            if match is None:
+                still_pending.append(handle)
+                continue
+            key, mail = match
+            self._mailboxes[key].popleft()
+            handle.ready = True
+            handle.payload = mail.payload
+            handle.available_at = mail.available_at
+        self._posted = still_pending
+
+    def _try_deliver(self, states: list[_RankState]) -> bool:
+        progressed = False
+        self._match_posted()
+        for rank, state in enumerate(states):
+            if state.done or not isinstance(state.blocked_on, _Wait):
+                continue
+            handle = state.blocked_on.handle
+            if handle.ready:
+                self.counters[rank].wait_until(handle.available_at)
+                state.blocked_on = None
+                state.to_inject, state.has_injection = handle.payload, True
+                progressed |= self._advance(rank, states)
+                progressed = True
+        for rank, state in enumerate(states):
+            if state.done or not isinstance(state.blocked_on, _Recv):
+                continue
+            match = self._match_mail(rank, state.blocked_on)
+            if match is None:
+                continue
+            key, mail = match
+            self._mailboxes[key].popleft()
+            receiver = self.counters[rank]
+            receiver.wait_until(mail.available_at)
+            state.blocked_on = None
+            state.to_inject, state.has_injection = mail.payload, True
+            progressed |= self._advance(rank, states)
+            progressed = True
+        return progressed
+
+    # ------------------------------------------------------------------ #
+    def _try_collective(self, states: list[_RankState]) -> bool:
+        live = [s for s in states if not s.done]
+        if not live or not all(isinstance(s.blocked_on, _Collective) for s in live):
+            return False
+        if len(live) != self.nranks:
+            raise CommunicatorError(
+                "collective posted while some ranks already returned — all ranks "
+                "must participate in every collective"
+            )
+        ops = [s.blocked_on for s in states]  # type: ignore[assignment]
+        kinds = {op.kind for op in ops}
+        if len(kinds) != 1:
+            raise CommunicatorError(f"collective mismatch across ranks: {sorted(kinds)}")
+        roots = {op.root for op in ops}
+        if len(roots) != 1:
+            raise CommunicatorError(f"collective root mismatch across ranks: {sorted(roots)}")
+        kind = ops[0].kind
+        root = ops[0].root
+        if kind in ("bcast", "reduce", "gather", "scatter") and not (
+            0 <= root < self.nranks
+        ):
+            raise CommunicatorError(f"invalid collective root {root}")
+
+        start = max(c.clock for c in self.counters)
+        for c in self.counters:
+            c.wait_until(start)
+
+        values = [op.value for op in ops]
+        results: list[Any]
+        if kind == "allreduce":
+            reduced = coll.allreduce_values([np.asarray(v, dtype=np.float64) for v in values], ops[0].op)
+            cost = coll.allreduce_cost(
+                self.machine, self.nranks, _words_of(values[0]), self.allreduce_algorithm
+            )
+            results = [reduced.copy() for _ in range(self.nranks)]
+        elif kind == "reduce":
+            reduced = coll.allreduce_values([np.asarray(v, dtype=np.float64) for v in values], ops[0].op)
+            cost = coll.reduce_cost(self.machine, self.nranks, _words_of(values[0]))
+            results = [reduced if r == root else None for r in range(self.nranks)]
+        elif kind == "bcast":
+            cost = coll.bcast_cost(self.machine, self.nranks, _words_of(values[root]))
+            results = [values[root] for _ in range(self.nranks)]
+        elif kind == "allgather":
+            words_local = max(_words_of(v) for v in values)
+            cost = coll.allgather_cost(self.machine, self.nranks, words_local)
+            results = [list(values) for _ in range(self.nranks)]
+        elif kind == "gather":
+            words_local = max(_words_of(v) for v in values)
+            cost = coll.gather_cost(self.machine, self.nranks, words_local)
+            results = [list(values) if r == root else None for r in range(self.nranks)]
+        elif kind == "scatter":
+            chunks = values[root]
+            if chunks is None or len(chunks) != self.nranks:
+                raise CommunicatorError(
+                    f"scatter root must supply one chunk per rank ({self.nranks})"
+                )
+            words_local = max(_words_of(c) for c in chunks)
+            cost = coll.scatter_cost(self.machine, self.nranks, words_local)
+            results = list(chunks)
+        elif kind == "alltoall":
+            for r, chunks in enumerate(values):
+                if chunks is None or len(chunks) != self.nranks:
+                    raise CommunicatorError(
+                        f"alltoall rank {r} must supply one chunk per rank"
+                    )
+            words_pair = max(
+                _words_of(c) for chunks in values for c in chunks
+            )
+            cost = coll.alltoall_cost(self.machine, self.nranks, words_pair)
+            results = [
+                [values[src][dst] for src in range(self.nranks)]
+                for dst in range(self.nranks)
+            ]
+        elif kind == "barrier":
+            cost = coll.barrier_cost(self.machine, self.nranks)
+            results = [None] * self.nranks
+        else:  # pragma: no cover - defensive
+            raise CommunicatorError(f"unknown collective kind {kind!r}")
+
+        for c in self.counters:
+            c.charge_comm(cost.messages, cost.words, cost.time)
+        self.trace.record(
+            TraceEvent(
+                kind=PhaseKind.COLLECTIVE if kind != "barrier" else PhaseKind.BARRIER,
+                label=kind,
+                start=start,
+                end=self.elapsed,
+                words=cost.words * self.nranks,
+                messages=cost.messages * self.nranks,
+            )
+        )
+        for rank, state in enumerate(states):
+            state.blocked_on = None
+            state.to_inject, state.has_injection = results[rank], True
+        progressed = False
+        for rank in range(self.nranks):
+            progressed |= self._advance(rank, states)
+        return True
+
+    def _raise_deadlock(self, states: list[_RankState]) -> None:
+        lines = []
+        for rank, s in enumerate(states):
+            if s.done:
+                lines.append(f"rank {rank}: finished")
+            elif isinstance(s.blocked_on, _Recv):
+                lines.append(
+                    f"rank {rank}: waiting recv(source={s.blocked_on.source}, tag={s.blocked_on.tag})"
+                )
+            elif isinstance(s.blocked_on, _Wait):
+                h = s.blocked_on.handle
+                lines.append(
+                    f"rank {rank}: waiting on irecv(source={h.source}, tag={h.tag})"
+                )
+            elif isinstance(s.blocked_on, _Collective):
+                lines.append(f"rank {rank}: waiting collective {s.blocked_on.kind!r}")
+            else:
+                lines.append(f"rank {rank}: blocked on {s.blocked_on!r}")
+        raise DeadlockError("SPMD deadlock detected:\n  " + "\n  ".join(lines))
+
+
+def run_spmd(
+    nranks: int,
+    program: Callable[..., Generator],
+    *args: Any,
+    machine: str | MachineSpec = "comet_effective",
+    allreduce_algorithm: str = "recursive_doubling",
+    **kwargs: Any,
+) -> list[Any]:
+    """Convenience one-shot runner; returns per-rank return values."""
+    engine = SPMDEngine(nranks, machine, allreduce_algorithm=allreduce_algorithm)
+    return engine.run(program, *args, **kwargs)

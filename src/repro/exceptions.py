@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything this package raises with a single ``except`` clause while
+still letting genuine programming errors (``TypeError`` from misuse of the
+Python API itself, ``KeyboardInterrupt``, ...) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ShapeError",
+    "ConvergenceError",
+    "CommunicatorError",
+    "DeadlockError",
+    "PartitionError",
+    "DatasetError",
+    "FormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong value, range, or dtype)."""
+
+
+class ShapeError(ValidationError):
+    """An array argument has an incompatible shape."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach the requested tolerance."""
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """Misuse of the simulated communicator (bad rank, mismatched buffers...)."""
+
+
+class DeadlockError(CommunicatorError):
+    """The SPMD engine detected that no rank can make progress."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A data partitioning request is infeasible or inconsistent."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset could not be generated or loaded."""
+
+
+class FormatError(ReproError, ValueError):
+    """A file could not be parsed (e.g. malformed LIBSVM text)."""

@@ -1,0 +1,97 @@
+"""Command-line front end: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig2b --quick
+    python -m repro.experiments table3
+    python -m repro.experiments all --quick
+
+Output is the same textual rendering the benchmark harness writes to
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Callable
+
+from repro.experiments import figures
+from repro.experiments.ascii_plot import ascii_chart
+from repro.perf.report import format_table
+
+EXPERIMENTS: dict[str, Callable[..., dict[str, Any]]] = {
+    "fig2a": figures.fig2a_sampling_rate,
+    "fig2b": figures.fig2b_overlap_convergence,
+    "fig3": figures.fig3_hessian_reuse,
+    "fig4": figures.fig4_speedup_vs_k,
+    "fig5": figures.fig5_speedup_vs_S,
+    "fig6": figures.fig6_proxcocoa_convergence,
+    "fig7": figures.fig7_pn_inner_solver,
+    "table1": figures.table1_costs,
+    "table2": figures.table2_datasets,
+    "table3": figures.table3_proxcocoa_speedup,
+}
+
+
+def _render(name: str, out: dict[str, Any]) -> str:
+    """Generic rendering: tables for row-results, charts for series."""
+    parts: list[str] = [f"# {name}"]
+    if "rows" in out and out["rows"]:
+        headers = list(out["rows"][0].keys())
+        rows = [[r.get(h, "") for h in headers] for r in out["rows"]]
+        parts.append(format_table(headers, rows))
+    if "series" in out:
+        parts.append(
+            ascii_chart(out["series"], log_y=True, x_label="iteration", y_label="rel err")
+        )
+    if "series_by_dataset" in out:
+        for ds, series in out["series_by_dataset"].items():
+            plottable = {
+                k: v for k, v in series.items() if isinstance(v, tuple) and len(v) == 2
+            }
+            if plottable:
+                parts.append(ascii_chart(plottable, log_y=True, title=ds))
+    for key in ("max_deviation", "table3_speedups"):
+        if key in out:
+            parts.append(f"{key}: {out[key]}")
+    return "\n\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=[*EXPERIMENTS, "list", "all"])
+    parser.add_argument("--quick", action="store_true", help="small/fast configuration")
+    parser.add_argument("--json", action="store_true", help="dump raw results as JSON")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<8} {doc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        fn = EXPERIMENTS[name]
+        kwargs: dict[str, Any] = {}
+        if "quick" in fn.__code__.co_varnames:
+            kwargs["quick"] = args.quick
+        elif name == "table2":
+            kwargs["size"] = "tiny" if args.quick else "scaled"
+        out = fn(**kwargs)
+        if args.json:
+            print(json.dumps(out, default=lambda o: getattr(o, "tolist", lambda: str(o))()))
+        else:
+            print(_render(name, out))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Minimal ASCII chart renderer for convergence curves in terminal output.
+
+The benchmark harness prints the same *series* the paper plots; this gives
+a quick visual check without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(v: float, log: bool) -> float:
+    if log:
+        return math.log10(max(v, 1e-300))
+    return v
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named ``(xs, ys)`` series onto a character grid.
+
+    Each series gets a distinct marker; later series overwrite earlier
+    ones on collisions. Non-finite points are skipped.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4")
+    pts: list[tuple[float, float, str]] = []
+    for (name, (xs, ys)), marker in zip(series.items(), _MARKERS * 4):
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: mismatched lengths")
+        for x, y in zip(xs, ys):
+            fy = _transform(float(y), log_y)
+            fx = float(x)
+            if math.isfinite(fx) and math.isfinite(fy):
+                pts.append((fx, fy, marker))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not pts:
+        lines.append("(no finite data)")
+        return "\n".join(lines)
+
+    x_lo = min(p[0] for p in pts)
+    x_hi = max(p[0] for p in pts)
+    y_lo = min(p[1] for p in pts)
+    y_hi = max(p[1] for p in pts)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in pts:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    y_top = f"{10 ** y_hi:.2g}" if log_y else f"{y_hi:.3g}"
+    y_bot = f"{10 ** y_lo:.2g}" if log_y else f"{y_lo:.3g}"
+    margin = max(len(y_top), len(y_bot), len(y_label)) + 1
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = y_top.rjust(margin)
+        elif i == height - 1:
+            prefix = y_bot.rjust(margin)
+        elif i == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row_chars)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    lines.append(
+        " " * margin + f" {x_lo:.3g}".ljust(width // 2) + f"{x_label}".center(8)
+        + f"{x_hi:.3g}".rjust(width // 2 - 8)
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS * 4)
+    )
+    lines.append(" " * margin + " " + legend)
+    return "\n".join(lines)

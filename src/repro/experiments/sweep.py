@@ -1,0 +1,93 @@
+"""Cached parameter sweeps.
+
+Experiment grids (Figs. 4–5 style) are expensive and deterministic, so
+re-running a sweep after adding one grid point should only compute the new
+cell. :func:`run_sweep` walks the cartesian product of a parameter grid,
+caches each cell's JSON-able result on disk keyed by the cell's parameters,
+and returns the combined rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.exceptions import ValidationError
+
+__all__ = ["grid_cells", "cell_key", "run_sweep"]
+
+
+def grid_cells(grid: Mapping[str, Sequence[Any]]) -> Iterator[dict[str, Any]]:
+    """Yield the cartesian product of *grid* as parameter dicts.
+
+    Keys are iterated in sorted order so cell enumeration (and therefore
+    cache keys) is independent of dict insertion order.
+    """
+    if not grid:
+        raise ValidationError("grid must have at least one parameter")
+    keys = sorted(grid)
+    for key in keys:
+        if len(grid[key]) == 0:
+            raise ValidationError(f"grid parameter {key!r} has no values")
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        yield dict(zip(keys, combo))
+
+
+def cell_key(params: Mapping[str, Any]) -> str:
+    """Stable filename-safe key for one grid cell."""
+    canonical = json.dumps({k: params[k] for k in sorted(params)}, sort_keys=True,
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+
+def run_sweep(
+    fn: Callable[..., Mapping[str, Any]],
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    cache_dir: str | Path | None = None,
+    name: str = "sweep",
+    progress: Callable[[dict[str, Any], bool], None] | None = None,
+) -> list[dict[str, Any]]:
+    """Evaluate ``fn(**params)`` over the grid with per-cell disk caching.
+
+    Parameters
+    ----------
+    fn:
+        Called with each cell's parameters as keyword arguments; must
+        return a JSON-serializable mapping.
+    grid:
+        ``{param: [values...]}``.
+    cache_dir:
+        Directory for per-cell JSON artifacts (``None`` disables caching).
+    progress:
+        Optional callback ``(params, was_cached)`` per cell.
+
+    Returns the list of result rows, each the cell parameters merged with
+    the function's output (function keys win on collision).
+    """
+    cache_path = Path(cache_dir) / name if cache_dir is not None else None
+    if cache_path is not None:
+        cache_path.mkdir(parents=True, exist_ok=True)
+
+    rows: list[dict[str, Any]] = []
+    for params in grid_cells(grid):
+        cached = False
+        result: Mapping[str, Any] | None = None
+        cell_file = cache_path / f"{cell_key(params)}.json" if cache_path else None
+        if cell_file is not None and cell_file.exists():
+            try:
+                result = json.loads(cell_file.read_text(encoding="utf-8"))
+                cached = True
+            except json.JSONDecodeError:
+                result = None  # corrupt cache entry: recompute
+        if result is None:
+            result = dict(fn(**params))
+            if cell_file is not None:
+                cell_file.write_text(json.dumps(result), encoding="utf-8")
+        if progress is not None:
+            progress(params, cached)
+        rows.append({**params, **result})
+    return rows

@@ -1,0 +1,121 @@
+"""Theoretical upper bounds for the RC-SFISTA parameters k and S (§4.2).
+
+The paper derives, from the runtime model Eq. (24):
+
+* Eq. (25): ``k ≤ α / (β d²)`` — overlap pays while latency dominates
+  bandwidth. Worked example (§5.3): covtype (d=54) on Comet ⇒ k ≤ 2. ✓
+* Eq. (26): ``k ≤ α N P log(P) / (γ [N d² m̄ f + S d² P])`` — overlap vs
+  flops.
+* Eq. (27): ``k·S ≤ α N log(P) / (γ d²)`` — the very-sparse limit (f→0).
+  Worked example (§5.3): mnist (d=780), k=1, P=256, N=200 ⇒ S < 7. ✓
+* Eq. (28): ``S ≤ β N log(P) / γ`` — substituting the Eq. (25) k.
+
+``log`` is log₂ throughout (communication rounds), which reproduces both
+worked examples in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.distsim.machine import MachineSpec, get_machine
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "k_bound_latency_bandwidth",
+    "k_bound_flops",
+    "ks_bound_sparse",
+    "s_bound",
+    "recommend_k",
+    "recommend_s",
+]
+
+
+def _log2p(P: int) -> float:
+    if P < 1:
+        raise ValidationError(f"P must be >= 1, got {P}")
+    return math.log2(P) if P > 1 else 0.0
+
+
+def k_bound_latency_bandwidth(machine: MachineSpec | str, d: int) -> float:
+    """Eq. (25): k ≤ α/(βd²)."""
+    m = get_machine(machine)
+    if d <= 0:
+        raise ValidationError(f"d must be positive, got {d}")
+    if m.beta == 0:
+        return math.inf
+    return m.alpha / (m.beta * d * d)
+
+
+def k_bound_flops(
+    machine: MachineSpec | str, N: int, d: int, mbar: int, f: float, P: int, S: int = 1
+) -> float:
+    """Eq. (26): k ≤ αNP·log(P) / (γ[Nd²m̄f + Sd²P])."""
+    m = get_machine(machine)
+    if min(N, d, mbar, P, S) <= 0 or not (0.0 <= f <= 1.0):
+        raise ValidationError("N, d, m̄, P, S must be positive and f in [0, 1]")
+    denom = m.gamma * (N * d * d * mbar * f + S * d * d * P)
+    if denom == 0:
+        return math.inf
+    return m.alpha * N * P * _log2p(P) / denom
+
+
+def ks_bound_sparse(machine: MachineSpec | str, N: int, d: int, P: int) -> float:
+    """Eq. (27): k·S ≤ αN·log(P)/(γd²) — the f → 0 limit of Eq. (26)."""
+    m = get_machine(machine)
+    if min(N, d, P) <= 0:
+        raise ValidationError("N, d, P must be positive")
+    if m.gamma == 0:
+        return math.inf
+    return m.alpha * N * _log2p(P) / (m.gamma * d * d)
+
+
+def s_bound(machine: MachineSpec | str, N: int, P: int) -> float:
+    """Eq. (28): S ≤ βN·log(P)/γ (k at its Eq. (25) bound)."""
+    m = get_machine(machine)
+    if min(N, P) <= 0:
+        raise ValidationError("N, P must be positive")
+    if m.gamma == 0:
+        return math.inf
+    return m.beta * N * _log2p(P) / m.gamma
+
+
+def recommend_k(
+    machine: MachineSpec | str,
+    d: int,
+    *,
+    N: int | None = None,
+    mbar: int | None = None,
+    f: float | None = None,
+    P: int | None = None,
+    S: int = 1,
+    k_min: int = 1,
+    k_max: int = 1 << 16,
+) -> int:
+    """Integer k satisfying every applicable bound (≥ ``k_min``).
+
+    Applies Eq. (25) always and Eq. (26) when the workload parameters are
+    given. The paper notes (§5.3) that every k still reduces Eq. (24)
+    runtime; this helper returns the *profitable-regime* bound, clamped to
+    ``[k_min, k_max]``.
+    """
+    bound = k_bound_latency_bandwidth(machine, d)
+    if None not in (N, mbar, f, P):
+        bound = min(bound, k_bound_flops(machine, N, d, mbar, f, P, S))  # type: ignore[arg-type]
+    if math.isinf(bound):
+        return k_max
+    return max(k_min, min(k_max, int(math.floor(bound)) if bound >= k_min else k_min))
+
+
+def recommend_s(
+    machine: MachineSpec | str, N: int, d: int, P: int, *, k: int = 1, s_min: int = 1, s_max: int = 64
+) -> int:
+    """Integer S from the k·S trade-off of Eq. (27), clamped to [s_min, s_max]."""
+    if k <= 0:
+        raise ValidationError(f"k must be positive, got {k}")
+    bound = ks_bound_sparse(machine, N, d, P) / k
+    if math.isinf(bound):
+        return s_max
+    # Largest integer strictly below the bound (the paper states S < bound).
+    s = int(math.ceil(bound)) - 1
+    return max(s_min, min(s_max, s))

@@ -1,0 +1,55 @@
+"""Plain-text table and series formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series", "format_value"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Render one cell: floats compactly, everything else via ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        a = abs(value)
+        if a >= 1e5 or a < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], *, title: str | None = None
+) -> str:
+    """Render an aligned monospace table with a header rule."""
+    str_rows = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[Any], ys: Sequence[Any], *, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render one (x, y) series as two aligned columns."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} x-values vs {len(ys)} y-values")
+    return format_table([x_label, y_label], list(zip(xs, ys)), title=f"series: {name}")

@@ -1,0 +1,40 @@
+"""Shared utilities: validation, RNG handling, timing, logging."""
+
+from repro.utils.validation import (
+    check_array,
+    check_matrix,
+    check_vector,
+    require,
+    check_positive,
+    check_in_range,
+    check_probability,
+)
+from repro.utils.rng import (
+    as_generator,
+    spawn_generators,
+    sample_indices,
+    sample_indices_weighted,
+    sampling_matrix,
+    SeedSequenceStream,
+)
+from repro.utils.timer import Timer, WallClock
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "check_array",
+    "check_matrix",
+    "check_vector",
+    "require",
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "as_generator",
+    "spawn_generators",
+    "sample_indices",
+    "sample_indices_weighted",
+    "sampling_matrix",
+    "SeedSequenceStream",
+    "Timer",
+    "WallClock",
+    "get_logger",
+]

@@ -1,0 +1,24 @@
+"""Thin logging facade.
+
+We use stdlib :mod:`logging` with a package-level namespace so applications
+embedding the library control verbosity the usual way
+(``logging.getLogger("repro").setLevel(...)``). The library itself never
+configures handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the library logger (optionally a dotted child *name*)."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,151 @@
+"""Seeded randomness helpers.
+
+The paper's experiments rely on *reproducible* sampling: RC-SFISTA with
+overlap parameter ``k`` must draw exactly the same index sets as SFISTA when
+both start from the same seed (§5.2, "random sampling is fixed by using the
+same random generator seed"). Everything here is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "sample_indices",
+    "sample_indices_weighted",
+    "sampling_matrix",
+    "minibatch_size",
+    "SeedSequenceStream",
+]
+
+RandomState = int | np.random.Generator | np.random.SeedSequence | None
+
+
+def as_generator(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts ``None`` (non-deterministic), an ``int``, a ``SeedSequence``, or
+    an existing ``Generator`` (returned unchanged, so callers can thread one
+    generator through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: RandomState, n: int) -> list[np.random.Generator]:
+    """Split *seed* into *n* statistically independent generators."""
+    if n < 0:
+        raise ValidationError(f"cannot spawn {n} generators")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(n)]  # type: ignore[union-attr]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]
+
+
+def minibatch_size(m: int, b: float) -> int:
+    """The paper's mini-batch size ``m̄ = ⌊b·m⌋`` clamped to ``[1, m]``."""
+    check_probability(b, "sampling rate b")
+    if m <= 0:
+        raise ValidationError(f"number of samples m must be positive, got {m}")
+    return max(1, min(m, int(np.floor(b * m))))
+
+
+def sample_indices(rng: np.random.Generator, m: int, mbar: int, *, replace: bool = True) -> np.ndarray:
+    """Draw the index set ``I_n`` of ``mbar`` sample indices from ``[0, m)``.
+
+    The paper samples uniformly at random (Alg. 5 line 4); with-replacement
+    is the variant matching the variance analysis of Eq. (9) and is the
+    default. ``replace=False`` gives subsampling without replacement.
+    """
+    if mbar <= 0 or m <= 0:
+        raise ValidationError(f"need positive sizes, got m={m}, mbar={mbar}")
+    if replace:
+        # With replacement any mbar >= 1 is valid (a bootstrap sample).
+        return rng.integers(0, m, size=mbar, dtype=np.int64)
+    if mbar > m:
+        raise ValidationError(f"mini-batch size must lie in (0, {m}] without replacement")
+    return rng.choice(m, size=mbar, replace=False).astype(np.int64)
+
+
+def sample_indices_weighted(
+    rng: np.random.Generator, probabilities: np.ndarray, mbar: int
+) -> np.ndarray:
+    """Draw ``mbar`` indices i.i.d. from *probabilities* (with replacement).
+
+    Used by importance sampling: the unbiased sampled-Hessian estimator
+    then reweights each draw by ``1/(m̄ p_i)``.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 1 or probabilities.size == 0:
+        raise ValidationError("probabilities must be a non-empty 1-D array")
+    if np.any(probabilities < 0):
+        raise ValidationError("probabilities must be non-negative")
+    total = probabilities.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ValidationError("probabilities must have positive finite mass")
+    if mbar <= 0:
+        raise ValidationError(f"mbar must be positive, got {mbar}")
+    return rng.choice(probabilities.size, size=mbar, p=probabilities / total).astype(np.int64)
+
+
+def sampling_matrix(indices: np.ndarray, m: int) -> np.ndarray:
+    """Materialize the paper's sampling matrix ``I_n = [e_i1 | ... | e_imbar]``.
+
+    Returns the dense ``m × m̄`` selection matrix. Only used in tests and
+    didactic examples — the solvers use fancy indexing, which is the same
+    linear operator applied implicitly.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1:
+        raise ValidationError("indices must be one-dimensional")
+    if indices.size and (indices.min() < 0 or indices.max() >= m):
+        raise ValidationError(f"indices out of range for m={m}")
+    mat = np.zeros((m, indices.size), dtype=np.float64)
+    mat[indices, np.arange(indices.size)] = 1.0
+    return mat
+
+
+class SeedSequenceStream:
+    """An endless stream of child seeds derived from one root seed.
+
+    Used by the distributed solvers to give every (iteration, purpose) pair
+    its own generator while remaining reproducible and independent of the
+    number of ranks: all ranks derive the same stream, so replicated
+    sampling decisions agree without communication — exactly how the paper
+    initializes "all processors with the same seed" (§5.5).
+    """
+
+    def __init__(self, seed: RandomState = 0) -> None:
+        if isinstance(seed, np.random.SeedSequence):
+            self._seq = seed
+        elif isinstance(seed, np.random.Generator):
+            self._seq = seed.bit_generator.seed_seq  # type: ignore[assignment]
+        else:
+            self._seq = np.random.SeedSequence(seed)
+        self._count = 0
+
+    def next_generator(self) -> np.random.Generator:
+        """Return the next generator in the stream."""
+        (child,) = self._seq.spawn(1)
+        self._count += 1
+        return np.random.default_rng(child)
+
+    def generators(self) -> Iterator[np.random.Generator]:
+        """Yield generators forever."""
+        while True:
+            yield self.next_generator()
+
+    @property
+    def count(self) -> int:
+        """Number of generators handed out so far."""
+        return self._count

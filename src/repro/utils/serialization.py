@@ -1,0 +1,98 @@
+"""JSON (de)serialization for solver results.
+
+Long sweeps want durable artifacts: every :class:`SolveResult` (including
+its convergence history and cost summary) round-trips through plain JSON,
+so experiment runs can be cached, diffed and post-processed without
+pickling concerns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.results import History, SolveResult
+from repro.exceptions import FormatError
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+_SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert numpy scalars/arrays inside meta to JSON-safe values."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def result_to_dict(result: SolveResult) -> dict[str, Any]:
+    """Plain-dict form of *result* (JSON-safe, schema-versioned)."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "w": result.w.tolist(),
+        "converged": bool(result.converged),
+        "n_iterations": int(result.n_iterations),
+        "n_comm_rounds": int(result.n_comm_rounds),
+        "cost": _jsonable(result.cost) if result.cost is not None else None,
+        "meta": _jsonable(result.meta),
+        "history": {
+            "iterations": list(result.history.iterations),
+            "objectives": list(result.history.objectives),
+            "rel_errors": list(result.history.rel_errors),
+            "sim_times": list(result.history.sim_times),
+            "comm_rounds": list(result.history.comm_rounds),
+        },
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> SolveResult:
+    """Inverse of :func:`result_to_dict`."""
+    try:
+        version = payload["schema_version"]
+        if version != _SCHEMA_VERSION:
+            raise FormatError(f"unsupported result schema version {version}")
+        hist_data = payload["history"]
+        history = History(
+            iterations=[int(v) for v in hist_data["iterations"]],
+            objectives=[float(v) for v in hist_data["objectives"]],
+            rel_errors=[float(v) for v in hist_data["rel_errors"]],
+            sim_times=[float(v) for v in hist_data["sim_times"]],
+            comm_rounds=[int(v) for v in hist_data["comm_rounds"]],
+        )
+        return SolveResult(
+            w=np.asarray(payload["w"], dtype=np.float64),
+            converged=bool(payload["converged"]),
+            n_iterations=int(payload["n_iterations"]),
+            n_comm_rounds=int(payload["n_comm_rounds"]),
+            cost=payload.get("cost"),
+            meta=payload.get("meta", {}),
+            history=history,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"malformed result payload: {exc}") from exc
+
+
+def save_result(path: str | Path, result: SolveResult) -> None:
+    """Write *result* to *path* as JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result)), encoding="utf-8")
+
+
+def load_result(path: str | Path) -> SolveResult:
+    """Read a result written by :func:`save_result`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"{path} is not valid JSON: {exc}") from exc
+    return result_from_dict(payload)

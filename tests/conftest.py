@@ -1,0 +1,72 @@
+"""Shared fixtures.
+
+Fixtures are session-scoped where the underlying object is immutable and
+expensive (reference solves, dataset generation) so the suite stays fast on
+a single core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import L1LeastSquares
+from repro.core.reference import solve_reference
+from repro.data.datasets import get_dataset
+from repro.data.synthetic import make_regression
+from repro.sparse.random import random_csr
+
+
+@pytest.fixture(scope="session")
+def small_dense_problem() -> L1LeastSquares:
+    """Dense 12×200 lasso with sparse ground truth — fast, well-conditioned."""
+    X, y, _w = make_regression(12, 200, density=1.0, noise=0.05, rng=42)
+    lam = 0.05 * float(np.max(np.abs(X @ y))) / 200
+    return L1LeastSquares(X, y, lam)
+
+
+@pytest.fixture(scope="session")
+def small_sparse_problem() -> L1LeastSquares:
+    """Sparse 20×300 lasso (CSC storage)."""
+    X, y, _w = make_regression(20, 300, density=0.3, noise=0.05, rng=7)
+    grad0 = X.matvec(y) / 300
+    lam = 0.05 * float(np.max(np.abs(grad0)))
+    return L1LeastSquares(X, y, lam)
+
+
+@pytest.fixture(scope="session")
+def small_reference(small_dense_problem):
+    """High-accuracy reference solve of the dense fixture."""
+    return solve_reference(small_dense_problem, tol=1e-10)
+
+
+@pytest.fixture(scope="session")
+def sparse_reference(small_sparse_problem):
+    return solve_reference(small_sparse_problem, tol=1e-10)
+
+
+@pytest.fixture(scope="session")
+def tiny_covtype():
+    """Tiny registry dataset for integration tests."""
+    return get_dataset("covtype", size="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_covtype_problem(tiny_covtype) -> L1LeastSquares:
+    return tiny_covtype.problem()
+
+
+@pytest.fixture(scope="session")
+def tiny_covtype_reference(tiny_covtype_problem):
+    return solve_reference(tiny_covtype_problem, tol=1e-10)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def medium_csr():
+    """A 40×120 sparse matrix with ~25% fill, used across sparse tests."""
+    return random_csr(40, 120, 0.25, rng=3)

@@ -1,0 +1,97 @@
+"""Unit tests for the top-level `python -m repro` CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.sparse.io import save_libsvm
+
+
+class TestListing:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("abalone", "susy", "covtype", "mnist", "epsilon"):
+            assert name in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "comet_paper" in out
+        assert "comet_effective" in out
+
+
+class TestSolve:
+    def test_serial_rc_sfista(self, capsys):
+        rc = main([
+            "solve", "--dataset", "covtype", "--size", "tiny",
+            "--solver", "rc_sfista", "--k", "2", "--b", "0.2",
+            "--epochs", "2", "--iters-per-epoch", "20",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rc_sfista" in out
+        assert "converged" in out
+
+    def test_distributed_solver_reports_sim_time(self, capsys):
+        rc = main([
+            "solve", "--dataset", "covtype", "--size", "tiny",
+            "--solver", "rc_sfista_dist", "--nranks", "4", "--k", "2",
+            "--b", "0.2", "--epochs", "1", "--iters-per-epoch", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sim time" in out
+        assert "words/rank" in out
+
+    def test_fista_with_tolerance(self, capsys):
+        rc = main([
+            "solve", "--dataset", "covtype", "--size", "tiny",
+            "--solver", "fista", "--tol", "0.01",
+            "--epochs", "5", "--iters-per-epoch", "100",
+        ])
+        assert rc == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_output_json(self, tmp_path, capsys):
+        out_file = tmp_path / "res.json"
+        rc = main([
+            "solve", "--dataset", "covtype", "--size", "tiny",
+            "--solver", "sfista", "--b", "0.2",
+            "--epochs", "1", "--iters-per-epoch", "10",
+            "--output", str(out_file),
+        ])
+        assert rc == 0
+        from repro.utils.serialization import load_result
+
+        result = load_result(out_file)
+        assert result.n_iterations == 10
+
+    def test_libsvm_input(self, tmp_path, capsys):
+        gen = np.random.default_rng(0)
+        X = gen.standard_normal((5, 40))
+        y = gen.standard_normal(40)
+        path = tmp_path / "data.svm"
+        save_libsvm(path, X, y)
+        rc = main([
+            "solve", "--libsvm", str(path), "--solver", "cd", "--epochs", "20",
+        ])
+        assert rc == 0
+        assert "5 × 40" in capsys.readouterr().out
+
+    def test_lambda_override(self, capsys):
+        rc = main([
+            "solve", "--dataset", "covtype", "--size", "tiny",
+            "--solver", "ista", "--lam", "0.5",
+            "--epochs", "1", "--iters-per-epoch", "5",
+        ])
+        assert rc == 0
+        assert "0.5" in capsys.readouterr().out
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--solver", "adam"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

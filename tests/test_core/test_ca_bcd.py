@@ -1,0 +1,102 @@
+"""Unit tests for the CA-BCD baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.ca_bcd import ca_bcd, ca_bcd_communication
+from repro.core.cd import coordinate_descent_quadratic
+from repro.core.stopping import StoppingCriterion
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+
+class TestSStepEquivalence:
+    def test_round_matches_sequential_block_updates(self, tiny_covtype_problem):
+        """The cross-Gram gradient reconstruction is exact: one CA-BCD round
+        with s blocks equals s standard BCD updates on the same blocks."""
+        p = tiny_covtype_problem
+        s_step, blk, seed = 4, 3, 5
+        res = ca_bcd(p, block_size=blk, s_step=s_step, n_rounds=1, seed=seed,
+                     inner_epochs=50)
+
+        # Re-draw the same blocks and apply standard BCD with full residual
+        # recomputation after every block.
+        rng = as_generator(seed)
+        union = rng.choice(p.d, size=blk * s_step, replace=False).astype(np.int64)
+        blocks = union.reshape(s_step, blk)
+        X = p.X.to_dense() if not isinstance(p.X, np.ndarray) else p.X
+        w = np.zeros(p.d)
+        for J in blocks:
+            r = X.T @ w - p.y
+            A = X[J]
+            H = A @ A.T / p.m
+            g = A @ r / p.m
+            R = H @ w[J] - g
+            w[J] = coordinate_descent_quadratic(H, R, p.lam, u0=w[J],
+                                                max_epochs=50, tol=1e-14)
+        np.testing.assert_allclose(res.w, w, atol=1e-9)
+
+
+class TestConvergence:
+    def test_reaches_reference(self, tiny_covtype_problem, tiny_covtype_reference):
+        fstar = tiny_covtype_reference.meta["fstar"]
+        res = ca_bcd(
+            tiny_covtype_problem, block_size=4, s_step=2, n_rounds=500,
+            stopping=StoppingCriterion(tol=1e-6, fstar=fstar), seed=0,
+        )
+        assert res.converged
+
+    def test_s_step_reduces_rounds(self, tiny_covtype_problem, tiny_covtype_reference):
+        fstar = tiny_covtype_reference.meta["fstar"]
+        stop = StoppingCriterion(tol=1e-4, fstar=fstar)
+        r1 = ca_bcd(tiny_covtype_problem, block_size=3, s_step=1, n_rounds=600,
+                    stopping=stop, seed=0)
+        r4 = ca_bcd(tiny_covtype_problem, block_size=3, s_step=4, n_rounds=600,
+                    stopping=stop, seed=0)
+        assert r1.converged and r4.converged
+        assert r4.n_comm_rounds < r1.n_comm_rounds
+
+    def test_monotone_objective(self, tiny_covtype_problem):
+        res = ca_bcd(tiny_covtype_problem, block_size=4, s_step=2, n_rounds=30, seed=1)
+        objs = res.history.objective_array
+        assert np.all(np.diff(objs) <= 1e-10)  # exact block minimization
+
+    def test_deterministic(self, tiny_covtype_problem):
+        a = ca_bcd(tiny_covtype_problem, block_size=3, s_step=2, n_rounds=10, seed=3)
+        b = ca_bcd(tiny_covtype_problem, block_size=3, s_step=2, n_rounds=10, seed=3)
+        np.testing.assert_array_equal(a.w, b.w)
+
+
+class TestCommunicationAccounting:
+    def test_words_grow_quadratically_with_s(self):
+        w1 = ca_bcd_communication(100, 4, 1, 64, 16)["words_per_round"]
+        w4 = ca_bcd_communication(100, 4, 4, 64, 16)["words_per_round"]
+        assert w4 > 4 * w1  # bandwidth per round grows superlinearly in s
+
+    def test_latency_drops_with_s(self):
+        l1 = ca_bcd_communication(100, 4, 1, 64, 16)["latency"]
+        l4 = ca_bcd_communication(100, 4, 4, 64, 16)["latency"]
+        assert l4 == l1 / 4
+
+    def test_total_bandwidth_grows_with_s(self):
+        """The intro's claim: unlike RC-SFISTA, s-step methods pay more
+        total words as s grows."""
+        b1 = ca_bcd_communication(100, 4, 1, 64, 16)["bandwidth"]
+        b4 = ca_bcd_communication(100, 4, 4, 64, 16)["bandwidth"]
+        assert b4 > b1
+
+    def test_meta_words(self, tiny_covtype_problem):
+        res = ca_bcd(tiny_covtype_problem, block_size=3, s_step=2, n_rounds=2, seed=0)
+        assert res.meta["words_per_round"] == 6 * 6 + 6
+
+
+class TestValidation:
+    def test_block_too_large(self, tiny_covtype_problem):
+        with pytest.raises(ValidationError):
+            ca_bcd(tiny_covtype_problem, block_size=tiny_covtype_problem.d, s_step=2)
+
+    def test_invalid_args(self, tiny_covtype_problem):
+        with pytest.raises(ValidationError):
+            ca_bcd(tiny_covtype_problem, block_size=0)
+        with pytest.raises(ValidationError):
+            ca_bcd_communication(10, 0, 1, 1, 1)

@@ -1,0 +1,117 @@
+"""Unit tests for coordinate descent solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.cd import coordinate_descent_lasso, coordinate_descent_quadratic
+from repro.core.objectives import L1LeastSquares
+from repro.core.stopping import StoppingCriterion
+from repro.exceptions import ValidationError
+from repro.sparse.csr import CSCMatrix, CSRMatrix
+
+
+class TestCdLasso:
+    def test_matches_reference(self, small_dense_problem, small_reference):
+        res = coordinate_descent_lasso(small_dense_problem, max_epochs=400)
+        fstar = small_reference.meta["fstar"]
+        assert abs(res.final_objective - fstar) / fstar < 1e-8
+
+    def test_sparse_storage(self, small_sparse_problem, sparse_reference):
+        res = coordinate_descent_lasso(small_sparse_problem, max_epochs=400)
+        fstar = sparse_reference.meta["fstar"]
+        assert abs(res.final_objective - fstar) / fstar < 1e-8
+
+    def test_monotone_objective(self, small_dense_problem):
+        res = coordinate_descent_lasso(small_dense_problem, max_epochs=30)
+        objs = res.history.objective_array
+        assert np.all(np.diff(objs) <= 1e-12)
+
+    def test_shuffle_deterministic_seed(self, small_dense_problem):
+        a = coordinate_descent_lasso(small_dense_problem, max_epochs=10, shuffle=True, seed=3)
+        b = coordinate_descent_lasso(small_dense_problem, max_epochs=10, shuffle=True, seed=3)
+        np.testing.assert_array_equal(a.w, b.w)
+
+    def test_stops_at_tolerance(self, small_dense_problem, small_reference):
+        fstar = small_reference.meta["fstar"]
+        res = coordinate_descent_lasso(
+            small_dense_problem, max_epochs=500,
+            stopping=StoppingCriterion(tol=1e-3, fstar=fstar),
+        )
+        assert res.converged
+        assert res.n_iterations < 500
+
+    def test_zero_feature_row_stays_zero(self):
+        gen = np.random.default_rng(0)
+        X = gen.standard_normal((4, 30))
+        X[2] = 0.0
+        p = L1LeastSquares(X, gen.standard_normal(30), 0.05)
+        res = coordinate_descent_lasso(p, max_epochs=50)
+        assert res.w[2] == 0.0
+
+    def test_invalid_epochs(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            coordinate_descent_lasso(small_dense_problem, max_epochs=0)
+
+    def test_w0_used(self, small_dense_problem):
+        w0 = np.ones(small_dense_problem.d)
+        res = coordinate_descent_lasso(small_dense_problem, max_epochs=1, w0=w0)
+        assert res.w.shape == w0.shape
+
+
+class TestCdQuadratic:
+    def test_solves_kkt(self, rng):
+        gen = np.random.default_rng(5)
+        A = gen.standard_normal((6, 6))
+        H = A @ A.T + 0.5 * np.eye(6)
+        R = gen.standard_normal(6)
+        lam = 0.1
+        u = coordinate_descent_quadratic(H, R, lam, max_epochs=500)
+        g = H @ u - R
+        on = u != 0
+        assert np.all(np.abs(g[~on]) <= lam + 1e-8)
+        np.testing.assert_allclose(g[on], -lam * np.sign(u[on]), atol=1e-8)
+
+    def test_lambda_zero_solves_linear_system(self):
+        gen = np.random.default_rng(2)
+        A = gen.standard_normal((5, 5))
+        H = A @ A.T + np.eye(5)
+        R = gen.standard_normal(5)
+        u = coordinate_descent_quadratic(H, R, 0.0, max_epochs=2000)
+        np.testing.assert_allclose(u, np.linalg.solve(H, R), atol=1e-6)
+
+    def test_warm_start(self):
+        gen = np.random.default_rng(2)
+        A = gen.standard_normal((5, 5))
+        H = A @ A.T + np.eye(5)
+        R = gen.standard_normal(5)
+        exact = coordinate_descent_quadratic(H, R, 0.05, max_epochs=500)
+        warm = coordinate_descent_quadratic(H, R, 0.05, u0=exact, max_epochs=1)
+        np.testing.assert_allclose(warm, exact, atol=1e-10)
+
+    def test_tol_early_exit(self):
+        H = np.eye(3)
+        R = np.zeros(3)
+        u = coordinate_descent_quadratic(H, R, 0.1, max_epochs=1000, tol=1e-12)
+        np.testing.assert_array_equal(u, np.zeros(3))
+
+    def test_zero_diagonal_skipped(self):
+        H = np.diag([1.0, 0.0, 2.0])
+        R = np.array([1.0, 5.0, 2.0])
+        u = coordinate_descent_quadratic(H, R, 0.0, max_epochs=10)
+        assert u[1] == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            coordinate_descent_quadratic(np.ones((2, 3)), np.ones(2), 0.1)
+
+    def test_negative_lambda(self):
+        with pytest.raises(ValidationError):
+            coordinate_descent_quadratic(np.eye(2), np.ones(2), -0.1)
+
+
+class TestCrossSolverAgreement:
+    def test_cd_agrees_with_fista_reference(self, tiny_covtype_problem, tiny_covtype_reference):
+        """Two independent solvers must find the same optimum."""
+        res = coordinate_descent_lasso(tiny_covtype_problem, max_epochs=600)
+        fstar = tiny_covtype_reference.meta["fstar"]
+        assert abs(res.final_objective - fstar) / abs(fstar) < 1e-7

@@ -1,0 +1,76 @@
+"""Unit tests for cross-validated λ selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.cv import CVResult, cross_validate_lambda, kfold_indices
+from repro.core.objectives import L1LeastSquares
+from repro.data.synthetic import make_regression
+from repro.exceptions import ValidationError
+
+
+class TestKfold:
+    def test_partition(self):
+        folds = kfold_indices(20, 4, rng=0)
+        assert len(folds) == 4
+        concat = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(concat, np.arange(20))
+
+    def test_near_equal_sizes(self):
+        sizes = [f.size for f in kfold_indices(23, 5, rng=0)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        a = kfold_indices(30, 3, rng=7)
+        b = kfold_indices(30, 3, rng=7)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_invalid_folds(self):
+        with pytest.raises(ValidationError):
+            kfold_indices(10, 1)
+        with pytest.raises(ValidationError):
+            kfold_indices(10, 11)
+
+
+class TestCrossValidateLambda:
+    @pytest.fixture(scope="class")
+    def cv_result(self):
+        X, y, _w = make_regression(10, 240, noise=0.2, support_fraction=0.3, rng=5)
+        problem = L1LeastSquares(X, y, 0.1)
+        return cross_validate_lambda(
+            problem, n_folds=4, n_lambdas=12, max_iter=200, rng=0
+        )
+
+    def test_shapes(self, cv_result):
+        assert cv_result.mean_mse.shape == (12,)
+        assert cv_result.std_mse.shape == (12,)
+
+    def test_best_on_grid(self, cv_result):
+        assert cv_result.best_lambda in cv_result.lambdas
+
+    def test_one_se_at_least_best(self, cv_result):
+        """The 1-SE λ is sparser (≥) than the MSE-minimizing one."""
+        assert cv_result.best_lambda_1se >= cv_result.best_lambda
+
+    def test_best_beats_extremes(self, cv_result):
+        """The selected λ has lower CV error than the grid endpoints."""
+        best_idx = int(np.argmin(cv_result.mean_mse))
+        assert cv_result.mean_mse[best_idx] <= cv_result.mean_mse[0]
+        assert cv_result.mean_mse[best_idx] <= cv_result.mean_mse[-1]
+
+    def test_best_lambda_improves_over_no_regularization_proxy(self, cv_result):
+        """CV error at λ_max (all-zero model) is strictly worse than at the
+        selected λ — the model learns something."""
+        assert cv_result.mean_mse[0] > np.min(cv_result.mean_mse)
+
+    def test_sparse_matrix_input(self):
+        X, y, _w = make_regression(12, 160, density=0.4, noise=0.2, rng=2)
+        problem = L1LeastSquares(X, y, 0.1)
+        out = cross_validate_lambda(problem, n_folds=3, n_lambdas=6, max_iter=150)
+        assert isinstance(out, CVResult)
+
+    def test_summary_rows(self, cv_result):
+        rows = cv_result.summary_rows()
+        assert len(rows) == 12
+        assert len(rows[0]) == 3

@@ -1,0 +1,155 @@
+"""Edge-case tests for the solver stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import L1LeastSquares
+from repro.core.fista import fista
+from repro.core.prox_newton import proximal_newton
+from repro.core.rc_sfista import rc_sfista
+from repro.core.rc_sfista_dist import rc_sfista_distributed
+from repro.core.sfista import sfista
+from repro.core.sfista_dist import sfista_distributed
+from repro.core.stopping import StoppingCriterion
+from repro.data.datasets import dataset_from_libsvm
+from repro.exceptions import DatasetError
+from repro.sparse.io import save_libsvm
+
+
+class TestDegenerateProblems:
+    def test_single_feature(self):
+        gen = np.random.default_rng(0)
+        X = gen.standard_normal((1, 30))
+        y = 2.0 * X[0] + 0.01 * gen.standard_normal(30)
+        p = L1LeastSquares(X, y, 0.001)
+        res = fista(p, max_iter=500)
+        assert res.w[0] == pytest.approx(2.0, abs=0.1)
+
+    def test_single_sample(self):
+        gen = np.random.default_rng(1)
+        X = gen.standard_normal((5, 1))
+        p = L1LeastSquares(X, np.array([1.0]), 0.01)
+        res = fista(p, max_iter=200)
+        assert np.all(np.isfinite(res.w))
+
+    def test_constant_labels(self):
+        gen = np.random.default_rng(2)
+        X = gen.standard_normal((4, 50))
+        p = L1LeastSquares(X, np.zeros(50), 0.01)
+        res = fista(p, max_iter=100)
+        np.testing.assert_allclose(res.w, 0.0, atol=1e-8)
+
+    def test_mbar_one(self, tiny_covtype_problem):
+        """b small enough that the mini-batch is a single sample."""
+        res = sfista(
+            tiny_covtype_problem, b=1e-6, epochs=2, iters_per_epoch=10, seed=0
+        )
+        assert res.meta["mbar"] == 1
+        assert np.all(np.isfinite(res.w))
+
+    def test_rank_deficient_dense(self):
+        gen = np.random.default_rng(3)
+        base = gen.standard_normal((2, 40))
+        X = np.vstack([base, base[0:1] + base[1:2]])  # third row dependent
+        y = gen.standard_normal(40)
+        p = L1LeastSquares(X, y, 0.05)
+        res = fista(p, max_iter=500)
+        assert np.all(np.isfinite(res.w))
+
+
+class TestDistributedEdges:
+    def test_more_ranks_than_samples(self):
+        gen = np.random.default_rng(4)
+        X = gen.standard_normal((3, 4))
+        p = L1LeastSquares(X, gen.standard_normal(4), 0.05)
+        res = rc_sfista_distributed(p, 8, k=2, b=0.5, iters_per_epoch=6, seed=0)
+        ser = rc_sfista(p, k=2, S=1, b=0.5, iters_per_epoch=6, seed=0)
+        np.testing.assert_allclose(res.w, ser.w, atol=1e-9)
+
+    def test_single_rank_cluster(self, tiny_covtype_problem):
+        res = sfista_distributed(
+            tiny_covtype_problem, 1, b=0.2, iters_per_epoch=8, seed=0
+        )
+        ser = sfista(tiny_covtype_problem, b=0.2, iters_per_epoch=8, seed=0)
+        np.testing.assert_allclose(res.w, ser.w, atol=1e-10)
+        assert res.cost["messages_per_rank_max"] == 0.0  # P=1: no communication
+
+    def test_monitor_stride_exceeding_budget(self, tiny_covtype_problem):
+        res = rc_sfista(
+            tiny_covtype_problem, k=2, b=0.2, iters_per_epoch=5, monitor_every=100, seed=0
+        )
+        assert len(res.history) == 1  # only the forced final checkpoint
+
+    def test_k_equal_to_budget(self, tiny_covtype_problem):
+        res = rc_sfista_distributed(
+            tiny_covtype_problem, 4, k=10, b=0.2, iters_per_epoch=10, seed=0,
+            estimator="plain",
+        )
+        assert res.n_comm_rounds == 1  # single [G|R] allreduce covers the run
+
+
+class TestPnLineSearch:
+    def test_monotone_with_sampled_hessian(self, tiny_covtype_problem):
+        res = proximal_newton(
+            tiny_covtype_problem, n_outer=20, inner="cd", inner_iters=30,
+            b_hessian=0.05, line_search=True, seed=0,
+        )
+        objs = res.history.objective_array
+        assert np.all(np.diff(objs) <= 1e-10)
+
+    def test_full_step_unaffected_on_easy_problem(self, small_dense_problem):
+        with_ls = proximal_newton(
+            small_dense_problem, n_outer=4, inner="cd", inner_iters=60, line_search=True
+        )
+        without = proximal_newton(
+            small_dense_problem, n_outer=4, inner="cd", inner_iters=60, line_search=False
+        )
+        assert with_ls.final_objective == pytest.approx(without.final_objective, rel=1e-9)
+
+    def test_meta_records_flag(self, small_dense_problem):
+        res = proximal_newton(small_dense_problem, n_outer=1, inner="cd", line_search=True)
+        assert res.meta["line_search"] is True
+
+
+class TestDatasetFromLibsvm:
+    def test_loads_and_solves(self, tmp_path):
+        gen = np.random.default_rng(5)
+        X = gen.standard_normal((6, 60))
+        y = gen.standard_normal(60)
+        path = tmp_path / "real.svm"
+        save_libsvm(path, X, y)
+        ds = dataset_from_libsvm(str(path), name="real")
+        problem = ds.problem()
+        res = fista(problem, max_iter=200)
+        assert np.all(np.isfinite(res.w))
+        assert ds.name == "real"
+
+    def test_samples_normalized(self, tmp_path):
+        gen = np.random.default_rng(6)
+        X = gen.standard_normal((4, 20)) * 7.0
+        path = tmp_path / "scaled.svm"
+        save_libsvm(path, X, gen.standard_normal(20))
+        ds = dataset_from_libsvm(str(path))
+        norms = np.sqrt(ds.X.col_norms_sq())
+        np.testing.assert_allclose(norms[norms > 0], 1.0, atol=1e-10)
+
+    def test_normalize_disabled(self, tmp_path):
+        gen = np.random.default_rng(7)
+        X = gen.standard_normal((4, 20)) * 7.0
+        path = tmp_path / "raw.svm"
+        save_libsvm(path, X, gen.standard_normal(20))
+        ds = dataset_from_libsvm(str(path), normalize=False)
+        norms = np.sqrt(ds.X.col_norms_sq())
+        assert norms.max() > 2.0
+
+    def test_invalid_lam_ratio(self, tmp_path):
+        path = tmp_path / "x.svm"
+        save_libsvm(path, np.ones((2, 3)), np.ones(3))
+        with pytest.raises(DatasetError):
+            dataset_from_libsvm(str(path), lam_ratio=0.0)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.svm"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            dataset_from_libsvm(str(path))

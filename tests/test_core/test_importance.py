@@ -1,0 +1,130 @@
+"""Unit tests for importance sampling (extension beyond the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import L1LeastSquares
+from repro.core.reference import solve_reference
+from repro.core.rc_sfista import rc_sfista
+from repro.core.sfista import SampledGradient, importance_probabilities, sfista
+from repro.exceptions import ValidationError
+from repro.utils.rng import sample_indices_weighted
+
+
+@pytest.fixture(scope="module")
+def heterogeneous_problem():
+    """5% of the samples carry 10x the norm of the rest."""
+    gen = np.random.default_rng(0)
+    d, m = 12, 800
+    X = gen.standard_normal((d, m))
+    scales = np.ones(m)
+    scales[:40] = 10.0
+    X = X * scales[None, :]
+    w_true = np.zeros(d)
+    w_true[:4] = [1.0, -2.0, 1.5, -1.0]
+    y = X.T @ w_true + 0.1 * gen.standard_normal(m)
+    lam = 0.05 * float(np.max(np.abs(X @ y))) / m
+    return L1LeastSquares(X, y, lam)
+
+
+class TestProbabilities:
+    def test_sum_to_one(self, heterogeneous_problem):
+        p = importance_probabilities(heterogeneous_problem)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p > 0)
+
+    def test_heavy_columns_more_likely(self, heterogeneous_problem):
+        p = importance_probabilities(heterogeneous_problem)
+        assert p[:40].mean() > 5 * p[40:].mean()
+
+    def test_uniform_on_normalized_data(self, tiny_covtype_problem):
+        """Unit-norm samples (zero columns aside) ⇒ near-uniform distribution."""
+        p = importance_probabilities(tiny_covtype_problem)
+        nz = p[p > p.min() * 0.5]
+        assert nz.max() / nz.min() < 3.0
+
+    def test_mixture_bounds_weights(self, heterogeneous_problem):
+        p = importance_probabilities(heterogeneous_problem, mix=0.5)
+        weights = 1.0 / (heterogeneous_problem.m * p)
+        assert weights.max() <= 2.0 + 1e-9  # 1/mix
+
+    def test_invalid_mix(self, heterogeneous_problem):
+        with pytest.raises(ValidationError):
+            importance_probabilities(heterogeneous_problem, mix=0.0)
+
+
+class TestWeightedSampler:
+    def test_invalid_probabilities(self, rng):
+        with pytest.raises(ValidationError):
+            sample_indices_weighted(rng, np.array([-0.1, 1.1]), 5)
+        with pytest.raises(ValidationError):
+            sample_indices_weighted(rng, np.zeros(3), 5)
+        with pytest.raises(ValidationError):
+            sample_indices_weighted(rng, np.ones(3), 0)
+
+    def test_draws_follow_distribution(self):
+        gen = np.random.default_rng(0)
+        probs = np.array([0.7, 0.2, 0.1])
+        idx = sample_indices_weighted(gen, probs, 20_000)
+        freq = np.bincount(idx, minlength=3) / idx.size
+        np.testing.assert_allclose(freq, probs, atol=0.02)
+
+    def test_weighted_estimator_unbiased(self, heterogeneous_problem):
+        """Monte-Carlo: E[weighted plain estimate] = exact gradient."""
+        p = heterogeneous_problem
+        probs = importance_probabilities(p)
+        gen = np.random.default_rng(1)
+        v = gen.standard_normal(p.d)
+        acc = np.zeros(p.d)
+        trials = 4000
+        for _ in range(trials):
+            idx = sample_indices_weighted(gen, probs, 10)
+            weights = 1.0 / (p.m * probs[idx])
+            sg = SampledGradient.gather(p.X, p.y, idx, weights)
+            acc += sg.plain(v)
+        exact = p.gradient(v)
+        np.testing.assert_allclose(acc / trials, exact, rtol=0.1, atol=0.3)
+
+    def test_weighted_hessian_unbiased(self, heterogeneous_problem):
+        p = heterogeneous_problem
+        probs = importance_probabilities(p)
+        gen = np.random.default_rng(2)
+        acc = np.zeros((p.d, p.d))
+        trials = 2000
+        for _ in range(trials):
+            idx = sample_indices_weighted(gen, probs, 10)
+            weights = 1.0 / (p.m * probs[idx])
+            sg = SampledGradient.gather(p.X, p.y, idx, weights)
+            acc += sg.hessian()
+        np.testing.assert_allclose(
+            acc / trials, p.hessian, atol=0.15 * np.abs(p.hessian).max()
+        )
+
+
+class TestSolverBenefit:
+    def test_importance_beats_uniform_on_heterogeneous_data(self, heterogeneous_problem):
+        p = heterogeneous_problem
+        fstar = solve_reference(p, tol=1e-9).meta["fstar"]
+        common = dict(b=0.05, epochs=8, iters_per_epoch=60, seed=0)
+        uni = sfista(p, sampling="uniform", **common)
+        imp = sfista(p, sampling="importance", **common)
+        e_uni = abs(min(uni.history.objectives) - fstar) / fstar
+        e_imp = abs(min(imp.history.objectives) - fstar) / fstar
+        assert e_imp < e_uni / 10
+
+    def test_rc_sfista_importance_equivalence(self, heterogeneous_problem):
+        a = rc_sfista(
+            heterogeneous_problem, k=4, S=1, b=0.1, iters_per_epoch=16, seed=3,
+            sampling="importance",
+        )
+        b = sfista(
+            heterogeneous_problem, b=0.1, iters_per_epoch=16, seed=3,
+            sampling="importance",
+        )
+        np.testing.assert_allclose(a.w, b.w, atol=1e-8)
+
+    def test_invalid_sampling_name(self, heterogeneous_problem):
+        with pytest.raises(ValidationError):
+            sfista(heterogeneous_problem, sampling="leverage")
+        with pytest.raises(ValidationError):
+            rc_sfista(heterogeneous_problem, sampling="leverage")

@@ -1,0 +1,152 @@
+"""Unit tests for problem objects (values, gradients, Hessian, Lipschitz)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import L1LeastSquares, QuadraticModel
+from repro.exceptions import ShapeError, ValidationError
+from repro.sparse.csr import CSCMatrix, CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def small():
+    gen = np.random.default_rng(0)
+    X = gen.standard_normal((6, 40))
+    y = gen.standard_normal(40)
+    return L1LeastSquares(X, y, 0.1)
+
+
+class TestConstruction:
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            L1LeastSquares(np.ones((3, 5)), np.ones(4), 0.1)
+
+    def test_empty_matrix(self):
+        with pytest.raises(ValidationError):
+            L1LeastSquares(np.ones((0, 5)), np.ones(5), 0.1)
+
+    def test_negative_lambda(self):
+        with pytest.raises(ValidationError):
+            L1LeastSquares(np.ones((2, 3)), np.ones(3), -0.1)
+
+
+class TestValuesAndGradients:
+    def test_value_decomposition(self, small, rng):
+        w = rng.standard_normal(small.d)
+        assert small.value(w) == pytest.approx(small.smooth_value(w) + small.reg_value(w))
+
+    def test_smooth_value_formula(self, small, rng):
+        w = rng.standard_normal(small.d)
+        r = small.X.T @ w - small.y
+        assert small.smooth_value(w) == pytest.approx(0.5 * r @ r / small.m)
+
+    def test_gradient_finite_difference(self, small, rng):
+        w = rng.standard_normal(small.d)
+        g = small.gradient(w)
+        eps = 1e-6
+        for j in range(small.d):
+            e = np.zeros(small.d)
+            e[j] = eps
+            fd = (small.smooth_value(w + e) - small.smooth_value(w - e)) / (2 * eps)
+            assert g[j] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_gradient_hessian_relation(self, small, rng):
+        """Eq. (5): ∇f(w) = Hw − R."""
+        w = rng.standard_normal(small.d)
+        np.testing.assert_allclose(
+            small.gradient(w), small.hessian @ w - small.rhs, atol=1e-10
+        )
+
+    def test_gradient_zero_at_ls_solution(self):
+        gen = np.random.default_rng(1)
+        X = gen.standard_normal((3, 50))
+        w_star = gen.standard_normal(3)
+        y = X.T @ w_star  # exact fit
+        p = L1LeastSquares(X, y, 0.0)
+        np.testing.assert_allclose(p.gradient(w_star), np.zeros(3), atol=1e-10)
+
+    @pytest.mark.parametrize("fmt", ["csr", "csc"])
+    def test_sparse_storage_agrees_with_dense(self, small, rng, fmt):
+        dense = small.X
+        X = CSRMatrix.from_dense(dense) if fmt == "csr" else CSCMatrix.from_dense(dense)
+        p = L1LeastSquares(X, small.y, small.lam)
+        w = rng.standard_normal(small.d)
+        assert p.value(w) == pytest.approx(small.value(w))
+        np.testing.assert_allclose(p.gradient(w), small.gradient(w), atol=1e-10)
+        np.testing.assert_allclose(p.hessian, small.hessian, atol=1e-10)
+
+
+class TestCurvature:
+    def test_hessian_matches_formula(self, small):
+        np.testing.assert_allclose(
+            small.hessian, small.X @ small.X.T / small.m, atol=1e-12
+        )
+
+    def test_lipschitz_is_top_eigenvalue(self, small):
+        exact = np.linalg.eigvalsh(small.hessian)[-1]
+        assert small.lipschitz() == pytest.approx(exact, rel=1e-6)
+
+    def test_lipschitz_cached(self, small):
+        assert small.lipschitz() is not None
+        assert small._lipschitz_cache is not None
+
+    def test_default_step(self, small):
+        assert small.default_step() == pytest.approx(1.0 / small.lipschitz())
+
+    def test_max_sample_lipschitz(self, small):
+        expected = max(np.linalg.norm(small.X[:, i]) ** 2 for i in range(small.m))
+        assert small.max_sample_lipschitz == pytest.approx(expected)
+
+    def test_sampled_deviation_positive_and_cached(self, small):
+        dev = small.sampled_hessian_deviation(5)
+        assert dev > 0
+        assert small.sampled_hessian_deviation(5) == dev
+
+    def test_sampled_deviation_shrinks_with_batch(self, small):
+        small_batch = small.sampled_hessian_deviation(2)
+        big_batch = small.sampled_hessian_deviation(small.m)
+        assert big_batch < small_batch
+
+    def test_sampled_deviation_invalid_mbar(self, small):
+        with pytest.raises(ValidationError):
+            small.sampled_hessian_deviation(0)
+
+
+class TestOptimalityResidual:
+    def test_zero_at_optimum(self, small_dense_problem, small_reference):
+        assert small_dense_problem.optimality_residual(small_reference.w) <= 1e-8
+
+    def test_positive_away_from_optimum(self, small):
+        assert small.optimality_residual(np.ones(small.d)) > 0
+
+
+class TestQuadraticModel:
+    def test_gradient(self, rng):
+        H = np.eye(3) * 2.0
+        R = np.array([1.0, 2.0, 3.0])
+        model = QuadraticModel(H, R)
+        u = rng.standard_normal(3)
+        np.testing.assert_allclose(model.gradient(u), H @ u - R)
+
+    def test_from_linearization_matches_expansion(self, small, rng):
+        w = rng.standard_normal(small.d)
+        grad = small.gradient(w)
+        model = QuadraticModel.from_linearization(small.hessian, grad, w)
+        u = rng.standard_normal(small.d)
+        direct = 0.5 * (u - w) @ (small.hessian @ (u - w)) + grad @ (u - w)
+        assert model.value(u) - model.value(w) == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+    def test_model_gradient_at_center_equals_problem_gradient(self, small, rng):
+        w = rng.standard_normal(small.d)
+        model = QuadraticModel.from_linearization(small.hessian, small.gradient(w), w)
+        np.testing.assert_allclose(model.gradient(w), small.gradient(w), atol=1e-10)
+
+    def test_lipschitz(self):
+        H = np.diag([1.0, 5.0, 3.0])
+        assert QuadraticModel(H, np.zeros(3)).lipschitz() == pytest.approx(5.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            QuadraticModel(np.ones((2, 3)), np.ones(2))
+        with pytest.raises(ShapeError):
+            QuadraticModel(np.eye(2), np.ones(3))

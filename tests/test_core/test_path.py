@@ -1,0 +1,76 @@
+"""Unit tests for regularization-path sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import L1LeastSquares
+from repro.core.path import PathResult, lambda_max, lasso_path
+from repro.exceptions import ValidationError
+
+
+class TestLambdaMax:
+    def test_zero_solution_at_lambda_max(self, small_dense_problem):
+        lam = lambda_max(small_dense_problem)
+        p = L1LeastSquares(small_dense_problem.X, small_dense_problem.y, lam * 1.0001)
+        from repro.core.fista import fista
+
+        res = fista(p, max_iter=500)
+        np.testing.assert_allclose(res.w, 0.0, atol=1e-8)
+
+    def test_nonzero_below_lambda_max(self, small_dense_problem):
+        lam = lambda_max(small_dense_problem)
+        p = L1LeastSquares(small_dense_problem.X, small_dense_problem.y, 0.5 * lam)
+        from repro.core.fista import fista
+
+        res = fista(p, max_iter=500)
+        assert np.any(res.w != 0)
+
+
+class TestLassoPath:
+    @pytest.fixture(scope="class")
+    def path(self, small_dense_problem):
+        return lasso_path(small_dense_problem, n_lambdas=12, max_iter=300)
+
+    def test_grid_descends_from_lambda_max(self, path, small_dense_problem):
+        assert path.lambdas[0] == pytest.approx(lambda_max(small_dense_problem))
+        assert np.all(np.diff(path.lambdas) < 0)
+
+    def test_support_grows_monotonically_in_trend(self, path):
+        nnz = path.n_nonzero
+        assert nnz[0] == 0  # empty model at λ_max
+        assert nnz[-1] >= nnz[0]
+        assert nnz[-1] > 0
+
+    def test_shapes(self, path, small_dense_problem):
+        assert path.coefficients.shape == (12, small_dense_problem.d)
+        assert len(path.results) == 12
+
+    def test_coefficient_at(self, path):
+        w = path.coefficient_at(path.lambdas[3])
+        np.testing.assert_array_equal(w, path.coefficients[3])
+
+    def test_explicit_grid(self, small_dense_problem):
+        lam0 = lambda_max(small_dense_problem)
+        grid = np.array([lam0 * 0.5, lam0 * 0.1])
+        path = lasso_path(small_dense_problem, lambdas=grid, max_iter=200)
+        np.testing.assert_array_equal(path.lambdas, grid)
+
+    def test_explicit_grid_must_decrease(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            lasso_path(small_dense_problem, lambdas=np.array([0.1, 0.2]))
+
+    def test_explicit_grid_positive(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            lasso_path(small_dense_problem, lambdas=np.array([0.1, -0.05]))
+
+    def test_invalid_n_lambdas(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            lasso_path(small_dense_problem, n_lambdas=0)
+
+    def test_warm_start_efficiency(self, small_dense_problem):
+        """Each solve starts at the previous solution, so the objective at
+        grid point i evaluated with λ_{i} is consistent with its result."""
+        path = lasso_path(small_dense_problem, n_lambdas=5, max_iter=300)
+        for i, lam in enumerate(path.lambdas):
+            p = L1LeastSquares(small_dense_problem.X, small_dense_problem.y, float(lam))
+            assert path.objectives[i] == pytest.approx(p.value(path.coefficients[i]))

@@ -1,0 +1,99 @@
+"""Unit tests for the proximal Newton method (serial + distributed)."""
+
+import numpy as np
+import pytest
+
+from repro.core.prox_newton import proximal_newton, proximal_newton_distributed
+from repro.core.stopping import StoppingCriterion
+from repro.exceptions import ValidationError
+
+
+class TestSerialPN:
+    def test_exact_hessian_cd_inner_converges_fast(self, small_dense_problem, small_reference):
+        fstar = small_reference.meta["fstar"]
+        res = proximal_newton(
+            small_dense_problem, n_outer=6, inner="cd", inner_iters=80,
+            stopping=StoppingCriterion(tol=1e-8, fstar=fstar),
+        )
+        assert res.converged
+        assert res.n_iterations <= 6
+
+    def test_fista_inner_converges(self, small_dense_problem, small_reference):
+        fstar = small_reference.meta["fstar"]
+        res = proximal_newton(
+            small_dense_problem, n_outer=10, inner="fista", inner_iters=200,
+            stopping=StoppingCriterion(tol=1e-6, fstar=fstar),
+        )
+        assert res.converged
+
+    def test_sampled_hessian_still_converges(self, small_dense_problem, small_reference):
+        fstar = small_reference.meta["fstar"]
+        res = proximal_newton(
+            small_dense_problem, n_outer=25, inner="cd", inner_iters=40,
+            b_hessian=0.5, seed=0,
+            stopping=StoppingCriterion(tol=1e-3, fstar=fstar),
+        )
+        assert res.converged
+
+    def test_damping_slows_but_converges(self, small_dense_problem):
+        full = proximal_newton(small_dense_problem, n_outer=3, inner="cd", damping=1.0)
+        damped = proximal_newton(small_dense_problem, n_outer=3, inner="cd", damping=0.5)
+        assert damped.final_objective >= full.final_objective - 1e-12
+
+    def test_invalid_inner(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            proximal_newton(small_dense_problem, inner="newton")
+
+    def test_invalid_b_hessian(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            proximal_newton(small_dense_problem, b_hessian=0.0)
+
+    def test_w0_validation(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            proximal_newton(small_dense_problem, w0=np.ones(1))
+
+
+class TestDistributedPN:
+    @pytest.mark.parametrize("inner", ["fista", "sfista", "rc_sfista"])
+    def test_inner_variants_reduce_objective(self, tiny_covtype_problem, inner):
+        res = proximal_newton_distributed(
+            tiny_covtype_problem, 4, inner=inner, n_outer=3, inner_iters=12,
+            k=2 if inner == "rc_sfista" else 1, b=0.3, seed=0,
+        )
+        start = tiny_covtype_problem.value(np.zeros(tiny_covtype_problem.d))
+        assert res.final_objective < start
+
+    def test_rc_inner_fewer_messages_than_sfista_inner(self, tiny_covtype_problem):
+        sf = proximal_newton_distributed(
+            tiny_covtype_problem, 8, inner="sfista", n_outer=2, inner_iters=8, b=0.3
+        )
+        rc = proximal_newton_distributed(
+            tiny_covtype_problem, 8, inner="rc_sfista", k=4, n_outer=2, inner_iters=8, b=0.3
+        )
+        assert rc.cost["messages_per_rank_max"] < sf.cost["messages_per_rank_max"]
+
+    def test_fista_inner_moves_d_words_per_inner_iter(self, tiny_covtype_problem):
+        d = tiny_covtype_problem.d
+        n_outer, inner_iters, P = 2, 5, 4
+        res = proximal_newton_distributed(
+            tiny_covtype_problem, P, inner="fista", n_outer=n_outer, inner_iters=inner_iters
+        )
+        log_p = 2  # ceil(log2(4))
+        expected_words = (n_outer * (inner_iters + 1)) * d * log_p
+        assert res.cost["words_per_rank_max"] == pytest.approx(expected_words)
+
+    def test_k_s_rejected_for_other_inners(self, tiny_covtype_problem):
+        with pytest.raises(ValidationError):
+            proximal_newton_distributed(tiny_covtype_problem, 2, inner="fista", k=4)
+
+    def test_invalid_inner(self, tiny_covtype_problem):
+        with pytest.raises(ValidationError):
+            proximal_newton_distributed(tiny_covtype_problem, 2, inner="cg")
+
+    def test_history_has_sim_times(self, tiny_covtype_problem):
+        res = proximal_newton_distributed(
+            tiny_covtype_problem, 4, inner="rc_sfista", k=2, n_outer=3, inner_iters=6
+        )
+        times = res.history.sim_time_array
+        assert np.all(np.isfinite(times))
+        assert np.all(np.diff(times) > 0)

@@ -1,0 +1,92 @@
+"""Unit tests for the ProxCoCoA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.proxcocoa import proxcocoa
+from repro.core.stopping import StoppingCriterion
+from repro.exceptions import ValidationError
+
+
+class TestConvergence:
+    def test_single_rank_matches_reference(self, small_dense_problem, small_reference):
+        """P=1, σ'=1, many local epochs ⇒ plain coordinate descent."""
+        fstar = small_reference.meta["fstar"]
+        res = proxcocoa(
+            small_dense_problem, 1, n_rounds=200, local_epochs=3, sigma_prime=1.0,
+            stopping=StoppingCriterion(tol=1e-7, fstar=fstar),
+        )
+        assert res.converged
+
+    def test_multi_rank_converges(self, tiny_covtype_problem, tiny_covtype_reference):
+        fstar = tiny_covtype_reference.meta["fstar"]
+        res = proxcocoa(
+            tiny_covtype_problem, 4, n_rounds=300, local_epochs=2,
+            stopping=StoppingCriterion(tol=0.01, fstar=fstar),
+        )
+        assert res.converged
+
+    def test_monotone_objective(self, small_dense_problem):
+        res = proxcocoa(small_dense_problem, 4, n_rounds=30, seed=0, shuffle=False)
+        objs = res.history.objective_array
+        assert objs[-1] < objs[0]
+
+    def test_more_ranks_slower_per_round(self, tiny_covtype_problem, tiny_covtype_reference):
+        """Safe σ'=P damping: more partitions ⇒ more rounds to a tolerance."""
+        fstar = tiny_covtype_reference.meta["fstar"]
+        stop = StoppingCriterion(tol=0.05, fstar=fstar)
+        r1 = proxcocoa(tiny_covtype_problem, 1, n_rounds=400, local_epochs=2, stopping=stop, seed=0)
+        r8 = proxcocoa(tiny_covtype_problem, 8, n_rounds=400, local_epochs=2, stopping=stop, seed=0)
+        assert r1.converged
+        assert (not r8.converged) or r8.n_iterations >= r1.n_iterations
+
+    def test_local_epochs_help(self, tiny_covtype_problem, tiny_covtype_reference):
+        fstar = tiny_covtype_reference.meta["fstar"]
+        stop = StoppingCriterion(tol=0.05, fstar=fstar)
+        e1 = proxcocoa(tiny_covtype_problem, 4, n_rounds=400, local_epochs=1, stopping=stop, seed=0)
+        e4 = proxcocoa(tiny_covtype_problem, 4, n_rounds=400, local_epochs=4, stopping=stop, seed=0)
+        if e1.converged and e4.converged:
+            assert e4.n_iterations <= e1.n_iterations
+
+
+class TestCommunication:
+    def test_m_words_per_round(self, tiny_covtype_problem):
+        """ProxCoCoA's allreduce payload is the m-long shared vector."""
+        P = 4
+        n_rounds = 5
+        res = proxcocoa(tiny_covtype_problem, P, n_rounds=n_rounds, seed=0)
+        m = tiny_covtype_problem.m
+        log_p = 2
+        assert res.cost["words_per_rank_max"] == pytest.approx(n_rounds * m * log_p)
+
+    def test_one_allreduce_per_round(self, tiny_covtype_problem):
+        res = proxcocoa(tiny_covtype_problem, 4, n_rounds=7, seed=0)
+        assert res.n_comm_rounds == 7
+        assert res.cost["messages_per_rank_max"] == pytest.approx(7 * 2)
+
+    def test_history_sim_times_increase(self, tiny_covtype_problem):
+        res = proxcocoa(tiny_covtype_problem, 4, n_rounds=6, seed=0)
+        assert np.all(np.diff(res.history.sim_time_array) > 0)
+
+
+class TestValidation:
+    def test_invalid_nranks(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            proxcocoa(small_dense_problem, 0)
+
+    def test_invalid_rounds(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            proxcocoa(small_dense_problem, 2, n_rounds=0)
+
+    def test_invalid_sigma(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            proxcocoa(small_dense_problem, 2, sigma_prime=0.0)
+
+    def test_more_ranks_than_features_ok(self, small_dense_problem):
+        res = proxcocoa(small_dense_problem, small_dense_problem.d + 3, n_rounds=3)
+        assert res.n_iterations == 3
+
+    def test_deterministic(self, small_dense_problem):
+        a = proxcocoa(small_dense_problem, 3, n_rounds=5, seed=11)
+        b = proxcocoa(small_dense_problem, 3, n_rounds=5, seed=11)
+        np.testing.assert_array_equal(a.w, b.w)

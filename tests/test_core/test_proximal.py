@@ -1,0 +1,186 @@
+"""Unit + property tests for proximal operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.proximal import (
+    BoxProx,
+    ElasticNetProx,
+    GroupL1Prox,
+    L1Prox,
+    L2SquaredProx,
+    ZeroProx,
+    soft_threshold,
+)
+from repro.exceptions import ValidationError
+
+finite_vec = arrays(
+    np.float64, st.integers(1, 12), elements=st.floats(-100, 100, allow_nan=False, width=64)
+)
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        np.testing.assert_allclose(
+            soft_threshold(np.array([3.0, -3.0, 0.5]), 1.0), [2.0, -2.0, 0.0]
+        )
+
+    def test_zero_threshold_identity(self, rng):
+        w = rng.standard_normal(10)
+        np.testing.assert_array_equal(soft_threshold(w, 0.0), w)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            soft_threshold(np.ones(2), -1.0)
+
+    def test_kills_small_entries(self):
+        assert soft_threshold(np.array([0.1, -0.2]), 0.5).tolist() == [0.0, 0.0]
+
+
+class TestL1Prox:
+    def test_value(self):
+        assert L1Prox(2.0).value(np.array([1.0, -3.0])) == 8.0
+
+    def test_prox_is_soft_threshold(self, rng):
+        w = rng.standard_normal(6)
+        np.testing.assert_array_equal(L1Prox(0.5).prox(w, 2.0), soft_threshold(w, 1.0))
+
+    def test_lambda_zero_identity(self, rng):
+        w = rng.standard_normal(6)
+        np.testing.assert_array_equal(L1Prox(0.0).prox(w, 1.0), w)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValidationError):
+            L1Prox(-1.0)
+
+
+class TestL2SquaredProx:
+    def test_shrinkage(self):
+        out = L2SquaredProx(1.0).prox(np.array([2.0]), 1.0)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_value(self):
+        assert L2SquaredProx(2.0).value(np.array([3.0])) == 9.0
+
+
+class TestElasticNet:
+    def test_reduces_to_l1(self, rng):
+        w = rng.standard_normal(5)
+        np.testing.assert_allclose(
+            ElasticNetProx(0.3, 0.0).prox(w, 1.0), L1Prox(0.3).prox(w, 1.0)
+        )
+
+    def test_reduces_to_l2(self, rng):
+        w = rng.standard_normal(5)
+        np.testing.assert_allclose(
+            ElasticNetProx(0.0, 0.7).prox(w, 1.0), L2SquaredProx(0.7).prox(w, 1.0)
+        )
+
+    def test_value(self):
+        v = ElasticNetProx(1.0, 2.0).value(np.array([2.0]))
+        assert v == pytest.approx(2.0 + 4.0)
+
+
+class TestBoxProx:
+    def test_clipping(self):
+        out = BoxProx(-1.0, 1.0).prox(np.array([-5.0, 0.3, 5.0]), 1.0)
+        np.testing.assert_array_equal(out, [-1.0, 0.3, 1.0])
+
+    def test_value_indicator(self):
+        box = BoxProx(0.0, 1.0)
+        assert box.value(np.array([0.5])) == 0.0
+        assert box.value(np.array([2.0])) == np.inf
+
+    def test_invalid_box(self):
+        with pytest.raises(ValidationError):
+            BoxProx(1.0, -1.0)
+
+
+class TestZeroProx:
+    def test_identity_copy(self, rng):
+        w = rng.standard_normal(4)
+        out = ZeroProx().prox(w, 1.0)
+        np.testing.assert_array_equal(out, w)
+        out[0] = 99
+        assert w[0] != 99
+
+
+class TestGroupL1:
+    def test_kills_small_group(self):
+        groups = [np.array([0, 1]), np.array([2])]
+        w = np.array([0.1, 0.1, 5.0])
+        out = GroupL1Prox(1.0, groups).prox(w, 1.0)
+        assert out[0] == 0.0 and out[1] == 0.0
+        assert out[2] == pytest.approx(4.0)
+
+    def test_shrinks_group_norm(self):
+        groups = [np.array([0, 1])]
+        w = np.array([3.0, 4.0])  # norm 5
+        out = GroupL1Prox(1.0, groups).prox(w, 1.0)
+        assert np.linalg.norm(out) == pytest.approx(4.0)
+
+    def test_value(self):
+        groups = [np.array([0, 1]), np.array([2])]
+        v = GroupL1Prox(2.0, groups).value(np.array([3.0, 4.0, -1.0]))
+        assert v == pytest.approx(2.0 * (5.0 + 1.0))
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValidationError):
+            GroupL1Prox(1.0, [np.array([0, 1]), np.array([1, 2])])
+
+
+ALL_PROXES = [
+    L1Prox(0.5),
+    L2SquaredProx(0.7),
+    ElasticNetProx(0.3, 0.4),
+    BoxProx(-2.0, 2.0),
+    ZeroProx(),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=finite_vec, data=st.data(), gamma=st.floats(0.0, 10.0))
+@pytest.mark.parametrize("prox", ALL_PROXES, ids=lambda p: type(p).__name__)
+def test_nonexpansive(prox, a, data, gamma):
+    """prox operators are 1-Lipschitz: ‖prox(a)−prox(b)‖ ≤ ‖a−b‖."""
+    b = data.draw(
+        arrays(np.float64, a.shape, elements=st.floats(-100, 100, allow_nan=False, width=64))
+    )
+    pa = prox.prox(a, gamma)
+    pb = prox.prox(b, gamma)
+    assert np.linalg.norm(pa - pb) <= np.linalg.norm(a - b) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(w=finite_vec, gamma=st.floats(1e-3, 10.0))
+@pytest.mark.parametrize(
+    "prox", [L1Prox(0.5), L2SquaredProx(0.7), ElasticNetProx(0.3, 0.4)],
+    ids=lambda p: type(p).__name__,
+)
+def test_moreau_optimality(prox, w, gamma):
+    """prox(w) minimizes ½γ⁻¹‖x−w‖² + g(x): perturbations don't improve."""
+    p = prox.prox(w, gamma)
+
+    def objective(x):
+        return 0.5 / gamma * float(np.sum((x - w) ** 2)) + prox.value(x)
+
+    base = objective(p)
+    gen = np.random.default_rng(0)
+    for _ in range(5):
+        perturbed = p + 1e-4 * gen.standard_normal(p.shape)
+        assert objective(perturbed) >= base - 1e-8
+
+
+@settings(max_examples=40, deadline=None)
+@given(w=finite_vec, t=st.floats(0, 50))
+def test_soft_threshold_properties(w, t):
+    out = soft_threshold(w, t)
+    # Never flips sign, never grows magnitude.
+    assert np.all(out * w >= 0)
+    assert np.all(np.abs(out) <= np.abs(w) + 1e-12)
+    # Exactly |w|−t where it survives.
+    alive = out != 0
+    np.testing.assert_allclose(np.abs(out[alive]), np.abs(w[alive]) - t, atol=1e-12)

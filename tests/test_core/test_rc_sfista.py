@@ -1,0 +1,116 @@
+"""Unit tests for serial RC-SFISTA: overlap invariance and Hessian reuse."""
+
+import numpy as np
+import pytest
+
+from repro.core.rc_sfista import rc_sfista
+from repro.core.sfista import sfista
+from repro.core.stopping import StoppingCriterion
+from repro.exceptions import ValidationError
+
+
+class TestOverlapInvariance:
+    """§5.2: k does not change the iterate sequence (exact arithmetic)."""
+
+    @pytest.mark.parametrize("k", [2, 3, 8, 16])
+    def test_k_equals_sfista(self, small_dense_problem, k):
+        base = sfista(small_dense_problem, b=0.2, iters_per_epoch=32, seed=4)
+        rc = rc_sfista(small_dense_problem, k=k, S=1, b=0.2, iters_per_epoch=32, seed=4)
+        np.testing.assert_allclose(rc.w, base.w, atol=1e-9)
+
+    def test_k_larger_than_budget(self, small_dense_problem):
+        rc = rc_sfista(small_dense_problem, k=100, S=1, b=0.2, iters_per_epoch=10, seed=0)
+        base = sfista(small_dense_problem, b=0.2, iters_per_epoch=10, seed=0)
+        np.testing.assert_allclose(rc.w, base.w, atol=1e-9)
+
+    def test_sparse_problem_invariance(self, small_sparse_problem):
+        base = rc_sfista(small_sparse_problem, k=1, S=1, b=0.3, iters_per_epoch=24, seed=2)
+        rc = rc_sfista(small_sparse_problem, k=6, S=1, b=0.3, iters_per_epoch=24, seed=2)
+        np.testing.assert_allclose(rc.w, base.w, atol=1e-9)
+
+    def test_comm_rounds_reduced_by_k(self, small_dense_problem):
+        rc = rc_sfista(small_dense_problem, k=8, S=1, b=0.2, iters_per_epoch=32, seed=0)
+        assert rc.n_comm_rounds == 32 // 8
+        base = rc_sfista(small_dense_problem, k=1, S=1, b=0.2, iters_per_epoch=32, seed=0)
+        assert base.n_comm_rounds == 32
+
+    def test_ragged_final_block(self, small_dense_problem):
+        rc = rc_sfista(small_dense_problem, k=5, S=1, b=0.2, iters_per_epoch=13, seed=0)
+        assert rc.n_comm_rounds == 3  # blocks of 5, 5, 3
+        assert rc.n_iterations == 13
+
+
+class TestHessianReuse:
+    def test_s1_is_identity_transform(self, small_dense_problem):
+        a = rc_sfista(small_dense_problem, k=4, S=1, b=0.2, iters_per_epoch=20, seed=1)
+        b = sfista(small_dense_problem, b=0.2, iters_per_epoch=20, seed=1)
+        np.testing.assert_allclose(a.w, b.w, atol=1e-9)
+
+    def test_s_reduces_rounds_to_tolerance(self, tiny_covtype_problem, tiny_covtype_reference):
+        fstar = tiny_covtype_reference.meta["fstar"]
+        stop = StoppingCriterion(tol=0.01, fstar=fstar)
+        common = dict(k=1, b=0.05, epochs=30, iters_per_epoch=60, seed=0, stopping=stop)
+        s1 = rc_sfista(tiny_covtype_problem, S=1, **common)
+        s2 = rc_sfista(tiny_covtype_problem, S=2, **common)
+        assert s1.converged and s2.converged
+        assert s2.n_comm_rounds <= s1.n_comm_rounds
+
+    def test_total_inner_updates_scale_with_s(self, small_dense_problem):
+        res = rc_sfista(small_dense_problem, k=2, S=3, b=0.2, iters_per_epoch=10, seed=0)
+        assert res.meta["total_inner_updates"] == 10 * 3
+
+    def test_exact_estimator_with_s(self, small_dense_problem, small_reference):
+        """With the exact Hessian, large S acts like proximal Newton — fast."""
+        fstar = small_reference.meta["fstar"]
+        res = rc_sfista(
+            small_dense_problem, k=1, S=20, b=1.0, estimator="exact",
+            iters_per_epoch=30, seed=0,
+            stopping=StoppingCriterion(tol=1e-5, fstar=fstar),
+        )
+        assert res.converged
+
+
+class TestValidation:
+    def test_invalid_k(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            rc_sfista(small_dense_problem, k=0)
+
+    def test_invalid_s(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            rc_sfista(small_dense_problem, S=0)
+
+    def test_invalid_monitor(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            rc_sfista(small_dense_problem, monitor_every=0)
+
+    def test_w0_shape(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            rc_sfista(small_dense_problem, w0=np.ones(2))
+
+
+class TestBookkeeping:
+    def test_history_comm_rounds_monotone(self, small_dense_problem):
+        res = rc_sfista(small_dense_problem, k=4, S=1, b=0.2, iters_per_epoch=20, seed=0)
+        rounds = res.history.comm_rounds
+        assert all(b >= a for a, b in zip(rounds, rounds[1:]))
+
+    def test_meta(self, small_dense_problem):
+        res = rc_sfista(small_dense_problem, k=3, S=2, b=0.5, iters_per_epoch=6, seed=0)
+        assert res.meta["k"] == 3
+        assert res.meta["S"] == 2
+        assert res.meta["solver"] == "rc_sfista"
+
+    def test_monitor_stride(self, small_dense_problem):
+        res = rc_sfista(
+            small_dense_problem, k=2, S=1, b=0.2, iters_per_epoch=12, seed=0, monitor_every=4
+        )
+        assert res.history.iterations == [4, 8, 12]
+
+    def test_stops_early_at_tolerance(self, small_dense_problem, small_reference):
+        fstar = small_reference.meta["fstar"]
+        res = rc_sfista(
+            small_dense_problem, k=2, S=1, b=0.3, epochs=50, iters_per_epoch=50,
+            seed=0, stopping=StoppingCriterion(tol=0.05, fstar=fstar),
+        )
+        assert res.converged
+        assert res.n_iterations < 50 * 50

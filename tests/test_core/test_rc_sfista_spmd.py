@@ -1,0 +1,57 @@
+"""Integration tests: the SPMD-engine RC-SFISTA validates the mini-MPI."""
+
+import numpy as np
+import pytest
+
+from repro.core.rc_sfista import rc_sfista
+from repro.core.rc_sfista_dist import rc_sfista_distributed
+from repro.core.rc_sfista_spmd import rc_sfista_spmd
+from repro.exceptions import ValidationError
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("nranks", [1, 2, 5])
+    @pytest.mark.parametrize("estimator", ["plain", "svrg"])
+    def test_matches_serial(self, tiny_covtype_problem, nranks, estimator):
+        spmd = rc_sfista_spmd(
+            tiny_covtype_problem, nranks, k=3, b=0.2, n_iterations=12, seed=7,
+            estimator=estimator,
+        )
+        ser = rc_sfista(
+            tiny_covtype_problem, k=3, S=1, b=0.2, iters_per_epoch=12, seed=7,
+            estimator=estimator,
+        )
+        np.testing.assert_allclose(spmd.w, ser.w, atol=1e-9)
+
+    def test_matches_bsp_costs_exactly(self, tiny_covtype_problem):
+        """Engine and BSP implementations agree on every counter."""
+        kwargs = dict(k=3, b=0.2, seed=7)
+        spmd = rc_sfista_spmd(
+            tiny_covtype_problem, 4, n_iterations=12, estimator="plain", **kwargs
+        )
+        bsp = rc_sfista_distributed(
+            tiny_covtype_problem, 4, iters_per_epoch=12, estimator="plain",
+            monitor_every=12, **kwargs,
+        )
+        assert spmd.cost["messages_per_rank_max"] == bsp.cost["messages_per_rank_max"]
+        assert spmd.cost["words_per_rank_max"] == bsp.cost["words_per_rank_max"]
+
+    def test_comm_rounds(self, tiny_covtype_problem):
+        spmd = rc_sfista_spmd(
+            tiny_covtype_problem, 4, k=4, b=0.2, n_iterations=10, seed=0, estimator="plain"
+        )
+        assert spmd.n_comm_rounds == 3  # ceil(10/4)
+
+
+class TestValidation:
+    def test_exact_estimator_rejected(self, tiny_covtype_problem):
+        with pytest.raises(ValidationError):
+            rc_sfista_spmd(tiny_covtype_problem, 2, estimator="exact")
+
+    def test_non_integer_seed_rejected(self, tiny_covtype_problem):
+        with pytest.raises(ValidationError):
+            rc_sfista_spmd(tiny_covtype_problem, 2, seed=np.random.default_rng(0))
+
+    def test_invalid_k(self, tiny_covtype_problem):
+        with pytest.raises(ValidationError):
+            rc_sfista_spmd(tiny_covtype_problem, 2, k=0)

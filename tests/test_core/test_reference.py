@@ -1,0 +1,54 @@
+"""Unit tests for the reference (TFOCS stand-in) solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import solve_reference
+from repro.exceptions import ConvergenceError, ValidationError
+
+
+class TestSolveReference:
+    def test_certified_optimality(self, small_dense_problem):
+        res = solve_reference(small_dense_problem, tol=1e-9)
+        assert res.converged
+        assert res.meta["optimality_residual"] <= 1e-9
+        assert small_dense_problem.optimality_residual(res.w) <= 1e-9
+
+    def test_fstar_in_meta(self, small_dense_problem):
+        res = solve_reference(small_dense_problem, tol=1e-8)
+        assert res.meta["fstar"] == pytest.approx(small_dense_problem.value(res.w))
+
+    def test_sparse_problem(self, small_sparse_problem):
+        res = solve_reference(small_sparse_problem, tol=1e-8)
+        assert res.converged
+
+    def test_solution_is_sparse(self, small_dense_problem):
+        res = solve_reference(small_dense_problem, tol=1e-10)
+        assert np.sum(res.w != 0) < small_dense_problem.d
+
+    def test_raises_when_budget_too_small(self, small_dense_problem):
+        with pytest.raises(ConvergenceError):
+            solve_reference(
+                small_dense_problem, tol=1e-14, max_rounds=1, iters_per_round=2,
+                raise_on_failure=True,
+            )
+
+    def test_no_raise_by_default(self, small_dense_problem):
+        res = solve_reference(small_dense_problem, tol=1e-14, max_rounds=1, iters_per_round=2)
+        assert not res.converged
+
+    def test_invalid_tol(self, small_dense_problem):
+        with pytest.raises(ValidationError):
+            solve_reference(small_dense_problem, tol=0.0)
+
+    def test_agrees_with_scipy_on_smooth_problem(self):
+        """λ=0 reduces to least squares: compare against lstsq."""
+        gen = np.random.default_rng(8)
+        X = gen.standard_normal((5, 80))
+        y = gen.standard_normal(80)
+        from repro.core.objectives import L1LeastSquares
+
+        p = L1LeastSquares(X, y, 1e-12)
+        res = solve_reference(p, tol=1e-10)
+        w_ls, *_ = np.linalg.lstsq(X.T, y, rcond=None)
+        np.testing.assert_allclose(res.w, w_ls, atol=1e-5)

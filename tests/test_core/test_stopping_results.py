@@ -1,0 +1,120 @@
+"""Unit tests for stopping criteria and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import History, SolveResult
+from repro.core.stopping import StoppingCriterion, relative_objective_error
+from repro.exceptions import ValidationError
+
+
+class TestRelativeObjectiveError:
+    def test_formula(self):
+        assert relative_objective_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_absolute_value(self):
+        assert relative_objective_error(0.9, -1.0) == pytest.approx(1.9)
+
+    def test_zero_reference(self):
+        assert relative_objective_error(0.5, 0.0) == 0.5
+
+
+class TestStoppingCriterion:
+    def test_tol_requires_fstar(self):
+        with pytest.raises(ValidationError):
+            StoppingCriterion(tol=0.01)
+
+    def test_invalid_tol(self):
+        with pytest.raises(ValidationError):
+            StoppingCriterion(tol=-1.0, fstar=1.0)
+
+    def test_satisfied_at_tolerance(self):
+        s = StoppingCriterion(tol=0.01, fstar=1.0)
+        assert s.satisfied(1.005)
+        assert not s.satisfied(1.02)
+
+    def test_rel_change(self):
+        s = StoppingCriterion(rel_change_tol=1e-3)
+        assert s.satisfied(100.0, 100.0)
+        assert not s.satisfied(100.0, 90.0)
+
+    def test_rel_change_requires_previous(self):
+        s = StoppingCriterion(rel_change_tol=1e-3)
+        assert not s.satisfied(100.0, None)
+
+    def test_rel_error_without_fstar_is_nan(self):
+        assert np.isnan(StoppingCriterion().rel_error(1.0))
+
+    def test_monitors_objective(self):
+        assert StoppingCriterion(tol=0.1, fstar=1.0).monitors_objective
+        assert not StoppingCriterion().monitors_objective
+
+
+class TestHistory:
+    @pytest.fixture()
+    def hist(self):
+        h = History()
+        h.append(1, 10.0, rel_error=1.0, sim_time=0.1, comm_round=1)
+        h.append(2, 5.0, rel_error=0.5, sim_time=0.2, comm_round=2)
+        h.append(3, 1.0, rel_error=0.005, sim_time=0.3, comm_round=3)
+        return h
+
+    def test_len(self, hist):
+        assert len(hist) == 3
+
+    def test_arrays(self, hist):
+        np.testing.assert_array_equal(hist.iteration_array, [1, 2, 3])
+        np.testing.assert_array_equal(hist.objective_array, [10.0, 5.0, 1.0])
+
+    def test_best_objective(self, hist):
+        assert hist.best_objective() == 1.0
+
+    def test_best_objective_empty_raises(self):
+        with pytest.raises(ValidationError):
+            History().best_objective()
+
+    def test_first_below(self, hist):
+        assert hist.first_below(0.01) == 2
+        assert hist.first_below(1e-9) is None
+
+    def test_time_to_tolerance(self, hist):
+        assert hist.time_to_tolerance(0.01) == pytest.approx(0.3)
+        assert hist.time_to_tolerance(1e-9) is None
+
+    def test_time_to_tolerance_nan_time(self):
+        h = History()
+        h.append(1, 1.0, rel_error=0.001)
+        assert h.time_to_tolerance(0.01) is None
+
+
+class TestSolveResult:
+    def test_final_objective(self):
+        h = History()
+        h.append(1, 2.0)
+        res = SolveResult(w=np.zeros(2), converged=True, n_iterations=1, history=h)
+        assert res.final_objective == 2.0
+
+    def test_final_objective_empty_raises(self):
+        res = SolveResult(w=np.zeros(2), converged=False, n_iterations=0)
+        with pytest.raises(ValidationError):
+            _ = res.final_objective
+
+    def test_sim_time_from_cost(self):
+        res = SolveResult(
+            w=np.zeros(1), converged=True, n_iterations=1, cost={"elapsed": 1.5}
+        )
+        assert res.sim_time == 1.5
+
+    def test_sim_time_default(self):
+        assert SolveResult(np.zeros(1), True, 1).sim_time == 0.0
+
+    def test_summary_contains_keys(self):
+        h = History()
+        h.append(1, 2.0, rel_error=0.5)
+        res = SolveResult(
+            w=np.zeros(1), converged=True, n_iterations=1, history=h,
+            cost={"elapsed": 0.25}, n_comm_rounds=7,
+        )
+        text = res.summary()
+        assert "iters=1" in text
+        assert "rounds=7" in text

@@ -1,0 +1,84 @@
+"""Unit tests for the Table 2 dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import DATASETS, dataset_table, get_dataset
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_five_paper_datasets(self):
+        assert set(DATASETS) == {"abalone", "susy", "covtype", "mnist", "epsilon"}
+
+    def test_paper_table2_facts(self):
+        assert DATASETS["susy"].paper_rows == 5_000_000
+        assert DATASETS["covtype"].paper_cols == 54
+        assert DATASETS["mnist"].paper_density == pytest.approx(0.1922)
+        assert DATASETS["epsilon"].paper_size == "12.16GB"
+        assert DATASETS["abalone"].paper_rows == 4177
+
+    def test_paper_lambdas(self):
+        """§5.1: λ = 1e-4 for epsilon, 0.1 for all other benchmarks."""
+        assert DATASETS["epsilon"].lam == 1e-4
+        for name in ("abalone", "susy", "covtype", "mnist"):
+            assert DATASETS[name].lam == 0.1
+
+
+class TestGetDataset:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_tiny_generation(self, name):
+        ds = get_dataset(name, size="tiny")
+        assert ds.m > 0 and ds.d > 0
+        assert ds.y.shape == (ds.m,)
+        assert ds.lam > 0
+
+    def test_density_matches_spec(self):
+        ds = get_dataset("covtype", size="tiny")
+        assert ds.density == pytest.approx(DATASETS["covtype"].density, abs=0.02)
+
+    def test_dense_datasets_are_ndarray(self):
+        ds = get_dataset("abalone")
+        assert isinstance(ds.X, np.ndarray)
+
+    def test_samples_unit_normalized(self):
+        ds = get_dataset("covtype", size="tiny")
+        norms = np.sqrt(ds.X.col_norms_sq())
+        np.testing.assert_allclose(norms[norms > 0], 1.0, atol=1e-12)
+
+    def test_lambda_below_lambda_max(self):
+        """Effective λ < λ_max so the lasso solution is non-trivial."""
+        ds = get_dataset("mnist", size="tiny")
+        p = ds.problem()
+        grad0 = p.gradient(np.zeros(p.d))
+        assert ds.lam < np.max(np.abs(grad0)) + 1e-12
+
+    def test_nontrivial_solution(self, tiny_covtype, tiny_covtype_reference):
+        assert np.sum(tiny_covtype_reference.w != 0) > 0
+
+    def test_deterministic(self):
+        a = get_dataset("susy", size="tiny")
+        b = get_dataset("susy", size="tiny")
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_problem_lambda_override(self, tiny_covtype):
+        p = tiny_covtype.problem(lam=0.5)
+        assert p.lam == 0.5
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            get_dataset("criteo")
+
+    def test_unknown_size(self):
+        with pytest.raises(DatasetError):
+            get_dataset("covtype", size="huge")
+
+
+class TestDatasetTable:
+    def test_rows_cover_registry(self):
+        rows = dataset_table(size="tiny")
+        assert {r["dataset"] for r in rows} == set(DATASETS)
+
+    def test_row_fields(self):
+        row = dataset_table(size="tiny")[0]
+        assert {"paper_rows", "paper_cols", "paper_f", "scaled_rows", "lambda"} <= set(row)

@@ -1,0 +1,84 @@
+"""Unit tests for cost counters and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.distsim.cost import ClusterCost, CostCounter
+from repro.exceptions import ValidationError
+
+
+class TestCostCounter:
+    def test_charge_compute(self):
+        c = CostCounter(rank=0)
+        c.charge_compute(100.0, 0.5)
+        assert c.flops == 100.0
+        assert c.clock == 0.5
+        assert c.compute_time == 0.5
+
+    def test_charge_comm(self):
+        c = CostCounter(rank=0)
+        c.charge_comm(2.0, 64.0, 0.1)
+        assert c.messages == 2.0
+        assert c.words == 64.0
+        assert c.comm_time == pytest.approx(0.1)
+
+    def test_wait_until_advances(self):
+        c = CostCounter(rank=0)
+        c.wait_until(1.0)
+        assert c.clock == 1.0
+        assert c.idle_time == 1.0
+
+    def test_wait_until_noop_backwards(self):
+        c = CostCounter(rank=0)
+        c.charge_compute(0, 2.0)
+        c.wait_until(1.0)
+        assert c.clock == 2.0
+        assert c.idle_time == 0.0
+
+    def test_negative_charges_rejected(self):
+        c = CostCounter(rank=0)
+        with pytest.raises(ValidationError):
+            c.charge_compute(-1, 0)
+        with pytest.raises(ValidationError):
+            c.charge_comm(0, -1, 0)
+
+    def test_snapshot_keys(self):
+        snap = CostCounter(rank=3).snapshot()
+        assert snap["rank"] == 3
+        assert set(snap) >= {"flops", "words", "messages", "clock"}
+
+
+class TestClusterCost:
+    @pytest.fixture()
+    def cluster(self):
+        counters = [CostCounter(rank=r) for r in range(3)]
+        counters[0].charge_compute(10, 1.0)
+        counters[1].charge_compute(20, 2.0)
+        counters[2].charge_comm(1, 5, 0.5)
+        return ClusterCost(counters)
+
+    def test_elapsed_is_max_clock(self, cluster):
+        assert cluster.elapsed == 2.0
+
+    def test_totals(self, cluster):
+        assert cluster.total_flops == 30
+        assert cluster.total_words == 5
+        assert cluster.total_messages == 1
+
+    def test_critical_path(self, cluster):
+        assert cluster.max_flops == 20
+        assert cluster.max_words == 5
+        assert cluster.max_messages == 1
+
+    def test_per_rank(self, cluster):
+        np.testing.assert_array_equal(cluster.per_rank("flops"), [10, 20, 0])
+
+    def test_summary(self, cluster):
+        s = cluster.summary()
+        assert s["nranks"] == 3
+        assert s["elapsed"] == 2.0
+
+    def test_empty(self):
+        c = ClusterCost([])
+        assert c.elapsed == 0.0
+        assert c.total_flops == 0.0

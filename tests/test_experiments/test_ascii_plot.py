@@ -1,0 +1,55 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_renders_markers(self):
+        out = ascii_chart({"a": ([0, 1, 2], [0.0, 1.0, 2.0])})
+        assert "o" in out
+        assert "o=a" in out
+
+    def test_title(self):
+        out = ascii_chart({"a": ([0], [1.0])}, title="Figure 2a")
+        assert out.splitlines()[0] == "Figure 2a"
+
+    def test_log_scale(self):
+        out = ascii_chart({"a": ([0, 1], [1.0, 1e-6])}, log_y=True)
+        assert "1" in out
+
+    def test_log_scale_handles_zero(self):
+        out = ascii_chart({"a": ([0, 1], [0.0, 1.0])}, log_y=True)
+        assert out  # no crash on log(0)
+
+    def test_skips_non_finite(self):
+        out = ascii_chart({"a": ([0, 1, 2], [1.0, math.nan, 2.0])})
+        assert "o" in out
+
+    def test_empty_series(self):
+        out = ascii_chart({"a": ([], [])})
+        assert "no finite data" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_chart({"a": ([0], [1.0]), "b": ([1], [2.0])})
+        assert "o=a" in out and "x=b" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": ([0, 1], [1.0])})
+
+    def test_too_small_grid(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": ([0], [1.0])}, width=2, height=2)
+
+    def test_constant_series(self):
+        out = ascii_chart({"a": ([0, 1, 2], [5.0, 5.0, 5.0])})
+        assert "o" in out
+
+    def test_dimensions(self):
+        out = ascii_chart({"a": ([0, 10], [0.0, 1.0])}, width=30, height=8)
+        grid_lines = [line for line in out.splitlines() if "|" in line]
+        assert len(grid_lines) == 8

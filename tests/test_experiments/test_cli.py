@@ -1,0 +1,39 @@
+"""Unit tests for the `python -m repro.experiments` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig2b_quick(self, capsys):
+        assert main(["fig2b", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "max_deviation" in out
+
+    def test_table2_quick(self, capsys):
+        assert main(["table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "abalone" in out and "epsilon" in out
+
+    def test_table1_quick(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "SFISTA" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["table2", "--quick", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["table"] == "2"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])

@@ -1,0 +1,161 @@
+"""Integration tests: dry-run cost schedules must match the real solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.rc_sfista_dist import rc_sfista_distributed
+from repro.core.sfista_dist import sfista_distributed
+from repro.experiments.runner import (
+    ProblemStats,
+    dry_run_pn_inner,
+    dry_run_rc_sfista,
+    dry_run_sfista,
+    iterations_to_tolerance,
+    reference_value,
+    speedup_cell,
+)
+from repro.exceptions import ValidationError
+
+
+class TestProblemStats:
+    def test_of_dense(self, small_dense_problem):
+        stats = ProblemStats.of(small_dense_problem)
+        assert stats.d == small_dense_problem.d
+        assert stats.m == small_dense_problem.m
+        assert stats.density == pytest.approx(1.0)
+
+    def test_of_sparse(self, small_sparse_problem):
+        stats = ProblemStats.of(small_sparse_problem)
+        assert 0 < stats.density < 1
+
+
+class TestDryRunFidelity:
+    """The heart of the sweep methodology: dry-run == real solver on L and W."""
+
+    @pytest.mark.parametrize("estimator", ["plain", "svrg"])
+    def test_sfista_counters_match(self, tiny_covtype_problem, estimator):
+        P, N = 4, 12
+        real = sfista_distributed(
+            tiny_covtype_problem, P, b=0.2, iters_per_epoch=N, seed=0,
+            estimator=estimator, monitor_every=N,
+        )
+        stats = ProblemStats.of(tiny_covtype_problem)
+        dry = dry_run_sfista(
+            stats, P, "comet_effective", n_iterations=N,
+            mbar=real.meta["mbar"], estimator=estimator,
+        )
+        assert dry.cost.max_messages == real.cost["messages_per_rank_max"]
+        assert dry.cost.max_words == pytest.approx(real.cost["words_per_rank_max"])
+        assert dry.cost.max_flops == pytest.approx(
+            real.cost["flops_per_rank_max"], rel=0.35
+        )
+        assert dry.elapsed == pytest.approx(real.cost["elapsed"], rel=0.05)
+
+    @pytest.mark.parametrize("k,S", [(1, 1), (4, 2), (6, 5)])
+    def test_rc_sfista_counters_match(self, tiny_covtype_problem, k, S):
+        P, N = 8, 24
+        real = rc_sfista_distributed(
+            tiny_covtype_problem, P, k=k, S=S, b=0.2, iters_per_epoch=N, seed=0,
+            estimator="plain", monitor_every=N,
+        )
+        stats = ProblemStats.of(tiny_covtype_problem)
+        dry = dry_run_rc_sfista(
+            stats, P, "comet_effective", n_iterations=N,
+            mbar=real.meta["mbar"], k=k, S=S, estimator="plain",
+        )
+        assert dry.cost.max_messages == real.cost["messages_per_rank_max"]
+        assert dry.cost.max_words == pytest.approx(real.cost["words_per_rank_max"])
+        assert dry.elapsed == pytest.approx(real.cost["elapsed"], rel=0.05)
+
+    def test_dry_run_validation(self):
+        stats = ProblemStats(d=4, m=10, nnz=40)
+        with pytest.raises(ValidationError):
+            dry_run_sfista(stats, 2, "comet_paper", n_iterations=0, mbar=1)
+        with pytest.raises(ValidationError):
+            dry_run_rc_sfista(stats, 2, "comet_paper", n_iterations=4, mbar=1, k=0, S=1)
+        with pytest.raises(ValidationError):
+            dry_run_pn_inner(
+                stats, 2, "comet_paper", inner="bad", n_outer=1, inner_iters=1, mbar=1
+            )
+
+
+class TestDryRunPn:
+    def test_fista_inner_message_count(self):
+        stats = ProblemStats(d=10, m=100, nnz=1000)
+        P, n_outer, inner_iters = 4, 3, 7
+        dry = dry_run_pn_inner(
+            stats, P, "comet_effective", inner="fista",
+            n_outer=n_outer, inner_iters=inner_iters, mbar=10,
+        )
+        log_p = 2
+        assert dry.cost.max_messages == (n_outer * (inner_iters + 1)) * log_p
+
+    def test_rc_inner_latency_reduction(self):
+        stats = ProblemStats(d=10, m=100, nnz=1000)
+        base = dry_run_pn_inner(
+            stats, 16, "comet_effective", inner="sfista", n_outer=2, inner_iters=16, mbar=10
+        )
+        rc = dry_run_pn_inner(
+            stats, 16, "comet_effective", inner="rc_sfista", n_outer=2, inner_iters=16,
+            mbar=10, k=8,
+        )
+        assert rc.cost.max_messages < base.cost.max_messages
+        assert rc.elapsed < base.elapsed
+
+
+class TestTrajectoryHelpers:
+    def test_reference_value_memoized(self, tiny_covtype_problem):
+        a = reference_value(tiny_covtype_problem)
+        b = reference_value(tiny_covtype_problem)
+        assert a == b
+
+    def test_iterations_to_tolerance(self, tiny_covtype_problem, tiny_covtype_reference):
+        fstar = tiny_covtype_reference.meta["fstar"]
+        res = iterations_to_tolerance(
+            tiny_covtype_problem, tol=0.05, fstar=fstar, b=0.2, epochs=10, iters_per_epoch=50
+        )
+        assert res.converged
+        assert res.history.rel_errors[-1] <= 0.05
+
+    def test_speedup_cell_shape(self, tiny_covtype_problem, tiny_covtype_reference):
+        fstar = tiny_covtype_reference.meta["fstar"]
+        cell = speedup_cell(
+            tiny_covtype_problem, nranks=16, machine="comet_effective",
+            tol=0.05, k=4, S=1, b=0.2, fstar=fstar, epochs=10, iters_per_epoch=50,
+        )
+        assert cell["speedup"] > 0
+        assert cell["converged_sfista"] == 1.0
+        assert cell["time_rc"] < cell["time_sfista"]
+
+    def test_speedup_grows_with_k_in_latency_regime(
+        self, tiny_covtype_problem, tiny_covtype_reference
+    ):
+        fstar = tiny_covtype_reference.meta["fstar"]
+        cells = [
+            speedup_cell(
+                tiny_covtype_problem, nranks=64, machine="comet_effective",
+                tol=0.01, k=k, b=0.05, fstar=fstar, epochs=20, iters_per_epoch=50,
+            )
+            for k in (1, 2, 4)
+        ]
+        # enough iterations that overlap actually batches rounds
+        assert cells[0]["iters_sfista"] >= 4
+        speedups = [c["speedup"] for c in cells]
+        assert speedups[0] < speedups[1] < speedups[2]
+
+
+class TestReferenceCacheIsolation:
+    def test_no_id_reuse_leakage(self):
+        """Regression: the fstar memo must not key by id() — ids are reused
+        after GC and silently corrupt cross-dataset sweeps."""
+        import gc
+
+        from repro.data.datasets import get_dataset
+
+        a = get_dataset("susy", size="tiny").problem()
+        fa = reference_value(a)
+        del a
+        gc.collect()
+        b = get_dataset("covtype", size="tiny").problem()
+        fb = reference_value(b)
+        assert fa != fb

@@ -1,0 +1,88 @@
+"""Unit tests for cached parameter sweeps."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.sweep import cell_key, grid_cells, run_sweep
+
+
+class TestGridCells:
+    def test_cartesian_product(self):
+        cells = list(grid_cells({"a": [1, 2], "b": ["x", "y", "z"]}))
+        assert len(cells) == 6
+        assert {"a": 1, "b": "x"} in cells
+
+    def test_order_independent_of_insertion(self):
+        a = list(grid_cells({"a": [1], "b": [2]}))
+        b = list(grid_cells({"b": [2], "a": [1]}))
+        assert a == b
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            list(grid_cells({}))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValidationError):
+            list(grid_cells({"a": []}))
+
+
+class TestCellKey:
+    def test_stable(self):
+        assert cell_key({"a": 1, "b": 2}) == cell_key({"b": 2, "a": 1})
+
+    def test_distinct(self):
+        assert cell_key({"a": 1}) != cell_key({"a": 2})
+
+    def test_filename_safe(self):
+        key = cell_key({"path": "a/b c?*"})
+        assert key.isalnum()
+
+
+class TestRunSweep:
+    def test_rows_merge_params_and_results(self):
+        rows = run_sweep(lambda k: {"sq": k * k}, {"k": [2, 3]})
+        assert rows == [{"k": 2, "sq": 4}, {"k": 3, "sq": 9}]
+
+    def test_caching(self, tmp_path):
+        calls = []
+
+        def fn(k):
+            calls.append(k)
+            return {"sq": k * k}
+
+        run_sweep(fn, {"k": [1, 2]}, cache_dir=tmp_path, name="s")
+        run_sweep(fn, {"k": [1, 2, 3]}, cache_dir=tmp_path, name="s")
+        assert calls == [1, 2, 3]  # 1 and 2 came from cache on the second run
+
+    def test_progress_reports_cache_hits(self, tmp_path):
+        events = []
+        run_sweep(lambda k: {"v": k}, {"k": [5]}, cache_dir=tmp_path, name="p")
+        run_sweep(
+            lambda k: {"v": k},
+            {"k": [5]},
+            cache_dir=tmp_path,
+            name="p",
+            progress=lambda params, cached: events.append((params["k"], cached)),
+        )
+        assert events == [(5, True)]
+
+    def test_corrupt_cache_recomputed(self, tmp_path):
+        rows = run_sweep(lambda k: {"v": k}, {"k": [7]}, cache_dir=tmp_path, name="c")
+        (cell_file,) = (tmp_path / "c").glob("*.json")
+        cell_file.write_text("{broken", encoding="utf-8")
+        rows = run_sweep(lambda k: {"v": k * 10}, {"k": [7]}, cache_dir=tmp_path, name="c")
+        assert rows[0]["v"] == 70
+
+    def test_no_cache_dir(self):
+        calls = []
+        fn = lambda k: (calls.append(k), {"v": k})[1]
+        run_sweep(fn, {"k": [1]})
+        run_sweep(fn, {"k": [1]})
+        assert calls == [1, 1]
+
+    def test_cache_is_json(self, tmp_path):
+        run_sweep(lambda k: {"v": k}, {"k": [1]}, cache_dir=tmp_path, name="j")
+        (cell_file,) = (tmp_path / "j").glob("*.json")
+        assert json.loads(cell_file.read_text()) == {"v": 1}

@@ -1,0 +1,108 @@
+"""Unit tests for the §4.2 parameter bounds, including the paper's worked examples."""
+
+import math
+
+import pytest
+
+from repro.distsim.machine import get_machine
+from repro.exceptions import ValidationError
+from repro.perf.bounds import (
+    k_bound_flops,
+    k_bound_latency_bandwidth,
+    ks_bound_sparse,
+    recommend_k,
+    recommend_s,
+    s_bound,
+)
+
+
+class TestPaperWorkedExamples:
+    def test_covtype_k_bound_is_2(self):
+        """§5.3: 'the theoretical upper bound (25) for the covtype dataset is 2'."""
+        bound = k_bound_latency_bandwidth("comet_paper", d=54)
+        assert math.floor(bound) == 2
+
+    def test_mnist_s_bound_below_7(self):
+        """§5.3: 'with values k=1, P=256, and N=200 for mnist we have S < 7'."""
+        bound = ks_bound_sparse("comet_paper", N=200, d=780, P=256)
+        assert 6.0 < bound < 7.0
+
+
+class TestEq25:
+    def test_smaller_d_larger_k(self):
+        assert k_bound_latency_bandwidth("comet_paper", 8) > k_bound_latency_bandwidth(
+            "comet_paper", 80
+        )
+
+    def test_infinite_when_beta_zero(self):
+        m = get_machine("comet_paper").with_(beta=0.0)
+        assert k_bound_latency_bandwidth(m, 10) == math.inf
+
+    def test_invalid_d(self):
+        with pytest.raises(ValidationError):
+            k_bound_latency_bandwidth("comet_paper", 0)
+
+
+class TestEq26:
+    def test_sparser_data_larger_k(self):
+        dense = k_bound_flops("comet_paper", 200, 54, 100, 1.0, 64)
+        sparse = k_bound_flops("comet_paper", 200, 54, 100, 0.01, 64)
+        assert sparse > dense
+
+    def test_larger_S_tightens(self):
+        s1 = k_bound_flops("comet_paper", 200, 54, 100, 0.2, 64, S=1)
+        s8 = k_bound_flops("comet_paper", 200, 54, 100, 0.2, 64, S=8)
+        assert s8 < s1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            k_bound_flops("comet_paper", 0, 54, 100, 0.2, 64)
+        with pytest.raises(ValidationError):
+            k_bound_flops("comet_paper", 10, 54, 100, 1.5, 64)
+
+
+class TestEq27Eq28:
+    def test_ks_tradeoff(self):
+        """Eq. 27 bounds the product: doubling k halves the allowed S."""
+        bound = ks_bound_sparse("comet_paper", 200, 100, 64)
+        assert bound / 2 == pytest.approx(
+            ks_bound_sparse("comet_paper", 100, 100, 64)
+        )
+
+    def test_s_bound_machine_dependence(self):
+        fast_flops = get_machine("comet_paper").with_(gamma=1e-12)
+        assert s_bound(fast_flops, 200, 64) > s_bound("comet_paper", 200, 64)
+
+    def test_p1_gives_zero(self):
+        assert ks_bound_sparse("comet_paper", 100, 10, 1) == 0.0
+        assert s_bound("comet_paper", 100, 1) == 0.0
+
+
+class TestRecommenders:
+    def test_recommend_k_floor_of_bound(self):
+        assert recommend_k("comet_paper", d=54) == 2
+
+    def test_recommend_k_at_least_min(self):
+        assert recommend_k("comet_paper", d=2000) == 1
+
+    def test_recommend_k_clamped(self):
+        m = get_machine("comet_paper").with_(beta=0.0)
+        assert recommend_k(m, d=10, k_max=64) == 64
+
+    def test_recommend_k_with_workload(self):
+        k = recommend_k("comet_paper", d=54, N=200, mbar=100, f=0.22, P=64)
+        assert 1 <= k <= 2
+
+    def test_recommend_s_strictly_below_bound(self):
+        # mnist worked example: bound ≈ 6.57 → S recommendation ≤ 6.
+        s = recommend_s("comet_paper", N=200, d=780, P=256)
+        assert 1 <= s <= 6
+
+    def test_recommend_s_k_divides(self):
+        s1 = recommend_s("comet_paper", N=200, d=100, P=256, k=1)
+        s4 = recommend_s("comet_paper", N=200, d=100, P=256, k=4)
+        assert s4 <= s1
+
+    def test_recommend_s_invalid_k(self):
+        with pytest.raises(ValidationError):
+            recommend_s("comet_paper", N=10, d=10, P=4, k=0)

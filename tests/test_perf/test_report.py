@@ -1,0 +1,57 @@
+"""Unit tests for table/series formatting."""
+
+import pytest
+
+from repro.perf.report import format_series, format_table, format_value
+
+
+class TestFormatValue:
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_value(1.23e-7)
+
+    def test_regular_float(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_string(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:2])) >= 1
+        assert lines[1].startswith("-")
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("conv", [1, 2], [0.5, 0.25], x_label="iter", y_label="err")
+        assert "series: conv" in out
+        assert "iter" in out and "err" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])

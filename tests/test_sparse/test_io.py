@@ -1,0 +1,99 @@
+"""Unit tests for the LIBSVM reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FormatError
+from repro.sparse.io import load_libsvm, parse_libsvm_lines, save_libsvm
+
+
+SAMPLE = [
+    "1.0 1:0.5 3:-2.0",
+    "-1.0 2:1.5",
+    "0.5",  # all-zero sample
+    "2.0 1:1.0 2:2.0 3:3.0",
+]
+
+
+class TestParse:
+    def test_shapes(self):
+        X, y = parse_libsvm_lines(SAMPLE)
+        assert X.shape == (3, 4)  # d=3 features, m=4 samples
+        assert y.shape == (4,)
+
+    def test_values(self):
+        X, y = parse_libsvm_lines(SAMPLE)
+        dense = X.to_dense()
+        np.testing.assert_array_equal(y, [1.0, -1.0, 0.5, 2.0])
+        np.testing.assert_array_equal(dense[:, 0], [0.5, 0.0, -2.0])
+        np.testing.assert_array_equal(dense[:, 2], [0.0, 0.0, 0.0])
+
+    def test_zero_based(self):
+        X, _ = parse_libsvm_lines(["1 0:2.0 1:3.0"], zero_based=True)
+        np.testing.assert_array_equal(X.to_dense()[:, 0], [2.0, 3.0])
+
+    def test_comments_and_blank_lines(self):
+        X, y = parse_libsvm_lines(["# header", "", "1.0 1:1.0  # trailing"])
+        assert y.shape == (1,)
+        assert X.to_dense()[0, 0] == 1.0
+
+    def test_n_features_override(self):
+        X, _ = parse_libsvm_lines(["1 1:1.0"], n_features=10)
+        assert X.shape == (10, 1)
+
+    def test_n_features_too_small(self):
+        with pytest.raises(FormatError):
+            parse_libsvm_lines(["1 5:1.0"], n_features=2)
+
+    def test_bad_label(self):
+        with pytest.raises(FormatError, match="bad label"):
+            parse_libsvm_lines(["abc 1:1.0"])
+
+    def test_malformed_pair(self):
+        with pytest.raises(FormatError):
+            parse_libsvm_lines(["1.0 1:x"])
+        with pytest.raises(FormatError):
+            parse_libsvm_lines(["1.0 notapair"])
+
+    def test_duplicate_feature_index(self):
+        with pytest.raises(FormatError, match="duplicate"):
+            parse_libsvm_lines(["1.0 1:1.0 1:2.0"])
+
+    def test_empty_input(self):
+        X, y = parse_libsvm_lines([])
+        assert X.shape == (0, 0)
+        assert y.size == 0
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path, rng):
+        d, m = 6, 10
+        dense = rng.standard_normal((d, m))
+        dense[np.abs(dense) < 0.5] = 0.0
+        y = rng.standard_normal(m)
+        path = tmp_path / "data.svm"
+        save_libsvm(path, dense, y)
+        X2, y2 = load_libsvm(path, n_features=d)
+        np.testing.assert_allclose(X2.to_dense(), dense)
+        np.testing.assert_allclose(y2, y)
+
+    def test_save_zero_based_roundtrip(self, tmp_path, rng):
+        dense = rng.standard_normal((3, 4))
+        y = rng.standard_normal(4)
+        path = tmp_path / "zb.svm"
+        save_libsvm(path, dense, y, zero_based=True)
+        X2, y2 = load_libsvm(path, zero_based=True, n_features=3)
+        np.testing.assert_allclose(X2.to_dense(), dense)
+
+    def test_save_shape_mismatch(self, tmp_path):
+        with pytest.raises(FormatError):
+            save_libsvm(tmp_path / "x.svm", np.ones((2, 3)), np.ones(4))
+
+    def test_full_precision(self, tmp_path):
+        X = np.array([[1.0 / 3.0]])
+        y = np.array([np.pi])
+        path = tmp_path / "prec.svm"
+        save_libsvm(path, X, y)
+        X2, y2 = load_libsvm(path)
+        assert X2.to_dense()[0, 0] == X[0, 0]
+        assert y2[0] == y[0]

@@ -1,0 +1,63 @@
+"""Unit tests for random sparse generation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sparse.random import random_coo, random_csr
+
+
+class TestRandomCoo:
+    def test_exact_nnz(self):
+        m = random_coo(20, 30, 0.25, rng=0)
+        assert m.nnz == round(0.25 * 600)
+
+    def test_no_stored_zeros(self):
+        m = random_coo(50, 50, 0.1, rng=1)
+        assert np.all(m.data != 0.0)
+
+    def test_no_duplicate_positions(self):
+        m = random_coo(10, 10, 0.9, rng=2)
+        keys = m.rows * 10 + m.cols
+        assert np.unique(keys).size == m.nnz
+
+    def test_density_property(self):
+        m = random_coo(40, 40, 0.3, rng=3)
+        assert m.density == pytest.approx(0.3, abs=0.001)
+
+    def test_zero_density(self):
+        assert random_coo(5, 5, 0.0, rng=0).nnz == 0
+
+    def test_full_density(self):
+        assert random_coo(4, 4, 1.0, rng=0).nnz == 16
+
+    def test_deterministic(self):
+        a = random_coo(10, 10, 0.5, rng=7)
+        b = random_coo(10, 10, 0.5, rng=7)
+        np.testing.assert_array_equal(a.to_dense(), b.to_dense())
+
+    def test_uniform_values(self):
+        m = random_coo(30, 30, 0.5, rng=0, values="uniform")
+        assert np.all(np.abs(m.data) <= 1.0)
+
+    def test_invalid_values_kind(self):
+        with pytest.raises(ValidationError):
+            random_coo(5, 5, 0.5, values="cauchy")
+
+    def test_invalid_density(self):
+        with pytest.raises(ValidationError):
+            random_coo(5, 5, 1.5)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValidationError):
+            random_coo(-1, 5, 0.5)
+
+    def test_empty_shape(self):
+        assert random_coo(0, 10, 0.5).nnz == 0
+
+
+class TestRandomCsr:
+    def test_type_and_density(self):
+        m = random_csr(15, 25, 0.2, rng=0)
+        assert m.nnz == round(0.2 * 375)
+        assert m.shape == (15, 25)

@@ -1,0 +1,90 @@
+"""Unit tests for SolveResult JSON round-tripping."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.results import History, SolveResult
+from repro.exceptions import FormatError
+from repro.utils.serialization import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture()
+def sample_result():
+    h = History()
+    h.append(1, 2.0, rel_error=0.5, sim_time=0.1, comm_round=1)
+    h.append(2, 1.0, rel_error=0.1, sim_time=0.2, comm_round=2)
+    return SolveResult(
+        w=np.array([0.0, 1.5, -2.25]),
+        converged=True,
+        n_iterations=2,
+        n_comm_rounds=2,
+        history=h,
+        cost={"elapsed": 0.25, "messages_per_rank_max": np.float64(6.0)},
+        meta={"solver": "test", "k": np.int64(4), "vector": np.array([1.0, 2.0])},
+    )
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, sample_result):
+        back = result_from_dict(result_to_dict(sample_result))
+        np.testing.assert_array_equal(back.w, sample_result.w)
+        assert back.converged == sample_result.converged
+        assert back.n_iterations == 2
+        assert back.history.objectives == sample_result.history.objectives
+        assert back.cost["elapsed"] == 0.25
+
+    def test_file_roundtrip(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(path, sample_result)
+        back = load_result(path)
+        np.testing.assert_array_equal(back.w, sample_result.w)
+        assert back.meta["k"] == 4
+
+    def test_json_is_plain(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(path, sample_result)
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        assert isinstance(payload["meta"]["vector"], list)
+
+    def test_nan_rel_errors_roundtrip(self, tmp_path):
+        h = History()
+        h.append(1, 2.0)  # rel_error defaults to NaN
+        res = SolveResult(w=np.zeros(1), converged=False, n_iterations=1, history=h)
+        path = tmp_path / "nan.json"
+        save_result(path, res)
+        back = load_result(path)
+        assert np.isnan(back.history.rel_errors[0])
+
+    def test_cost_none(self, tmp_path):
+        res = SolveResult(w=np.zeros(2), converged=False, n_iterations=0)
+        path = tmp_path / "minimal.json"
+        save_result(path, res)
+        assert load_result(path).cost is None
+
+
+class TestErrors:
+    def test_bad_schema_version(self, sample_result):
+        payload = result_to_dict(sample_result)
+        payload["schema_version"] = 99
+        with pytest.raises(FormatError, match="schema version"):
+            result_from_dict(payload)
+
+    def test_missing_field(self, sample_result):
+        payload = result_to_dict(sample_result)
+        del payload["w"]
+        with pytest.raises(FormatError):
+            result_from_dict(payload)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(FormatError):
+            load_result(path)

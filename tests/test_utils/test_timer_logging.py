@@ -1,0 +1,74 @@
+"""Unit tests for repro.utils.timer and repro.utils.logging."""
+
+import logging
+import time
+
+import pytest
+
+from repro.utils.logging import get_logger
+from repro.utils.timer import Timer, WallClock
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        assert t.elapsed > 0
+
+    def test_accumulates_across_runs(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        t.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert not t.running
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestGetLogger:
+    def test_root_namespace(self):
+        assert get_logger().name == "repro"
+
+    def test_child(self):
+        assert get_logger("core").name == "repro.core"
+
+    def test_already_qualified(self):
+        assert get_logger("repro.sparse").name == "repro.sparse"
+
+    def test_is_standard_logger(self):
+        assert isinstance(get_logger("x"), logging.Logger)
