@@ -32,6 +32,7 @@ from repro.core.sfista_dist import sfista_distributed
 from repro.core.stopping import StoppingCriterion
 from repro.data.datasets import DATASETS, get_dataset
 from repro.distsim.machine import MACHINES
+from repro.distsim.sparse_collectives import COMM_MODES
 from repro.perf.report import format_table
 from repro.sparse.io import load_libsvm
 from repro.utils.serialization import save_result
@@ -84,7 +85,7 @@ def _solve(args: argparse.Namespace) -> int:
     elif name == "rc_sfista_dist":
         result = rc_sfista_distributed(
             problem, args.nranks, machine=args.machine, k=args.k, S=args.S,
-            b=args.b, seed=args.seed, **budget, **common,
+            b=args.b, seed=args.seed, comm=args.comm, **budget, **common,
         )
     elif name == "proxcocoa":
         result = proxcocoa(
@@ -108,6 +109,8 @@ def _solve(args: argparse.Namespace) -> int:
     if result.cost is not None:
         rows.append(["sim time", f"{result.sim_time:.5g}s"])
         rows.append(["words/rank", f"{result.cost['words_per_rank_max']:.5g}"])
+        if result.cost.get("saved_words_total", 0.0) > 0:
+            rows.append(["words saved (sparse)", f"{result.cost['saved_words_total']:.5g}"])
     print(format_table(["field", "value"], rows))
     if args.output:
         save_result(args.output, result)
@@ -155,6 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative objective tolerance (computes a reference)")
     solve.add_argument("--nranks", type=int, default=16, help="simulated ranks")
     solve.add_argument("--machine", choices=sorted(MACHINES), default="comet_effective")
+    solve.add_argument("--comm", choices=COMM_MODES, default="dense",
+                       help="allreduce payload encoding for distributed solvers")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--output", help="write the SolveResult as JSON")
 

@@ -44,6 +44,7 @@ from repro.core.results import History, SolveResult
 from repro.core.stopping import StoppingCriterion
 from repro.distsim.bsp import BSPCluster
 from repro.distsim.machine import MachineSpec
+from repro.distsim.sparse_collectives import COMM_MODES
 from repro.exceptions import ValidationError
 from repro.sparse.ops import sampled_gram
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
@@ -181,6 +182,7 @@ def proximal_newton_distributed(
     stopping: StoppingCriterion | None = None,
     monitor_every: int = 1,
     allreduce_algorithm: str = "recursive_doubling",
+    comm: str = "dense",
     cluster: BSPCluster | None = None,
 ) -> SolveResult:
     """Distributed PN (Fig. 7 experiment) — see module docstring.
@@ -189,9 +191,16 @@ def proximal_newton_distributed(
     solver choice controls where the data for ``∇Φ`` comes from and hence
     the communication pattern. ``step_size`` is the inner γ (defaults to
     the problem's 1/L, shared by all variants for comparability).
+
+    ``comm`` selects the collective encoding for every allreduce (gradient,
+    Hessian-vector and sampled-block phases): ``"dense"``, ``"sparse"``
+    (index+value, O(nnz_union) words) or ``"auto"`` (per-phase
+    stream-and-switch on measured density, logged into the trace).
     """
     if inner not in ("fista", "sfista", "rc_sfista"):
         raise ValidationError(f"inner must be fista|sfista|rc_sfista, got {inner!r}")
+    if comm not in COMM_MODES:
+        raise ValidationError(f"comm must be one of {COMM_MODES}, got {comm!r}")
     if inner != "rc_sfista" and (k != 1 or S != 1):
         raise ValidationError("k and S only apply to the rc_sfista inner solver")
     if n_outer < 1 or inner_iters < 1 or k < 1 or S < 1:
@@ -226,7 +235,7 @@ def proximal_newton_distributed(
             contribs.append(g_p)
             flops.append(fl)
         cluster.compute(flops, label="full_gradient")
-        return cluster.allreduce(contribs, label="allreduce_grad")
+        return cluster.allreduce_comm(contribs, mode=comm, label="allreduce_grad")
 
     def dist_hessian_apply(vec: np.ndarray) -> np.ndarray:
         """Exact Hessian-vector product through the distributed data."""
@@ -244,7 +253,7 @@ def proximal_newton_distributed(
                 flops.append(float(4 * rd.X_local.nnz))
             contribs.append(hv)
         cluster.compute(flops, label="hessian_apply")
-        return cluster.allreduce(contribs, label="allreduce_Hv")
+        return cluster.allreduce_comm(contribs, mode=comm, label="allreduce_Hv")
 
     def sampled_blocks(count: int) -> np.ndarray:
         """Stages A–C for *count* fresh sampled Hessians: one allreduce."""
@@ -257,8 +266,8 @@ def proximal_newton_distributed(
                 payload[p].append(H_p.ravel())
                 flops[p] += fl
         cluster.compute(flops, label="hessian_blocks")
-        return cluster.allreduce(
-            [np.concatenate(chunks) for chunks in payload], label="allreduce_G"
+        return cluster.allreduce_comm(
+            [np.concatenate(chunks) for chunks in payload], mode=comm, label="allreduce_G"
         )
 
     w = np.zeros(d)
@@ -342,5 +351,6 @@ def proximal_newton_distributed(
             "b": b,
             "nranks": nranks,
             "machine": cluster.machine.name,
+            "comm": comm,
         },
     )

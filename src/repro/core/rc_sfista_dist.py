@@ -32,6 +32,7 @@ from repro.core.sfista_dist import _epoch_anchor_gradient
 from repro.core.stopping import StoppingCriterion
 from repro.distsim.bsp import BSPCluster
 from repro.distsim.machine import MachineSpec
+from repro.distsim.sparse_collectives import COMM_MODES
 from repro.exceptions import ValidationError
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
@@ -56,6 +57,7 @@ def rc_sfista_distributed(
     monitor_every: int = 1,
     restart_momentum: bool = True,
     allreduce_algorithm: str = "recursive_doubling",
+    comm: str = "dense",
     jitter_seed: RandomState = None,
     cluster: BSPCluster | None = None,
 ) -> SolveResult:
@@ -66,8 +68,16 @@ def rc_sfista_distributed(
     :func:`repro.core.sfista_dist.sfista_distributed` for the cluster
     parameters. ``history`` carries simulated times; ``cost`` the cluster
     counters.
+
+    ``comm`` selects the collective encoding: ``"dense"`` ships full
+    buffers, ``"sparse"`` ships index+value pairs charged at O(nnz_union)
+    words, ``"auto"`` measures the union density per phase and picks the
+    cheaper encoding (the decision is logged into the cluster trace).
+    Iterates are bit-identical across the three modes.
     """
     estimator = GradientEstimator(estimator)
+    if comm not in COMM_MODES:
+        raise ValidationError(f"comm must be one of {COMM_MODES}, got {comm!r}")
     if k < 1 or S < 1:
         raise ValidationError(f"k and S must be >= 1, got k={k}, S={S}")
     if estimator is GradientEstimator.EXACT:
@@ -117,7 +127,7 @@ def rc_sfista_distributed(
     for epoch in range(epochs):
         anchor = w.copy()
         full_grad = (
-            _epoch_anchor_gradient(cluster, data, anchor, problem.m)
+            _epoch_anchor_gradient(cluster, data, anchor, problem.m, comm)
             if estimator is GradientEstimator.SVRG
             else None
         )
@@ -149,7 +159,7 @@ def rc_sfista_distributed(
 
             # ---- stage C: ONE allreduce of k(d² + d) words ------------- #
             packed = [np.concatenate(chunks) for chunks in per_rank_payload]
-            combined = cluster.allreduce(packed, label="allreduce_G")
+            combined = cluster.allreduce_comm(packed, mode=comm, label="allreduce_G")
             comm_rounds += 1
 
             # ---- stage D: k × S replicated local updates --------------- #
@@ -219,5 +229,6 @@ def rc_sfista_distributed(
             "nranks": nranks,
             "machine": cluster.machine.name,
             "allreduce_algorithm": cluster.allreduce_algorithm,
+            "comm": comm,
         },
     )

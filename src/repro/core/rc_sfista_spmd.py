@@ -27,6 +27,7 @@ from repro.core.results import SolveResult
 from repro.core.sfista import GradientEstimator, stochastic_step_size
 from repro.distsim.engine import SPMDEngine
 from repro.distsim.machine import MachineSpec
+from repro.distsim.sparse_collectives import COMM_MODES
 from repro.exceptions import ValidationError
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
@@ -46,9 +47,16 @@ def rc_sfista_spmd(
     estimator: GradientEstimator | str = GradientEstimator.PLAIN,
     seed: RandomState = 0,
     allreduce_algorithm: str = "recursive_doubling",
+    comm: str = "dense",
 ) -> SolveResult:
-    """Run RC-SFISTA (k-overlap, S=1, single epoch) on the SPMD engine."""
+    """Run RC-SFISTA (k-overlap, S=1, single epoch) on the SPMD engine.
+
+    ``comm`` selects the stage-C allreduce encoding (``"dense"``,
+    ``"sparse"``, ``"auto"``); iterates are bit-identical across modes.
+    """
     estimator = GradientEstimator(estimator)
+    if comm not in COMM_MODES:
+        raise ValidationError(f"comm must be one of {COMM_MODES}, got {comm!r}")
     if estimator is GradientEstimator.EXACT:
         raise ValidationError("SPMD RC-SFISTA requires a sampled estimator")
     if k < 1 or n_iterations < 1:
@@ -85,7 +93,7 @@ def rc_sfista_spmd(
         full_grad = None
         if estimator is GradientEstimator.SVRG:
             g_p, _fl = rank_data.full_gradient_contribution(anchor, problem.m)
-            full_grad = yield ctx.allreduce(g_p)
+            full_grad = yield ctx.allreduce(g_p, comm=comm)
 
         done = 0
         while done < n_iterations:
@@ -102,7 +110,7 @@ def rc_sfista_spmd(
                 chunks.append(H_p.ravel())
                 chunks.append(R_p)
             # Stage C: one allreduce of k(d² + d) words.
-            combined = yield ctx.allreduce(np.concatenate(chunks))
+            combined = yield ctx.allreduce(np.concatenate(chunks), comm=comm)
             # Stage D: replicated updates.
             stride = d * d + d
             for j in range(block):
@@ -141,5 +149,6 @@ def rc_sfista_spmd(
             "estimator": estimator.value,
             "step_size": gamma,
             "nranks": nranks,
+            "comm": comm,
         },
     )

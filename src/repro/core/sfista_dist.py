@@ -35,7 +35,7 @@ __all__ = ["sfista_distributed"]
 
 
 def _epoch_anchor_gradient(
-    cluster: BSPCluster, data, w: np.ndarray, m: int
+    cluster: BSPCluster, data, w: np.ndarray, m: int, comm: str = "dense"
 ) -> np.ndarray:
     """SVRG anchor gradient: local contributions + one d-word allreduce."""
     contribs = []
@@ -45,7 +45,7 @@ def _epoch_anchor_gradient(
         contribs.append(g_p)
         flops.append(fl)
     cluster.compute(flops, label="anchor_gradient")
-    return cluster.allreduce(contribs, label="allreduce_anchor_grad")
+    return cluster.allreduce_comm(contribs, mode=comm, label="allreduce_anchor_grad")
 
 
 def sfista_distributed(

@@ -11,6 +11,9 @@ DESIGN.md §1). It provides:
 * :mod:`repro.distsim.collectives` — numerically-correct collective
   operations with per-algorithm cost formulas (binomial tree, recursive
   doubling, ring / Rabenseifner).
+* :mod:`repro.distsim.sparse_collectives` — index+value (COO-vector)
+  buffers and a sparse allreduce that is bit-identical to the dense one
+  while charging O(nnz_union) words (SparCML-style stream-and-switch).
 * :mod:`repro.distsim.bsp` — the lock-step bulk-synchronous cluster the
   solvers run on (local compute phases + collectives).
 * :mod:`repro.distsim.engine` — a generator-based SPMD engine with
@@ -36,6 +39,16 @@ from repro.distsim.collectives import (
     scatter_cost,
     barrier_cost,
     alltoall_cost,
+    sparse_allreduce_cost,
+    sparse_allgather_cost,
+    sparse_payload_words,
+    SPARSE_SWITCH_DENSITY,
+)
+from repro.distsim.sparse_collectives import (
+    COMM_MODES,
+    SparseVector,
+    sparse_allreduce_values,
+    support_union_size,
 )
 from repro.distsim.bsp import BSPCluster
 from repro.distsim.engine import SPMDEngine, RankContext, run_spmd
@@ -57,6 +70,14 @@ __all__ = [
     "scatter_cost",
     "barrier_cost",
     "alltoall_cost",
+    "sparse_allreduce_cost",
+    "sparse_allgather_cost",
+    "sparse_payload_words",
+    "SPARSE_SWITCH_DENSITY",
+    "COMM_MODES",
+    "SparseVector",
+    "sparse_allreduce_values",
+    "support_union_size",
     "BSPCluster",
     "SPMDEngine",
     "RankContext",

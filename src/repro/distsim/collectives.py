@@ -41,6 +41,7 @@ __all__ = [
     "CollectiveCost",
     "ALLREDUCE_ALGORITHMS",
     "allreduce_values",
+    "resolve_reduce_op",
     "allreduce_cost",
     "allgather_cost",
     "bcast_cost",
@@ -50,9 +51,23 @@ __all__ = [
     "barrier_cost",
     "alltoall_cost",
     "ceil_log2",
+    "SPARSE_INDEX_WORDS",
+    "SPARSE_SWITCH_DENSITY",
+    "sparse_payload_words",
+    "sparse_allreduce_cost",
+    "sparse_allgather_cost",
 ]
 
 ALLREDUCE_ALGORITHMS = ("recursive_doubling", "binomial_tree", "ring")
+
+# Index+value encoding of a sparse buffer: every stored entry travels with
+# one 8-byte index word alongside its value word (SparCML's ``S_2k``
+# stream format).
+SPARSE_INDEX_WORDS = 1.0
+
+# Density above which the index+value encoding stops paying and the
+# stream-and-switch schedule densifies: (1 + SPARSE_INDEX_WORDS)·nnz ≥ n.
+SPARSE_SWITCH_DENSITY = 1.0 / (1.0 + SPARSE_INDEX_WORDS)
 
 
 def ceil_log2(p: int) -> int:
@@ -101,18 +116,7 @@ def allreduce_values(
             raise CommunicatorError(
                 f"allreduce buffer shape mismatch: rank 0 has {shape}, rank {i} has {a.shape}"
             )
-    if callable(op):
-        combine = op
-    elif op == "sum":
-        combine = np.add
-    elif op == "max":
-        combine = np.maximum
-    elif op == "min":
-        combine = np.minimum
-    elif op == "prod":
-        combine = np.multiply
-    else:
-        raise ValidationError(f"unknown reduction op {op!r}")
+    combine = resolve_reduce_op(op)
     level = [a.copy() for a in arrays]
     while len(level) > 1:
         nxt = []
@@ -122,6 +126,23 @@ def allreduce_values(
             nxt.append(level[-1])
         level = nxt
     return level[0]
+
+
+def resolve_reduce_op(
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] | str,
+) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """Map an op name (or callable) to its binary numpy combiner."""
+    if callable(op):
+        return op
+    if op == "sum":
+        return np.add
+    if op == "max":
+        return np.maximum
+    if op == "min":
+        return np.minimum
+    if op == "prod":
+        return np.multiply
+    raise ValidationError(f"unknown reduction op {op!r}")
 
 
 # ---------------------------------------------------------------------- #
@@ -269,3 +290,51 @@ def alltoall_cost(machine: MachineSpec, p: int, words_per_pair: float) -> Collec
     w = words_per_pair * (p - 1)
     t = (p - 1) * (machine.alpha + machine.beta * words_per_pair)
     return CollectiveCost(messages=msgs, words=w, time=t)
+
+
+# ---------------------------------------------------------------------- #
+# sparse (index+value) cost formulas — SparCML-style stream-and-switch
+# ---------------------------------------------------------------------- #
+def sparse_payload_words(n: float, nnz: float) -> float:
+    """Wire size of an *n*-long vector carrying *nnz* stored entries.
+
+    The index+value encoding costs ``(1 + SPARSE_INDEX_WORDS)·nnz`` words;
+    the stream-and-switch schedule densifies as soon as that exceeds the
+    dense size ``n``, so the payload never costs more than the dense one.
+    """
+    if n < 0:
+        raise ValidationError(f"vector length must be >= 0, got {n}")
+    if nnz < 0 or nnz > n:
+        raise ValidationError(f"nnz must be in [0, {n}], got {nnz}")
+    return min((1.0 + SPARSE_INDEX_WORDS) * float(nnz), float(n))
+
+
+def sparse_allreduce_cost(
+    machine: MachineSpec,
+    p: int,
+    n: float,
+    nnz_union: float,
+    algorithm: str = "recursive_doubling",
+) -> CollectiveCost:
+    """Cost of a sparse allreduce whose reduced support has *nnz_union* entries.
+
+    Every round of the dense schedule is replayed with the effective
+    payload :func:`sparse_payload_words`\\ ``(n, nnz_union)`` in place of
+    ``n`` — an upper bound on each round's exchanged support (supports only
+    grow toward the union), capped at the dense size by stream-and-switch.
+    Message counts are unchanged; words and time shrink to O(nnz_union).
+    """
+    _check(p, n)
+    return allreduce_cost(machine, p, sparse_payload_words(n, nnz_union), algorithm)
+
+
+def sparse_allgather_cost(
+    machine: MachineSpec, p: int, n_local: float, nnz_local: float
+) -> CollectiveCost:
+    """Recursive-doubling allgather of per-rank sparse buffers.
+
+    Each rank contributes a length-*n_local* buffer with *nnz_local* stored
+    entries, shipped in index+value encoding (dense-capped).
+    """
+    _check(p, n_local)
+    return allgather_cost(machine, p, sparse_payload_words(n_local, nnz_local))

@@ -35,6 +35,8 @@ class CostCounter:
     flops: float = 0.0
     words: float = 0.0
     messages: float = 0.0
+    sparse_words: float = 0.0
+    saved_words: float = 0.0
     compute_time: float = 0.0
     comm_time: float = 0.0
     idle_time: float = 0.0
@@ -48,12 +50,29 @@ class CostCounter:
         self.compute_time += seconds
         self.clock += seconds
 
-    def charge_comm(self, messages: float, words: float, seconds: float) -> None:
-        """Advance the clock through this rank's share of a communication."""
+    def charge_comm(
+        self,
+        messages: float,
+        words: float,
+        seconds: float,
+        *,
+        sparse_words: float = 0.0,
+        saved_words: float = 0.0,
+    ) -> None:
+        """Advance the clock through this rank's share of a communication.
+
+        ``sparse_words`` is the part of *words* that travelled in
+        index+value encoding; ``saved_words`` the dense-equivalent words
+        the sparse encoding avoided (both zero for dense collectives).
+        """
         if messages < 0 or words < 0 or seconds < 0:
             raise ValidationError("communication charges must be non-negative")
+        if sparse_words < 0 or saved_words < 0:
+            raise ValidationError("sparse word charges must be non-negative")
         self.messages += messages
         self.words += words
+        self.sparse_words += sparse_words
+        self.saved_words += saved_words
         self.comm_time += seconds
         self.clock += seconds
 
@@ -70,6 +89,8 @@ class CostCounter:
             "flops": self.flops,
             "words": self.words,
             "messages": self.messages,
+            "sparse_words": self.sparse_words,
+            "saved_words": self.saved_words,
             "compute_time": self.compute_time,
             "comm_time": self.comm_time,
             "idle_time": self.idle_time,
@@ -105,6 +126,16 @@ class ClusterCost:
         return sum(c.messages for c in self.counters)
 
     @property
+    def total_sparse_words(self) -> float:
+        """Words that travelled in index+value encoding, across all ranks."""
+        return sum(c.sparse_words for c in self.counters)
+
+    @property
+    def total_saved_words(self) -> float:
+        """Dense-equivalent words avoided by sparse encoding, across all ranks."""
+        return sum(c.saved_words for c in self.counters)
+
+    @property
     def max_flops(self) -> float:
         """Critical-path flops (slowest rank) — the per-processor F of Table 1."""
         return max((c.flops for c in self.counters), default=0.0)
@@ -134,4 +165,6 @@ class ClusterCost:
             "flops_total": self.total_flops,
             "words_total": self.total_words,
             "messages_total": self.total_messages,
+            "sparse_words_total": self.total_sparse_words,
+            "saved_words_total": self.total_saved_words,
         }

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.exceptions import CommunicatorError, DeadlockError, ValidationError
 from repro.distsim import collectives as coll
+from repro.distsim import sparse_collectives as sc
 from repro.distsim.cost import ClusterCost, CostCounter, PhaseKind
 from repro.distsim.machine import MachineSpec, get_machine
 from repro.distsim.trace import Trace, TraceEvent
@@ -103,6 +104,7 @@ class _Collective(_Op):
     value: Any = None
     root: int = 0
     op: str | Callable = "sum"
+    comm: str = "dense"  # "dense" | "sparse" | "auto" (allreduce only)
 
 
 class RankContext:
@@ -138,8 +140,20 @@ class RankContext:
         return _Wait(handle=handle)
 
     # collectives ------------------------------------------------------- #
-    def allreduce(self, value: np.ndarray, op: str | Callable = "sum") -> _Collective:
-        return _Collective(kind="allreduce", value=value, op=op)
+    def allreduce(
+        self, value: "np.ndarray | sc.SparseVector", op: str | Callable = "sum", comm: str = "dense"
+    ) -> _Collective:
+        """Allreduce; *comm* selects dense, sparse (index+value) or auto.
+
+        Under ``"sparse"``/``"auto"`` the contribution may be a
+        :class:`~repro.distsim.sparse_collectives.SparseVector` or a dense
+        array (sparsified on entry); the engine — playing the network —
+        measures the union density and, for ``"auto"``, picks the cheaper
+        encoding. All ranks must pass the same *comm* value.
+        """
+        if comm not in sc.COMM_MODES:
+            raise CommunicatorError(f"unknown comm mode {comm!r}; choose from {sc.COMM_MODES}")
+        return _Collective(kind="allreduce", value=value, op=op, comm=comm)
 
     def bcast(self, value: Any = None, root: int = 0) -> _Collective:
         return _Collective(kind="bcast", value=value, root=root)
@@ -186,6 +200,8 @@ class _RankState:
 def _words_of(value: Any) -> float:
     if value is None:
         return 0.0
+    if isinstance(value, sc.SparseVector):
+        return coll.sparse_payload_words(value.n, value.nnz)
     if isinstance(value, np.ndarray):
         return float(value.size)
     if isinstance(value, (int, float, np.integer, np.floating)):
@@ -418,12 +434,52 @@ class SPMDEngine:
 
         values = [op.value for op in ops]
         results: list[Any]
+        detail = ""
+        sparse_words = 0.0
+        saved_words = 0.0
         if kind == "allreduce":
-            reduced = coll.allreduce_values([np.asarray(v, dtype=np.float64) for v in values], ops[0].op)
-            cost = coll.allreduce_cost(
-                self.machine, self.nranks, _words_of(values[0]), self.allreduce_algorithm
-            )
-            results = [reduced.copy() for _ in range(self.nranks)]
+            comms = {op.comm for op in ops}
+            if len(comms) != 1:
+                raise CommunicatorError(
+                    f"allreduce comm-mode mismatch across ranks: {sorted(comms)}"
+                )
+            comm = ops[0].comm
+            if comm == "dense":
+                reduced = coll.allreduce_values(
+                    [np.asarray(v, dtype=np.float64) for v in values], ops[0].op
+                )
+                cost = coll.allreduce_cost(
+                    self.machine, self.nranks, _words_of(values[0]), self.allreduce_algorithm
+                )
+                results = [reduced.copy() for _ in range(self.nranks)]
+            else:
+                vectors = [sc.as_sparse_vector(v) for v in values]
+                n = vectors[0].n
+                for i, v in enumerate(vectors):
+                    if v.n != n:
+                        raise CommunicatorError(
+                            f"sparse allreduce length mismatch: rank 0 has n={n}, "
+                            f"rank {i} has n={v.n}"
+                        )
+                reduced_sv = sc.sparse_allreduce_values(vectors, ops[0].op)
+                nnz = reduced_sv.nnz
+                density = nnz / n if n else 0.0
+                resolved = sc.resolve_comm_mode(comm, union_density=density)
+                dense_cost = coll.allreduce_cost(
+                    self.machine, self.nranks, float(n), self.allreduce_algorithm
+                )
+                if resolved == "sparse":
+                    cost = coll.sparse_allreduce_cost(
+                        self.machine, self.nranks, n, nnz, self.allreduce_algorithm
+                    )
+                    sparse_words = cost.words
+                    saved_words = dense_cost.words - cost.words
+                    detail = f"sparse nnz={nnz}/{n}"
+                else:
+                    cost = dense_cost
+                    detail = f"auto->dense nnz={nnz}/{n}"
+                reduced = reduced_sv.to_dense()
+                results = [reduced.copy() for _ in range(self.nranks)]
         elif kind == "reduce":
             reduced = coll.allreduce_values([np.asarray(v, dtype=np.float64) for v in values], ops[0].op)
             cost = coll.reduce_cost(self.machine, self.nranks, _words_of(values[0]))
@@ -469,7 +525,13 @@ class SPMDEngine:
             raise CommunicatorError(f"unknown collective kind {kind!r}")
 
         for c in self.counters:
-            c.charge_comm(cost.messages, cost.words, cost.time)
+            c.charge_comm(
+                cost.messages,
+                cost.words,
+                cost.time,
+                sparse_words=sparse_words,
+                saved_words=saved_words,
+            )
         self.trace.record(
             TraceEvent(
                 kind=PhaseKind.COLLECTIVE if kind != "barrier" else PhaseKind.BARRIER,
@@ -478,6 +540,7 @@ class SPMDEngine:
                 end=self.elapsed,
                 words=cost.words * self.nranks,
                 messages=cost.messages * self.nranks,
+                detail=detail,
             )
         )
         for rank, state in enumerate(states):

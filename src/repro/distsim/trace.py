@@ -23,6 +23,8 @@ class TraceEvent:
 
     ``start``/``end`` are simulated times (collective phases synchronize,
     so one event covers all ranks); ``label`` is caller-provided.
+    ``detail`` carries free-form annotations such as the sparse-collective
+    densification decision (``"sparse nnz=12/400"``).
     """
 
     kind: PhaseKind
@@ -32,6 +34,7 @@ class TraceEvent:
     flops: float = 0.0
     words: float = 0.0
     messages: float = 0.0
+    detail: str = ""
 
     @property
     def duration(self) -> float:

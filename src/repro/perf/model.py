@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.distsim.collectives import ceil_log2
+from repro.distsim.collectives import ceil_log2, sparse_payload_words
 from repro.distsim.machine import MachineSpec, get_machine
 from repro.exceptions import ValidationError
 
@@ -30,6 +30,7 @@ __all__ = [
     "sfista_runtime",
     "rc_sfista_runtime",
     "predicted_speedup",
+    "sparse_comm_words",
     "UPDATE_FLOPS_PER_STEP",
 ]
 
@@ -86,18 +87,45 @@ def update_flops_per_step(d: int) -> float:
     return UPDATE_FLOPS_PER_STEP * d * d + 8.0 * d
 
 
+def sparse_comm_words(words: float, payload_density: float | None) -> float:
+    """Wire size of a *words*-long allreduce payload under sparse encoding.
+
+    *payload_density* is the fill fraction of the reduced payload (the
+    union support over all ranks); ``None`` means the dense encoding. Uses
+    the same :func:`~repro.distsim.collectives.sparse_payload_words`
+    stream-and-switch rule the simulator charges, so model and simulator
+    agree exactly on W in sparse mode too.
+    """
+    if payload_density is None:
+        return float(words)
+    if not (0.0 <= payload_density <= 1.0):
+        raise ValidationError(f"payload_density must be in [0, 1], got {payload_density}")
+    return sparse_payload_words(float(words), payload_density * float(words))
+
+
 def sfista_costs(
-    N: int, d: int, mbar: int, f: float, P: int, *, exact_words: bool = True
+    N: int,
+    d: int,
+    mbar: int,
+    f: float,
+    P: int,
+    *,
+    exact_words: bool = True,
+    payload_density: float | None = None,
 ) -> AlgorithmCosts:
     """Per-processor costs of N iterations of distributed SFISTA.
 
     SFISTA allreduces the (d² + d)-word [H | R] block every iteration
     (recursive doubling ⇒ ⌈log₂P⌉ messages and (d²+d)·⌈log₂P⌉ words per
     iteration per rank) and performs one inner update per iteration.
+    *payload_density* models the sparse-communication mode (see
+    :func:`sparse_comm_words`).
     """
     _validate(N, d, P)
     log_p = ceil_log2(P)
-    words_per_iter = (d * d + d) if exact_words else d * d
+    words_per_iter = sparse_comm_words(
+        (d * d + d) if exact_words else d * d, payload_density
+    )
     return AlgorithmCosts(
         latency=float(N * log_p),
         flops=N * (hessian_flops_per_iteration(d, mbar, f, P) + update_flops_per_step(d)),
@@ -106,18 +134,30 @@ def sfista_costs(
 
 
 def rc_sfista_costs(
-    N: int, d: int, mbar: int, f: float, P: int, k: int, S: int, *, exact_words: bool = True
+    N: int,
+    d: int,
+    mbar: int,
+    f: float,
+    P: int,
+    k: int,
+    S: int,
+    *,
+    exact_words: bool = True,
+    payload_density: float | None = None,
 ) -> AlgorithmCosts:
     """Per-processor costs of N inner iterations of RC-SFISTA.
 
     One allreduce of k·(d² + d) words every k iterations: latency shrinks by
     k, bandwidth is unchanged (Table 1, RC-SFISTA row). The Hessian-reuse
-    loop multiplies the update flops by S.
+    loop multiplies the update flops by S. *payload_density* models the
+    sparse-communication mode (see :func:`sparse_comm_words`).
     """
     _validate(N, d, P, k, S)
     log_p = ceil_log2(P)
     rounds = N // k
-    words_per_round = k * ((d * d + d) if exact_words else d * d)
+    words_per_round = sparse_comm_words(
+        k * ((d * d + d) if exact_words else d * d), payload_density
+    )
     return AlgorithmCosts(
         latency=float(rounds * log_p),
         flops=N * (hessian_flops_per_iteration(d, mbar, f, P) + S * update_flops_per_step(d)),

@@ -17,6 +17,21 @@ from repro.data.synthetic import make_regression
 from repro.sparse.random import random_csr
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-trace fixtures under tests/golden/ instead of comparing",
+    )
+
+
+@pytest.fixture()
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite golden fixtures (--update-golden)."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(scope="session")
 def small_dense_problem() -> L1LeastSquares:
     """Dense 12×200 lasso with sparse ground truth — fast, well-conditioned."""

@@ -1,0 +1,189 @@
+"""SPMD engine misuse must fail fast with a clear error — never hang.
+
+The ISSUE-mandated negative suite: mismatched send/recv pairs, wrong-shape
+collective contributions, ranks exiting early, and mixed collective kinds
+all raise :class:`CommunicatorError` (or its :class:`DeadlockError`
+subclass) with an actionable message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distsim.engine import SPMDEngine, run_spmd
+from repro.exceptions import CommunicatorError, DeadlockError
+
+
+class TestMismatchedPointToPoint:
+    def test_recv_with_no_sender_deadlocks(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                data = yield ctx.recv(1)  # rank 1 never sends
+                return data
+            return None
+
+        with pytest.raises(DeadlockError, match=r"rank 0: waiting recv"):
+            run_spmd(2, program)
+
+    def test_recv_wrong_tag_deadlocks(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, np.ones(2), tag=7)
+            else:
+                data = yield ctx.recv(0, tag=8)  # wrong tag: never matches
+                return data
+
+        with pytest.raises(DeadlockError, match="waiting recv"):
+            run_spmd(2, program)
+
+    def test_recv_from_finished_rank_deadlocks(self):
+        def program(ctx):
+            if ctx.rank == 1:
+                data = yield ctx.recv(0)
+                return data
+            return None  # rank 0 exits immediately without sending
+
+        with pytest.raises(DeadlockError, match="rank 0: finished"):
+            run_spmd(2, program)
+
+    def test_wait_on_unmatched_irecv_deadlocks(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                req = yield ctx.irecv(1)
+                data = yield ctx.wait(req)
+                return data
+            return None
+
+        with pytest.raises(DeadlockError, match="waiting on irecv"):
+            run_spmd(2, program)
+
+    def test_send_to_self_rejected(self):
+        def program(ctx):
+            yield ctx.send(ctx.rank, np.ones(1))
+
+        with pytest.raises(CommunicatorError, match="send to itself"):
+            run_spmd(2, program)
+
+    def test_send_to_invalid_rank_rejected(self):
+        def program(ctx):
+            yield ctx.send(5, np.ones(1))
+
+        with pytest.raises(CommunicatorError, match="invalid rank"):
+            run_spmd(2, program)
+
+    def test_wait_on_foreign_handle_rejected(self):
+        def program(ctx):
+            req = yield ctx.irecv(1 - ctx.rank, tag=0)
+            if ctx.rank == 0:
+                req.rank = 1  # forge a handle owned by another rank
+            yield ctx.send(1 - ctx.rank, np.ones(1))
+            data = yield ctx.wait(req)
+            return data
+
+        with pytest.raises(CommunicatorError, match="posted by rank"):
+            run_spmd(2, program)
+
+
+class TestWrongShapeCollectives:
+    def test_allreduce_shape_mismatch(self):
+        def program(ctx):
+            size = 3 if ctx.rank == 0 else 4
+            total = yield ctx.allreduce(np.ones(size))
+            return total
+
+        with pytest.raises(CommunicatorError, match="shape mismatch"):
+            run_spmd(2, program)
+
+    def test_sparse_allreduce_length_mismatch(self):
+        def program(ctx):
+            size = 3 if ctx.rank == 0 else 4
+            total = yield ctx.allreduce(np.ones(size), comm="sparse")
+            return total
+
+        with pytest.raises(CommunicatorError, match="length mismatch"):
+            run_spmd(2, program)
+
+    def test_scatter_wrong_chunk_count(self):
+        def program(ctx):
+            chunks = [np.ones(2)] * 2 if ctx.rank == 0 else None  # engine has 3 ranks
+            part = yield ctx.scatter(chunks, root=0)
+            return part
+
+        with pytest.raises(CommunicatorError, match="one chunk per rank"):
+            run_spmd(3, program)
+
+    def test_alltoall_wrong_chunk_count(self):
+        def program(ctx):
+            parts = yield ctx.alltoall([np.ones(1)] * (2 if ctx.rank else 3))
+            return parts
+
+        with pytest.raises(CommunicatorError, match="one chunk per rank"):
+            run_spmd(3, program)
+
+
+class TestEarlyExitAndMismatchedCollectives:
+    def test_rank_exits_before_collective(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                return None  # bails out before the collective
+            total = yield ctx.allreduce(np.ones(2))
+            return total
+
+        with pytest.raises(CommunicatorError, match="all ranks\\s+must participate"):
+            run_spmd(2, program)
+
+    def test_mixed_collective_kinds(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                out = yield ctx.allreduce(np.ones(2))
+            else:
+                out = yield ctx.barrier()
+            return out
+
+        with pytest.raises(CommunicatorError, match="collective mismatch"):
+            run_spmd(2, program)
+
+    def test_mixed_roots(self):
+        def program(ctx):
+            out = yield ctx.bcast(np.ones(2), root=ctx.rank)
+            return out
+
+        with pytest.raises(CommunicatorError, match="root mismatch"):
+            run_spmd(2, program)
+
+    def test_mixed_comm_modes(self):
+        def program(ctx):
+            comm = "sparse" if ctx.rank == 0 else "dense"
+            out = yield ctx.allreduce(np.ones(2), comm=comm)
+            return out
+
+        with pytest.raises(CommunicatorError, match="comm-mode mismatch"):
+            run_spmd(2, program)
+
+    def test_unknown_comm_mode_rejected_at_call_site(self):
+        def program(ctx):
+            out = yield ctx.allreduce(np.ones(2), comm="gzip")
+            return out
+
+        with pytest.raises(CommunicatorError, match="unknown comm mode"):
+            run_spmd(2, program)
+
+    def test_yielding_garbage_rejected(self):
+        def program(ctx):
+            yield "not an op"
+
+        with pytest.raises(CommunicatorError, match="must yield RankContext operations"):
+            run_spmd(2, program)
+
+    def test_errors_do_not_hang_scheduler(self):
+        """A failing program must raise, not spin until max_steps."""
+        def program(ctx):
+            if ctx.rank == 0:
+                data = yield ctx.recv(1)
+                return data
+            return None
+
+        engine = SPMDEngine(2, "comet_paper", )
+        with pytest.raises(DeadlockError):
+            engine.run(program)

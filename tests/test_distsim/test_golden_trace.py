@@ -1,0 +1,110 @@
+"""Golden-trace regression tests for the simulator's cost accounting.
+
+Every benchmark in this repo reads message/word/flop counters off the
+simulator; a silent change to the charging rules would corrupt all of them
+at once. These tests pin the exact per-phase counts of a fixed-seed
+RC-SFISTA solve at small P against a checked-in JSON fixture
+(``tests/golden/``), in both dense and sparse communication modes.
+
+Regenerate after an *intentional* accounting change with::
+
+    pytest tests/test_distsim/test_golden_trace.py --update-golden
+
+and review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.objectives import L1LeastSquares
+from repro.core.rc_sfista_dist import rc_sfista_distributed
+from repro.data.synthetic import make_regression
+from repro.distsim.bsp import BSPCluster
+from repro.distsim.trace import Trace
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+FIXTURE = GOLDEN_DIR / "rc_sfista_p4_trace.json"
+NRANKS = 4
+
+
+def _problem() -> L1LeastSquares:
+    # Low column fill so the sampled-Hessian payload stays below the
+    # stream-and-switch threshold: the sparse mode must actually save words
+    # in the fixture, pinning the O(nnz_union) accounting.
+    X, y, _w = make_regression(24, 80, density=0.08, noise=0.05, rng=11)
+    grad0 = X.matvec(y) / 80 if hasattr(X, "matvec") else X @ y / 80
+    lam = 0.05 * float(np.max(np.abs(grad0)))
+    return L1LeastSquares(X, y, lam)
+
+
+def _run(comm: str) -> dict:
+    """One fixed-seed solve; returns the full cost/trace accounting."""
+    cluster = BSPCluster(NRANKS, "comet_paper", trace=Trace())
+    res = rc_sfista_distributed(
+        _problem(),
+        NRANKS,
+        k=2,
+        S=2,
+        b=0.1,
+        epochs=1,
+        iters_per_epoch=8,
+        estimator="plain",
+        seed=0,
+        monitor_every=4,
+        comm=comm,
+        cluster=cluster,
+    )
+    per_phase: dict[str, dict[str, float]] = {}
+    for e in cluster.trace.events:
+        rec = per_phase.setdefault(
+            e.label, {"events": 0, "flops": 0.0, "words": 0.0, "messages": 0.0}
+        )
+        rec["events"] += 1
+        rec["flops"] += e.flops
+        rec["words"] += e.words
+        rec["messages"] += e.messages
+    return {
+        "per_phase": per_phase,
+        "cost_summary": res.cost,
+        "n_comm_rounds": res.n_comm_rounds,
+        "n_iterations": res.n_iterations,
+        "trace_details": [e.detail for e in cluster.trace.events if e.detail],
+    }
+
+
+def _canonical(obj: dict) -> dict:
+    """JSON round-trip so in-memory and on-disk values compare exactly."""
+    return json.loads(json.dumps(obj, sort_keys=True))
+
+
+def test_golden_trace_matches_fixture(update_golden):
+    got = _canonical({"dense": _run("dense"), "sparse": _run("sparse")})
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        FIXTURE.write_text(json.dumps(got, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    expected = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    assert got == expected, (
+        "simulator cost accounting drifted from tests/golden/"
+        f"{FIXTURE.name}; if the change is intentional rerun with --update-golden"
+    )
+
+
+def test_golden_trace_deterministic_across_runs():
+    """Two consecutive runs must agree bit-for-bit (no RNG/time leakage)."""
+    for comm in ("dense", "sparse"):
+        assert _canonical(_run(comm)) == _canonical(_run(comm))
+
+
+def test_golden_fixture_phases_cover_stages():
+    """The fixture must keep pinning every stage of the Fig. 1 schedule."""
+    expected = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    for mode in ("dense", "sparse"):
+        labels = set(expected[mode]["per_phase"])
+        assert {"hessian_blocks", "allreduce_G", "update"} <= labels
+    dense_w = expected["dense"]["cost_summary"]["words_per_rank_max"]
+    sparse_w = expected["sparse"]["cost_summary"]["words_per_rank_max"]
+    assert sparse_w < dense_w, "fixture must exercise genuine sparse word savings"
