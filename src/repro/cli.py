@@ -30,7 +30,9 @@ from repro.core.reference import solve_reference
 from repro.core.sfista import sfista
 from repro.core.sfista_dist import sfista_distributed
 from repro.core.stopping import StoppingCriterion
+from repro.core.resilience import ON_NAN_POLICIES
 from repro.data.datasets import DATASETS, get_dataset
+from repro.distsim.faults import CORRUPTION_MODES, FaultPlan, RankCrash, RetryPolicy
 from repro.distsim.machine import MACHINES
 from repro.distsim.sparse_collectives import COMM_MODES
 from repro.perf.report import format_table
@@ -53,6 +55,26 @@ def _load_problem(args: argparse.Namespace) -> L1LeastSquares:
         return L1LeastSquares(X, y, lam)
     ds = get_dataset(args.dataset, size=args.size)
     return ds.problem(lam=args.lam)
+
+
+def _build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    """Fault plan from the CLI knobs (None when everything is off)."""
+    crashes: tuple[RankCrash, ...] = ()
+    if args.crash_rank is not None:
+        if args.crash_at_time is None:
+            raise SystemExit("--crash-rank needs --crash-at-time")
+        crashes = (RankCrash(rank=args.crash_rank, at_time=args.crash_at_time),)
+    elif args.crash_at_time is not None:
+        raise SystemExit("--crash-at-time needs --crash-rank")
+    plan = FaultPlan(
+        seed=args.faults_seed,
+        collective_drop_rate=args.drop_rate,
+        corrupt_rate=args.corrupt_rate,
+        corrupt_mode=args.corrupt_mode,
+        stall_rate=args.stall_rate,
+        crashes=crashes,
+    )
+    return None if plan.empty else plan
 
 
 def _solve(args: argparse.Namespace) -> int:
@@ -83,9 +105,17 @@ def _solve(args: argparse.Namespace) -> int:
             **budget, **common,
         )
     elif name == "rc_sfista_dist":
+        plan = _build_fault_plan(args)
         result = rc_sfista_distributed(
             problem, args.nranks, machine=args.machine, k=args.k, S=args.S,
-            b=args.b, seed=args.seed, comm=args.comm, **budget, **common,
+            b=args.b, seed=args.seed, comm=args.comm,
+            faults=plan,
+            retry=RetryPolicy() if plan is not None and plan.collective_drop_rate > 0 else None,
+            recv_timeout=args.recv_timeout,
+            checkpoint_every=args.checkpoint_every,
+            on_nan=args.on_nan,
+            max_recoveries=args.max_recoveries,
+            **budget, **common,
         )
     elif name == "proxcocoa":
         result = proxcocoa(
@@ -111,6 +141,14 @@ def _solve(args: argparse.Namespace) -> int:
         rows.append(["words/rank", f"{result.cost['words_per_rank_max']:.5g}"])
         if result.cost.get("saved_words_total", 0.0) > 0:
             rows.append(["words saved (sparse)", f"{result.cost['saved_words_total']:.5g}"])
+        if result.cost.get("checkpoint_words_total", 0.0) > 0:
+            rows.append(["checkpoint words", f"{result.cost['checkpoint_words_total']:.5g}"])
+        if result.cost.get("retry_words_total", 0.0) > 0:
+            rows.append(["retry/recovery words", f"{result.cost['retry_words_total']:.5g}"])
+    resilience = result.meta.get("resilience")
+    if resilience and (resilience["rollbacks"] or resilience["rank_failures_recovered"]):
+        rows.append(["rollbacks", resilience["rollbacks"]])
+        rows.append(["ranks healed", str(resilience["healed_ranks"])])
     print(format_table(["field", "value"], rows))
     if args.output:
         save_result(args.output, result)
@@ -162,6 +200,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allreduce payload encoding for distributed solvers")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--output", help="write the SolveResult as JSON")
+    # resilient runtime (rc_sfista_dist) --------------------------------- #
+    solve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="checkpoint every N stage-C rounds (0 disables)")
+    solve.add_argument("--on-nan", choices=ON_NAN_POLICIES, default=None,
+                       help="NaN/Inf screening policy (off by default)")
+    solve.add_argument("--recv-timeout", type=float, default=None,
+                       help="collective arrival-skew deadline in simulated seconds")
+    solve.add_argument("--max-recoveries", type=int, default=3,
+                       help="rollbacks tolerated before the failure propagates")
+    # fault injection (simulated, deterministic) ------------------------- #
+    solve.add_argument("--faults-seed", type=int, default=0,
+                       help="seed for the deterministic fault plan")
+    solve.add_argument("--drop-rate", type=float, default=0.0,
+                       help="per-collective message-loss probability")
+    solve.add_argument("--corrupt-rate", type=float, default=0.0,
+                       help="per-contribution payload-corruption probability")
+    solve.add_argument("--corrupt-mode", choices=CORRUPTION_MODES, default="nan")
+    solve.add_argument("--stall-rate", type=float, default=0.0,
+                       help="per-rank per-collective transient-stall probability")
+    solve.add_argument("--crash-rank", type=int, default=None,
+                       help="rank to crash permanently (needs --crash-at-time)")
+    solve.add_argument("--crash-at-time", type=float, default=None,
+                       help="simulated clock at which --crash-rank dies")
 
     sub.add_parser("datasets", help="list the Table 2 dataset registry")
     sub.add_parser("machines", help="list the machine-model presets")

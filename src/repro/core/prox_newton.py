@@ -40,12 +40,14 @@ from repro.core.cd import coordinate_descent_quadratic
 from repro.core.fista import fista, momentum_mu, t_next
 from repro.core.objectives import L1LeastSquares, QuadraticModel
 from repro.core.proximal import L1Prox, soft_threshold
+from repro.core.resilience import Checkpoint, NumericalGuard, RecoveryStats, RollbackRequested
 from repro.core.results import History, SolveResult
 from repro.core.stopping import StoppingCriterion
 from repro.distsim.bsp import BSPCluster
+from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injector
 from repro.distsim.machine import MachineSpec
 from repro.distsim.sparse_collectives import COMM_MODES
-from repro.exceptions import ValidationError
+from repro.exceptions import NumericalFaultError, RankFailureError, ValidationError
 from repro.sparse.ops import sampled_gram
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_in_range, check_positive
@@ -184,6 +186,12 @@ def proximal_newton_distributed(
     allreduce_algorithm: str = "recursive_doubling",
     comm: str = "dense",
     cluster: BSPCluster | None = None,
+    faults: FaultPlan | FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
+    recv_timeout: float | None = None,
+    checkpoint_every: int = 0,
+    on_nan: str | None = None,
+    max_recoveries: int = 3,
 ) -> SolveResult:
     """Distributed PN (Fig. 7 experiment) — see module docstring.
 
@@ -196,6 +204,14 @@ def proximal_newton_distributed(
     Hessian-vector and sampled-block phases): ``"dense"``, ``"sparse"``
     (index+value, O(nnz_union) words) or ``"auto"`` (per-phase
     stream-and-switch on measured density, logged into the trace).
+
+    Resilience: ``faults``/``retry``/``recv_timeout`` configure the
+    cluster's fault layer (mutually exclusive with a prebuilt ``cluster``);
+    ``checkpoint_every`` checkpoints the outer iterate every that many
+    outer iterations (rollback replays the interrupted outer iteration
+    bit-exactly via the captured RNG state); ``on_nan`` screens every
+    collective result (``None`` off, else ``raise|rollback|recompute``);
+    ``max_recoveries`` bounds the rollbacks before the failure propagates.
     """
     if inner not in ("fista", "sfista", "rc_sfista"):
         raise ValidationError(f"inner must be fista|sfista|rc_sfista, got {inner!r}")
@@ -207,7 +223,12 @@ def proximal_newton_distributed(
         raise ValidationError("n_outer, inner_iters, k, S must be >= 1")
     if monitor_every < 1:
         raise ValidationError(f"monitor_every must be >= 1, got {monitor_every}")
+    if checkpoint_every < 0:
+        raise ValidationError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+    if max_recoveries < 0:
+        raise ValidationError(f"max_recoveries must be >= 0, got {max_recoveries}")
     stopping = stopping or StoppingCriterion()
+    guard = NumericalGuard(on_nan)
     rng = as_generator(seed)
     d, lam = problem.d, problem.lam
     gamma = (
@@ -223,10 +244,43 @@ def proximal_newton_distributed(
     )
 
     data = distribute_problem(problem, nranks)
+    injector = as_injector(faults)
     if cluster is None:
-        cluster = BSPCluster(nranks, machine, allreduce_algorithm=allreduce_algorithm)
-    elif cluster.nranks != nranks:
-        raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
+        cluster = BSPCluster(
+            nranks,
+            machine,
+            allreduce_algorithm=allreduce_algorithm,
+            injector=injector,
+            retry=retry,
+            collective_deadline=recv_timeout,
+        )
+        injector = cluster.injector
+    else:
+        if injector is not None or retry is not None or recv_timeout is not None:
+            raise ValidationError(
+                "configure faults/retry/recv_timeout on the supplied cluster, "
+                "not through the solver"
+            )
+        if cluster.nranks != nranks:
+            raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
+        injector = cluster.injector
+
+    stats = RecoveryStats()
+
+    def screened_allreduce(
+        contribs: list[np.ndarray], label: str
+    ) -> np.ndarray:
+        """Allreduce with recompute-on-corruption screening."""
+        nonlocal comm_rounds
+        for _attempt in range(max_recoveries + 1):
+            out = cluster.allreduce_comm(contribs, mode=comm, label=label)
+            comm_rounds += 1
+            if not guard.screen(out, label, stats):
+                return out
+            stats.recomputes += 1
+        raise NumericalFaultError(
+            f"{label} stayed non-finite after {max_recoveries + 1} attempt(s)"
+        )
 
     def dist_full_gradient(point: np.ndarray) -> np.ndarray:
         contribs, flops = [], []
@@ -235,7 +289,7 @@ def proximal_newton_distributed(
             contribs.append(g_p)
             flops.append(fl)
         cluster.compute(flops, label="full_gradient")
-        return cluster.allreduce_comm(contribs, mode=comm, label="allreduce_grad")
+        return screened_allreduce(contribs, "allreduce_grad")
 
     def dist_hessian_apply(vec: np.ndarray) -> np.ndarray:
         """Exact Hessian-vector product through the distributed data."""
@@ -253,7 +307,7 @@ def proximal_newton_distributed(
                 flops.append(float(4 * rd.X_local.nnz))
             contribs.append(hv)
         cluster.compute(flops, label="hessian_apply")
-        return cluster.allreduce_comm(contribs, mode=comm, label="allreduce_Hv")
+        return screened_allreduce(contribs, "allreduce_Hv")
 
     def sampled_blocks(count: int) -> np.ndarray:
         """Stages A–C for *count* fresh sampled Hessians: one allreduce."""
@@ -266,8 +320,8 @@ def proximal_newton_distributed(
                 payload[p].append(H_p.ravel())
                 flops[p] += fl
         cluster.compute(flops, label="hessian_blocks")
-        return cluster.allreduce_comm(
-            [np.concatenate(chunks) for chunks in payload], mode=comm, label="allreduce_G"
+        return screened_allreduce(
+            [np.concatenate(chunks) for chunks in payload], "allreduce_G"
         )
 
     w = np.zeros(d)
@@ -276,63 +330,124 @@ def proximal_newton_distributed(
     converged = False
     comm_rounds = 0
     outer_done = 0
+    start_n = 1
 
-    for n in range(1, n_outer + 1):
-        grad = dist_full_gradient(w)
-        comm_rounds += 1
+    def capture(next_n: int) -> Checkpoint:
+        return Checkpoint.capture(
+            arrays={"w": w},
+            scalars={"n": next_n, "prev_obj": prev_obj, "outer_done": outer_done},
+            rng=rng,
+            history_len=len(history),
+        )
 
-        # Inner solve of Eq. (19) warm-started at w.
-        u = w.copy()
-        u_prev = u.copy()
-        t_prev = 1.0
-        if inner == "fista":
-            for _i in range(inner_iters):
-                t_cur = t_next(t_prev)
-                mu = momentum_mu(t_prev, t_cur)
-                v = u + mu * (u - u_prev)
-                g = dist_hessian_apply(v - w) + grad
-                comm_rounds += 1
-                cluster.compute(8.0 * d, label="update")
-                u_new = soft_threshold(v - gamma * g, thresh)
-                u_prev, u = u, u_new
-                t_prev = t_cur
-        else:
-            block_k = k if inner == "rc_sfista" else 1
-            reuse_S = S if inner == "rc_sfista" else 1
-            n_rounds = -(-inner_iters // block_k)
-            done = 0
-            for _rnd in range(n_rounds):
-                block = min(block_k, inner_iters - done)
-                G = sampled_blocks(block)
-                comm_rounds += 1
-                for j in range(block):
-                    H_j = G[j * d * d : (j + 1) * d * d].reshape(d, d)
-                    # R of the linearized model with sampled H: Hw − ∇f(w).
-                    R_j = H_j @ w - grad
-                    cluster.compute(2.0 * d * d, label="model_rhs")
+    def restore(ck: Checkpoint) -> None:
+        nonlocal w, prev_obj, outer_done, start_n, converged
+        w = ck.array("w")
+        prev_obj = ck.scalars["prev_obj"]
+        outer_done = ck.scalars["outer_done"]
+        start_n = ck.scalars["n"]
+        converged = False
+        ck.restore_rng(rng)
+        history.truncate(ck.history_len)
+        # comm_rounds is not restored: replayed collectives really happen
+        # (and are really charged) a second time.
+
+    def main_loop() -> None:
+        nonlocal w, prev_obj, converged, comm_rounds, outer_done, ck
+        for n in range(start_n, n_outer + 1):
+            grad = dist_full_gradient(w)
+
+            # Inner solve of Eq. (19) warm-started at w.
+            u = w.copy()
+            u_prev = u.copy()
+            t_prev = 1.0
+            if inner == "fista":
+                for _i in range(inner_iters):
                     t_cur = t_next(t_prev)
                     mu = momentum_mu(t_prev, t_cur)
                     v = u + mu * (u - u_prev)
-                    z = v
-                    for _s in range(reuse_S):  # Hessian-reuse prox steps
-                        step_dir = H_j @ z - R_j + eps_reg * (z - v)
-                        z = soft_threshold(z - gamma * step_dir, thresh)
-                        cluster.compute(UPDATE_FLOPS(d), label="update")
-                    u_prev, u = u, z
+                    g = dist_hessian_apply(v - w) + grad
+                    cluster.compute(8.0 * d, label="update")
+                    u_new = soft_threshold(v - gamma * g, thresh)
+                    u_prev, u = u, u_new
                     t_prev = t_cur
-                    done += 1
+            else:
+                block_k = k if inner == "rc_sfista" else 1
+                reuse_S = S if inner == "rc_sfista" else 1
+                n_rounds = -(-inner_iters // block_k)
+                done = 0
+                for _rnd in range(n_rounds):
+                    block = min(block_k, inner_iters - done)
+                    G = sampled_blocks(block)
+                    for j in range(block):
+                        H_j = G[j * d * d : (j + 1) * d * d].reshape(d, d)
+                        # R of the linearized model with sampled H: Hw − ∇f(w).
+                        R_j = H_j @ w - grad
+                        cluster.compute(2.0 * d * d, label="model_rhs")
+                        t_cur = t_next(t_prev)
+                        mu = momentum_mu(t_prev, t_cur)
+                        v = u + mu * (u - u_prev)
+                        z = v
+                        for _s in range(reuse_S):  # Hessian-reuse prox steps
+                            step_dir = H_j @ z - R_j + eps_reg * (z - v)
+                            z = soft_threshold(z - gamma * step_dir, thresh)
+                            cluster.compute(UPDATE_FLOPS(d), label="update")
+                        u_prev, u = u, z
+                        t_prev = t_cur
+                        done += 1
 
-        w = w + damping * (u - w)
-        outer_done = n
-        if n % monitor_every == 0 or n == n_outer:
-            obj = problem.value(w)  # out of band
-            history.append(
-                n, obj, stopping.rel_error(obj), sim_time=cluster.elapsed, comm_round=comm_rounds
-            )
-            if stopping.satisfied(obj, prev_obj):
-                converged = True
-                break
-            prev_obj = obj
+            w = w + damping * (u - w)
+            outer_done = n
+            if n % monitor_every == 0 or n == n_outer:
+                obj = problem.value(w)  # out of band
+                if guard.enabled and guard.screen(obj, "monitored objective", stats):
+                    # A non-finite iterate cannot be fixed by re-communicating.
+                    raise RollbackRequested("monitored objective")
+                history.append(
+                    n, obj, stopping.rel_error(obj), sim_time=cluster.elapsed, comm_round=comm_rounds
+                )
+                if stopping.satisfied(obj, prev_obj):
+                    converged = True
+                    return
+                prev_obj = obj
+            if checkpoint_every and n % checkpoint_every == 0 and n < n_outer:
+                # Promote the snapshot only after its traffic lands: a crash
+                # mid-checkpoint must roll back to the previous durable one.
+                new_ck = capture(n + 1)
+                cluster.checkpoint(new_ck.words)
+                ck = new_ck
+                stats.checkpoints += 1
+
+    # Free initial checkpoint: recovery without periodic checkpoints
+    # restarts from scratch.
+    ck = capture(1)
+    recoveries = 0
+    while True:
+        try:
+            main_loop()
+            break
+        except RankFailureError:
+            if injector is None:
+                raise
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise
+            healed = injector.heal_all()
+            stats.rank_failures_recovered += 1
+            stats.healed_ranks.extend(healed)
+            stats.rollbacks += 1
+            cluster.recover(ck.words)
+            restore(ck)
+        except RollbackRequested as sig:
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise NumericalFaultError(
+                    f"non-finite values in {sig.what} persisted after "
+                    f"{max_recoveries} rollback(s)"
+                ) from None
+            stats.rollbacks += 1
+            cluster.recover(ck.words)
+            restore(ck)
 
     return SolveResult(
         w=w,
@@ -352,5 +467,9 @@ def proximal_newton_distributed(
             "nranks": nranks,
             "machine": cluster.machine.name,
             "comm": comm,
+            "checkpoint_every": checkpoint_every,
+            "on_nan": on_nan,
+            "max_recoveries": max_recoveries,
+            "resilience": stats.as_meta(),
         },
     )

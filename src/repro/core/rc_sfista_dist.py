@@ -16,6 +16,16 @@ Implements the four stages of Fig. 1 per outer round:
 The iterate sequence matches the serial :func:`repro.core.rc_sfista.rc_sfista`
 with the same seed (the overlap changes only *where* communication
 happens), which the integration tests assert.
+
+Resilient runtime
+-----------------
+With ``faults``/``retry``/``checkpoint_every``/``on_nan`` set, the solver
+runs on a faulty cluster and tolerates it: state is checkpointed every
+``checkpoint_every`` stage-C rounds (charged to the ``checkpoint_words``
+counter), a crashed rank is healed and the run rolls back to the last
+checkpoint — replaying bit-exactly thanks to the captured RNG state, so
+the recovered solution equals the fault-free one — and NaN/Inf escaping a
+collective is screened per the ``on_nan`` policy.
 """
 
 from __future__ import annotations
@@ -26,14 +36,16 @@ from repro.core._dist_common import UPDATE_FLOPS, distribute_problem
 from repro.core.fista import momentum_mu, t_next
 from repro.core.objectives import L1LeastSquares
 from repro.core.proximal import soft_threshold
+from repro.core.resilience import Checkpoint, NumericalGuard, RecoveryStats, RollbackRequested
 from repro.core.results import History, SolveResult
 from repro.core.sfista import GradientEstimator, stochastic_step_size
 from repro.core.sfista_dist import _epoch_anchor_gradient
 from repro.core.stopping import StoppingCriterion
 from repro.distsim.bsp import BSPCluster
+from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injector
 from repro.distsim.machine import MachineSpec
 from repro.distsim.sparse_collectives import COMM_MODES
-from repro.exceptions import ValidationError
+from repro.exceptions import NumericalFaultError, RankFailureError, ValidationError
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -60,6 +72,13 @@ def rc_sfista_distributed(
     comm: str = "dense",
     jitter_seed: RandomState = None,
     cluster: BSPCluster | None = None,
+    faults: FaultPlan | FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
+    recv_timeout: float | None = None,
+    checkpoint_every: int = 0,
+    on_nan: str | None = None,
+    max_recoveries: int = 3,
+    adaptive_restart: bool = False,
 ) -> SolveResult:
     """Distributed RC-SFISTA (Alg. 5 on the cluster of Fig. 1).
 
@@ -74,6 +93,28 @@ def rc_sfista_distributed(
     words, ``"auto"`` measures the union density per phase and picks the
     cheaper encoding (the decision is logged into the cluster trace).
     Iterates are bit-identical across the three modes.
+
+    Resilience knobs
+    ----------------
+    faults / retry / recv_timeout:
+        Build the cluster with a :class:`~repro.distsim.faults.FaultPlan`
+        (or injector), a torn-collective
+        :class:`~repro.distsim.faults.RetryPolicy`, and an arrival-skew
+        deadline. Mutually exclusive with passing a prebuilt ``cluster``
+        (configure that cluster directly instead).
+    checkpoint_every:
+        Checkpoint iterate + momentum + RNG state every this many stage-C
+        rounds (0 disables periodic checkpoints; a free initial checkpoint
+        always exists, so crash recovery restarts from scratch).
+    on_nan:
+        NaN/Inf screening policy for collective results and monitored
+        objectives: ``None`` (off — legacy ``diverged`` behavior),
+        ``"raise"``, ``"rollback"`` or ``"recompute"``.
+    max_recoveries:
+        Rollbacks (crash or numerical) tolerated before the error
+        propagates.
+    adaptive_restart:
+        Reset FISTA momentum whenever the monitored objective increases.
     """
     estimator = GradientEstimator(estimator)
     if comm not in COMM_MODES:
@@ -86,7 +127,12 @@ def rc_sfista_distributed(
         raise ValidationError("epochs and iters_per_epoch must be >= 1")
     if monitor_every < 1:
         raise ValidationError(f"monitor_every must be >= 1, got {monitor_every}")
+    if checkpoint_every < 0:
+        raise ValidationError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+    if max_recoveries < 0:
+        raise ValidationError(f"max_recoveries must be >= 0, got {max_recoveries}")
     stopping = stopping or StoppingCriterion()
+    guard = NumericalGuard(on_nan)
     rng = as_generator(seed)
     mbar = minibatch_size(problem.m, b)
     gamma = (
@@ -107,13 +153,30 @@ def rc_sfista_distributed(
     eps_reg = 0.25 * problem.sampled_hessian_deviation(mbar) if S > 1 else 0.0
 
     data = distribute_problem(problem, nranks)
+    injector = as_injector(faults)
     if cluster is None:
         cluster = BSPCluster(
-            nranks, machine, allreduce_algorithm=allreduce_algorithm, jitter_seed=jitter_seed
+            nranks,
+            machine,
+            allreduce_algorithm=allreduce_algorithm,
+            jitter_seed=jitter_seed,
+            injector=injector,
+            retry=retry,
+            collective_deadline=recv_timeout,
         )
-    elif cluster.nranks != nranks:
-        raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
+        injector = cluster.injector
+    else:
+        if injector is not None or retry is not None or recv_timeout is not None:
+            raise ValidationError(
+                "configure faults/retry/recv_timeout on the supplied cluster, "
+                "not through the solver"
+            )
+        if cluster.nranks != nranks:
+            raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
+        injector = cluster.injector
 
+    # -- resilient-runtime state ---------------------------------------- #
+    stats = RecoveryStats()
     w = np.zeros(d)
     w_prev = w.copy()
     t_prev = 1.0
@@ -123,92 +186,215 @@ def rc_sfista_distributed(
     diverged = False
     sampled_iter = 0
     comm_rounds = 0
+    anchor = w.copy()
+    full_grad: np.ndarray | None = None
+    rounds_done = 0  # completed stage-C rounds, the checkpoint cadence
+    start_epoch = 0
+    start_rnd = 0
+    in_epoch = False  # resuming mid-epoch: skip the epoch header
+    n_rounds = -(-iters_per_epoch // k)
 
-    for epoch in range(epochs):
-        anchor = w.copy()
-        full_grad = (
-            _epoch_anchor_gradient(cluster, data, anchor, problem.m, comm)
-            if estimator is GradientEstimator.SVRG
-            else None
+    def capture(epoch: int, next_rnd: int, mid_epoch: bool) -> Checkpoint:
+        return Checkpoint.capture(
+            arrays={"w": w, "w_prev": w_prev, "anchor": anchor, "full_grad": full_grad},
+            scalars={
+                "epoch": epoch,
+                "rnd": next_rnd,
+                "in_epoch": mid_epoch,
+                "t_prev": t_prev,
+                "prev_obj": prev_obj,
+                "sampled_iter": sampled_iter,
+                "rounds_done": rounds_done,
+            },
+            rng=rng,
+            history_len=len(history),
         )
-        if estimator is GradientEstimator.SVRG:
+
+    def restore(ck: Checkpoint) -> None:
+        nonlocal w, w_prev, t_prev, prev_obj, sampled_iter, anchor, full_grad
+        nonlocal rounds_done, start_epoch, start_rnd, in_epoch, converged, diverged
+        w = ck.array("w")
+        w_prev = ck.array("w_prev")
+        anchor = ck.array("anchor")
+        full_grad = ck.get("full_grad")
+        s = ck.scalars
+        t_prev = s["t_prev"]
+        prev_obj = s["prev_obj"]
+        sampled_iter = s["sampled_iter"]
+        rounds_done = s["rounds_done"]
+        start_epoch = s["epoch"]
+        start_rnd = s["rnd"]
+        in_epoch = s["in_epoch"]
+        converged = diverged = False
+        ck.restore_rng(rng)
+        # Replayed monitor points re-append; drop the rows past the
+        # checkpoint so the history is not recorded twice.
+        history.truncate(ck.history_len)
+        # comm_rounds is NOT restored: replayed collectives really happen
+        # (and are really charged) a second time.
+
+    def screened_anchor_gradient() -> np.ndarray:
+        """SVRG anchor gradient with recompute-on-corruption screening."""
+        nonlocal comm_rounds
+        for _attempt in range(max_recoveries + 1):
+            g = _epoch_anchor_gradient(cluster, data, anchor, problem.m, comm)
             comm_rounds += 1
-        if restart_momentum:
-            t_prev = 1.0
-            w_prev = w.copy()
+            if not guard.screen(g, "anchor gradient allreduce", stats):
+                return g
+            stats.recomputes += 1
+        raise NumericalFaultError(
+            f"anchor gradient stayed non-finite after {max_recoveries + 1} attempt(s)"
+        )
 
-        n_rounds = -(-iters_per_epoch // k)
-        for rnd in range(n_rounds):
-            block = min(k, iters_per_epoch - rnd * k)
-
-            # ---- stages A+B: k local (H_p, R_p) blocks per rank -------- #
-            per_rank_payload: list[list[np.ndarray]] = [[] for _ in range(nranks)]
-            per_rank_flops = np.zeros(nranks)
-            for _j in range(block):
-                idx = sample_indices(rng, problem.m, mbar)
-                for p, rank_data in enumerate(data.ranks):
-                    H_p, local_idx, fl = rank_data.sampled_hessian_contribution(idx, mbar, d)
-                    if estimator is GradientEstimator.PLAIN:
-                        R_p, fl_r = rank_data.sampled_rhs_contribution(local_idx, mbar, d)
-                    else:
-                        R_p, fl_r = np.zeros(d), 0.0
-                    per_rank_payload[p].append(H_p.ravel())
-                    per_rank_payload[p].append(R_p)
-                    per_rank_flops[p] += fl + fl_r
-            cluster.compute(per_rank_flops, label="hessian_blocks")
-
-            # ---- stage C: ONE allreduce of k(d² + d) words ------------- #
-            packed = [np.concatenate(chunks) for chunks in per_rank_payload]
+    def screened_allreduce_G(packed: list[np.ndarray]) -> np.ndarray:
+        """Stage-C allreduce with recompute-on-corruption screening."""
+        nonlocal comm_rounds
+        for _attempt in range(max_recoveries + 1):
             combined = cluster.allreduce_comm(packed, mode=comm, label="allreduce_G")
             comm_rounds += 1
+            if not guard.screen(combined, "stage-C allreduce", stats):
+                return combined
+            stats.recomputes += 1
+        raise NumericalFaultError(
+            f"stage-C allreduce stayed non-finite after {max_recoveries + 1} attempt(s)"
+        )
 
-            # ---- stage D: k × S replicated local updates --------------- #
-            stride = d * d + d
-            stop_now = False
-            for j in range(block):
-                base = j * stride
-                H = combined[base : base + d * d].reshape(d, d)
-                if estimator is GradientEstimator.PLAIN:
-                    R = combined[base + d * d : base + stride]
-                else:
-                    R = H @ anchor - full_grad  # type: ignore[operator]
-                    cluster.compute(2.0 * d * d, label="svrg_rhs")
-                t_cur = t_next(t_prev)
-                mu = momentum_mu(t_prev, t_cur)
-                v = w + mu * (w - w_prev)
-                u = v
-                for _s in range(S):  # Eqs. (20)-(23): prox steps on the model
-                    step_dir = H @ u - R + eps_reg * (u - v)
-                    u = soft_threshold(u - gamma * step_dir, thresh)
-                    cluster.compute(UPDATE_FLOPS(d), label="update")
-                w_prev, w = w, u
-                t_prev = t_cur
-                sampled_iter += 1
+    def main_loop() -> None:
+        nonlocal w, w_prev, t_prev, prev_obj, converged, diverged, sampled_iter
+        nonlocal comm_rounds, anchor, full_grad, rounds_done, in_epoch, start_rnd, ck
+        for epoch in range(start_epoch, epochs):
+            if not in_epoch:
+                anchor = w.copy()
+                full_grad = (
+                    screened_anchor_gradient()
+                    if estimator is GradientEstimator.SVRG
+                    else None
+                )
+                if restart_momentum:
+                    t_prev = 1.0
+                    w_prev = w.copy()
+                start_rnd = 0
+            in_epoch = False
 
-                if sampled_iter % monitor_every == 0 or (
-                    epoch == epochs - 1 and rnd == n_rounds - 1 and j == block - 1
-                ):
-                    obj = problem.value(w)  # out of band
-                    history.append(
-                        sampled_iter,
-                        obj,
-                        stopping.rel_error(obj),
-                        sim_time=cluster.elapsed,
-                        comm_round=comm_rounds,
-                    )
-                    if not np.isfinite(obj):
-                        diverged = True
-                        stop_now = True
-                        break
-                    if stopping.satisfied(obj, prev_obj):
-                        converged = True
-                        stop_now = True
-                        break
-                    prev_obj = obj
-            if stop_now:
-                break
-        if converged or diverged:
+            for rnd in range(start_rnd, n_rounds):
+                block = min(k, iters_per_epoch - rnd * k)
+
+                # ---- stages A+B: k local (H_p, R_p) blocks per rank ---- #
+                per_rank_payload: list[list[np.ndarray]] = [[] for _ in range(nranks)]
+                per_rank_flops = np.zeros(nranks)
+                for _j in range(block):
+                    idx = sample_indices(rng, problem.m, mbar)
+                    for p, rank_data in enumerate(data.ranks):
+                        H_p, local_idx, fl = rank_data.sampled_hessian_contribution(idx, mbar, d)
+                        if estimator is GradientEstimator.PLAIN:
+                            R_p, fl_r = rank_data.sampled_rhs_contribution(local_idx, mbar, d)
+                        else:
+                            R_p, fl_r = np.zeros(d), 0.0
+                        per_rank_payload[p].append(H_p.ravel())
+                        per_rank_payload[p].append(R_p)
+                        per_rank_flops[p] += fl + fl_r
+                cluster.compute(per_rank_flops, label="hessian_blocks")
+
+                # ---- stage C: ONE allreduce of k(d² + d) words --------- #
+                packed = [np.concatenate(chunks) for chunks in per_rank_payload]
+                combined = screened_allreduce_G(packed)
+
+                # ---- stage D: k × S replicated local updates ----------- #
+                stride = d * d + d
+                stop_now = False
+                for j in range(block):
+                    base = j * stride
+                    H = combined[base : base + d * d].reshape(d, d)
+                    if estimator is GradientEstimator.PLAIN:
+                        R = combined[base + d * d : base + stride]
+                    else:
+                        R = H @ anchor - full_grad  # type: ignore[operator]
+                        cluster.compute(2.0 * d * d, label="svrg_rhs")
+                    t_cur = t_next(t_prev)
+                    mu = momentum_mu(t_prev, t_cur)
+                    v = w + mu * (w - w_prev)
+                    u = v
+                    for _s in range(S):  # Eqs. (20)-(23): prox steps on the model
+                        step_dir = H @ u - R + eps_reg * (u - v)
+                        u = soft_threshold(u - gamma * step_dir, thresh)
+                        cluster.compute(UPDATE_FLOPS(d), label="update")
+                    w_prev, w = w, u
+                    t_prev = t_cur
+                    sampled_iter += 1
+
+                    if sampled_iter % monitor_every == 0 or (
+                        epoch == epochs - 1 and rnd == n_rounds - 1 and j == block - 1
+                    ):
+                        obj = problem.value(w)  # out of band
+                        if guard.enabled and guard.screen(obj, "monitored objective", stats):
+                            # An iterate gone non-finite cannot be fixed by
+                            # re-communicating — recompute degrades to rollback.
+                            raise RollbackRequested("monitored objective")
+                        history.append(
+                            sampled_iter,
+                            obj,
+                            stopping.rel_error(obj),
+                            sim_time=cluster.elapsed,
+                            comm_round=comm_rounds,
+                        )
+                        if not np.isfinite(obj):
+                            diverged = True
+                            stop_now = True
+                            break
+                        if stopping.satisfied(obj, prev_obj):
+                            converged = True
+                            stop_now = True
+                            break
+                        if adaptive_restart and prev_obj is not None and obj > prev_obj:
+                            t_prev = 1.0
+                            w_prev = w.copy()
+                            stats.momentum_restarts += 1
+                        prev_obj = obj
+                rounds_done += 1
+                if stop_now:
+                    return
+                if checkpoint_every and rounds_done % checkpoint_every == 0:
+                    # Capture first, but only promote the snapshot to the
+                    # rollback target once its traffic lands: a crash mid-
+                    # checkpoint leaves a torn copy on stable storage, so
+                    # recovery must use the previous durable one.
+                    new_ck = capture(epoch, rnd + 1, mid_epoch=True)
+                    cluster.checkpoint(new_ck.words)
+                    ck = new_ck
+                    stats.checkpoints += 1
+            if converged or diverged:
+                return
+
+    # Free initial checkpoint: recovery without periodic checkpoints
+    # restarts from scratch (nothing has moved, nothing is charged).
+    ck = capture(0, 0, mid_epoch=False)
+    recoveries = 0
+    while True:
+        try:
+            main_loop()
             break
+        except RankFailureError:
+            if injector is None:
+                raise
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise
+            healed = injector.heal_all()
+            stats.rank_failures_recovered += 1
+            stats.healed_ranks.extend(healed)
+            stats.rollbacks += 1
+            cluster.recover(ck.words)
+            restore(ck)
+        except RollbackRequested as sig:
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise NumericalFaultError(
+                    f"non-finite values in {sig.what} persisted after "
+                    f"{max_recoveries} rollback(s)"
+                ) from None
+            stats.rollbacks += 1
+            cluster.recover(ck.words)
+            restore(ck)
 
     return SolveResult(
         w=w,
@@ -230,5 +416,10 @@ def rc_sfista_distributed(
             "machine": cluster.machine.name,
             "allreduce_algorithm": cluster.allreduce_algorithm,
             "comm": comm,
+            "checkpoint_every": checkpoint_every,
+            "on_nan": on_nan,
+            "max_recoveries": max_recoveries,
+            "adaptive_restart": adaptive_restart,
+            "resilience": stats.as_meta(),
         },
     )

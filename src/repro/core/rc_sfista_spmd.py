@@ -17,6 +17,8 @@ front-end (stopping rules, monitoring, Hessian-reuse damping) use
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.core._dist_common import distribute_problem
@@ -26,9 +28,10 @@ from repro.core.proximal import soft_threshold
 from repro.core.results import SolveResult
 from repro.core.sfista import GradientEstimator, stochastic_step_size
 from repro.distsim.engine import SPMDEngine
+from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injector
 from repro.distsim.machine import MachineSpec
 from repro.distsim.sparse_collectives import COMM_MODES
-from repro.exceptions import ValidationError
+from repro.exceptions import RankFailureError, ValidationError
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -48,11 +51,25 @@ def rc_sfista_spmd(
     seed: RandomState = 0,
     allreduce_algorithm: str = "recursive_doubling",
     comm: str = "dense",
+    faults: FaultPlan | FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
+    recv_timeout: float | None = None,
+    checkpoint_every: int = 0,
+    max_recoveries: int = 3,
 ) -> SolveResult:
     """Run RC-SFISTA (k-overlap, S=1, single epoch) on the SPMD engine.
 
     ``comm`` selects the stage-C allreduce encoding (``"dense"``,
     ``"sparse"``, ``"auto"``); iterates are bit-identical across modes.
+
+    Resilience: ``faults``/``retry``/``recv_timeout`` configure the
+    engine's fault layer. With ``checkpoint_every > 0`` the rank programs
+    ship their replicated state to rank 0 every that many stage-C rounds
+    (a real ``reduce``, charged like any collective) and the host keeps it;
+    after a :class:`~repro.exceptions.RankFailureError` the driver heals
+    the crashed ranks and reruns the program — which resumes from the last
+    checkpoint (bit-exactly, via the captured RNG state) on the *same*
+    engine, so counters and clocks keep accumulating across the failure.
     """
     estimator = GradientEstimator(estimator)
     if comm not in COMM_MODES:
@@ -61,6 +78,10 @@ def rc_sfista_spmd(
         raise ValidationError("SPMD RC-SFISTA requires a sampled estimator")
     if k < 1 or n_iterations < 1:
         raise ValidationError("k and n_iterations must be >= 1")
+    if checkpoint_every < 0:
+        raise ValidationError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+    if max_recoveries < 0:
+        raise ValidationError(f"max_recoveries must be >= 0, got {max_recoveries}")
     mbar = minibatch_size(problem.m, b)
     gamma = (
         check_positive(step_size, "step_size")
@@ -80,6 +101,11 @@ def rc_sfista_spmd(
     thresh = problem.lam * gamma
     data = distribute_problem(problem, nranks)
 
+    # Host-side checkpoint store: the state is replicated across ranks, so
+    # rank 0's copy stands for all of them. A rerun of the program after a
+    # heal resumes from here.
+    ck_holder: dict = {"state": None, "count": 0}
+
     def program(ctx):
         rank_data = data.ranks[ctx.rank]
         # Every rank derives the same sampling stream from the shared seed
@@ -91,11 +117,21 @@ def rc_sfista_spmd(
         t_prev = 1.0
         anchor = w.copy()
         full_grad = None
-        if estimator is GradientEstimator.SVRG:
+        done = 0
+        ck = ck_holder["state"]
+        if ck is not None:
+            # Resume after a failure: replicated state, so every rank
+            # restores the same snapshot (including the sampling stream).
+            w = ck["w"].copy()
+            w_prev = ck["w_prev"].copy()
+            t_prev = ck["t_prev"]
+            done = ck["done"]
+            full_grad = None if ck["full_grad"] is None else ck["full_grad"].copy()
+            rng.bit_generator.state = copy.deepcopy(ck["rng_state"])
+        elif estimator is GradientEstimator.SVRG:
             g_p, _fl = rank_data.full_gradient_contribution(anchor, problem.m)
             full_grad = yield ctx.allreduce(g_p, comm=comm)
 
-        done = 0
         while done < n_iterations:
             block = min(k, n_iterations - done)
             # Stages A+B: local contributions for the whole block.
@@ -127,10 +163,48 @@ def rc_sfista_spmd(
                 w_prev, w = w, w_new
                 t_prev = t_cur
             done += block
+            if checkpoint_every and done < n_iterations and (
+                -(-done // k)
+            ) % checkpoint_every == 0:
+                # Ship the replicated state to the stable root — a real
+                # reduce, charged to the counters like any collective.
+                yield ctx.reduce(np.concatenate([w, w_prev]), root=0)
+                if ctx.rank == 0:
+                    ck_holder["state"] = {
+                        "w": w.copy(),
+                        "w_prev": w_prev.copy(),
+                        "t_prev": t_prev,
+                        "done": done,
+                        "full_grad": None if full_grad is None else full_grad.copy(),
+                        "rng_state": copy.deepcopy(rng.bit_generator.state),
+                    }
+                    ck_holder["count"] += 1
         return w
 
-    engine = SPMDEngine(nranks, machine, allreduce_algorithm=allreduce_algorithm)
-    per_rank_w = engine.run(program)
+    injector = as_injector(faults)
+    engine = SPMDEngine(
+        nranks,
+        machine,
+        allreduce_algorithm=allreduce_algorithm,
+        injector=injector,
+        retry=retry,
+        recv_timeout=recv_timeout,
+    )
+    recoveries = 0
+    healed_ranks: list[int] = []
+    while True:
+        try:
+            per_rank_w = engine.run(program)
+            break
+        except RankFailureError:
+            if injector is None:
+                raise
+            recoveries += 1
+            if recoveries > max_recoveries:
+                raise
+            healed_ranks.extend(injector.heal_all())
+            # Rerun on the SAME engine: counters and clocks accumulate, so
+            # the failed attempt's cost stays on the books.
     for other in per_rank_w[1:]:
         if not np.allclose(other, per_rank_w[0], atol=1e-12):
             raise ValidationError("replicated iterates diverged across ranks")
@@ -150,5 +224,12 @@ def rc_sfista_spmd(
             "step_size": gamma,
             "nranks": nranks,
             "comm": comm,
+            "checkpoint_every": checkpoint_every,
+            "max_recoveries": max_recoveries,
+            "resilience": {
+                "checkpoints": ck_holder["count"],
+                "rank_failures_recovered": recoveries,
+                "healed_ranks": sorted(set(healed_ranks)),
+            },
         },
     )

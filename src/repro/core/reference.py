@@ -39,7 +39,10 @@ def solve_reference(
     ------
     ConvergenceError
         If ``raise_on_failure`` and the residual never reaches *tol*
-        within ``max_rounds × iters_per_round`` iterations.
+        within ``max_rounds × iters_per_round`` iterations. The error's
+        ``partial`` attribute carries the best :class:`SolveResult`
+        reached, so callers can degrade gracefully instead of losing the
+        whole run.
     """
     check_positive(tol, "tol")
     step = problem.default_step()
@@ -61,13 +64,8 @@ def solve_reference(
         if residual <= tol:
             break
     converged = residual <= tol
-    if not converged and raise_on_failure:
-        raise ConvergenceError(
-            f"reference solve stalled at optimality residual {residual:.3e} "
-            f"after {total_iters} iterations (target {tol:.1e})"
-        )
     fstar = problem.value(w)
-    return SolveResult(
+    solve_result = SolveResult(
         w=w,
         converged=converged,
         n_iterations=total_iters,
@@ -78,3 +76,10 @@ def solve_reference(
             "tol": tol,
         },
     )
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"reference solve stalled at optimality residual {residual:.3e} "
+            f"after {total_iters} iterations (target {tol:.1e})",
+            partial=solve_result,
+        )
+    return solve_result

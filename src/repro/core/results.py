@@ -51,6 +51,17 @@ class History:
     def __len__(self) -> int:
         return len(self.iterations)
 
+    def truncate(self, length: int) -> None:
+        """Drop rows beyond *length* — used by checkpoint rollback so a
+        replayed stretch of iterations is not recorded twice."""
+        if length < 0:
+            raise ValidationError(f"length must be >= 0, got {length}")
+        del self.iterations[length:]
+        del self.objectives[length:]
+        del self.rel_errors[length:]
+        del self.sim_times[length:]
+        del self.comm_rounds[length:]
+
     # vector views ------------------------------------------------------ #
     @property
     def iteration_array(self) -> np.ndarray:

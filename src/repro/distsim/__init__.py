@@ -19,6 +19,10 @@ DESIGN.md §1). It provides:
 * :mod:`repro.distsim.engine` — a generator-based SPMD engine with
   point-to-point messaging, a miniature MPI for writing rank programs.
 * :mod:`repro.distsim.trace` — event timeline recording and reporting.
+* :mod:`repro.distsim.faults` — deterministic, seeded fault injection
+  (message drops/delays/corruption, rank stalls and crashes) plus the
+  retry policy; every retry, backoff and checkpoint is charged to the
+  same α-β-γ counters as the algorithm itself.
 
 Every communication primitive *actually moves the data* between per-rank
 numpy buffers — results are numerically identical to a real MPI run — while
@@ -53,6 +57,19 @@ from repro.distsim.sparse_collectives import (
 from repro.distsim.bsp import BSPCluster
 from repro.distsim.engine import SPMDEngine, RankContext, run_spmd
 from repro.distsim.trace import Trace, TraceEvent
+from repro.distsim.faults import (
+    CORRUPTION_MODES,
+    FaultInjector,
+    FaultPlan,
+    MessageDelay,
+    MessageDrop,
+    PayloadCorruption,
+    RankCrash,
+    RankStall,
+    RetryPolicy,
+    as_injector,
+    corrupt_array,
+)
 
 __all__ = [
     "MachineSpec",
@@ -84,4 +101,15 @@ __all__ = [
     "run_spmd",
     "Trace",
     "TraceEvent",
+    "CORRUPTION_MODES",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageDelay",
+    "MessageDrop",
+    "PayloadCorruption",
+    "RankCrash",
+    "RankStall",
+    "RetryPolicy",
+    "as_injector",
+    "corrupt_array",
 ]

@@ -16,10 +16,16 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.exceptions import CommunicatorError, ValidationError
+from repro.exceptions import (
+    CommTimeoutError,
+    CommunicatorError,
+    RankFailureError,
+    ValidationError,
+)
 from repro.distsim import collectives as coll
 from repro.distsim import sparse_collectives as sc
 from repro.distsim.cost import ClusterCost, CostCounter, PhaseKind
+from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injector
 from repro.distsim.machine import MachineSpec, get_machine
 from repro.distsim.trace import Trace, TraceEvent
 from repro.utils.rng import RandomState, as_generator
@@ -51,6 +57,24 @@ class BSPCluster:
     trace:
         Optional :class:`Trace` to record phases into (a fresh enabled
         trace is created when omitted).
+    injector:
+        Optional :class:`~repro.distsim.faults.FaultInjector` (or a
+        :class:`~repro.distsim.faults.FaultPlan`, converted for you). The
+        cluster consults it once per collective — op index is the *global
+        collective index* — for stalls, per-rank contribution corruption,
+        torn-collective losses and crash latching. An injector built from
+        an empty plan leaves every charge and result bit-identical to no
+        injector at all.
+    retry:
+        :class:`~repro.distsim.faults.RetryPolicy` for torn collectives:
+        each lost attempt re-charges the collective (tagged as retry
+        traffic) plus an exponential backoff. Without a policy, a torn
+        collective raises :class:`~repro.exceptions.CommTimeoutError`.
+    collective_deadline:
+        Optional deadline (simulated seconds) on rank arrival skew at a
+        collective: if the earliest and latest arriving ranks differ by
+        more than this, :class:`~repro.exceptions.CommTimeoutError` is
+        raised instead of silently absorbing the straggler.
     """
 
     def __init__(
@@ -61,6 +85,9 @@ class BSPCluster:
         allreduce_algorithm: str = "recursive_doubling",
         jitter_seed: RandomState = None,
         trace: Trace | None = None,
+        injector: FaultInjector | FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        collective_deadline: float | None = None,
     ) -> None:
         if nranks < 1:
             raise ValidationError(f"nranks must be >= 1, got {nranks}")
@@ -69,12 +96,28 @@ class BSPCluster:
                 f"unknown allreduce algorithm {allreduce_algorithm!r}; "
                 f"choose from {coll.ALLREDUCE_ALGORITHMS}"
             )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ValidationError(f"retry must be a RetryPolicy or None, got {type(retry).__name__}")
+        if collective_deadline is not None and not (
+            np.isfinite(collective_deadline) and collective_deadline > 0
+        ):
+            raise ValidationError(
+                f"collective_deadline must be finite and > 0, got {collective_deadline}"
+            )
         self.nranks = int(nranks)
         self.machine = get_machine(machine)
         self.allreduce_algorithm = allreduce_algorithm
         self.counters = [CostCounter(rank=r) for r in range(self.nranks)]
         self.trace = trace if trace is not None else Trace()
         self._jitter_rng = as_generator(jitter_seed) if self.machine.straggler_sigma else None
+        self._injector = as_injector(injector)
+        self._retry = retry
+        self._deadline = None if collective_deadline is None else float(collective_deadline)
+        # Global collective index: monotone for the lifetime of the cluster
+        # (survives reset()) so one-shot scheduled faults never refire when
+        # a resilient solver rolls back and replays.
+        self._coll_index = 0
+        self._pending_fault = None
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -85,21 +128,133 @@ class BSPCluster:
         return ClusterCost(self.counters)
 
     @property
+    def injector(self) -> FaultInjector | None:
+        """The attached fault injector (None on a fault-free cluster)."""
+        return self._injector
+
+    @property
     def elapsed(self) -> float:
         """Current simulated wall-clock time."""
         return max(c.clock for c in self.counters)
 
     def reset(self) -> None:
-        """Zero all counters, clocks and the trace."""
+        """Zero all counters, clocks and the trace.
+
+        The global collective index is *not* reset: scheduled one-shot
+        faults fire on monotone indices so a rollback-and-replay does not
+        re-trigger them.
+        """
         self.counters = [CostCounter(rank=r) for r in range(self.nranks)]
         self.trace.events.clear()
 
-    def _sync_start(self) -> float:
-        """Synchronize all ranks at the start of a collective."""
+    def _rank_clock_lines(self, dead: Sequence[int] = ()) -> list[str]:
+        """Per-rank diagnostic lines for fault/timeout errors."""
+        dead_set = set(dead)
+        return [
+            f"rank {c.rank}: clock={c.clock:.6g}s" + (" (crashed)" if c.rank in dead_set else "")
+            for c in self.counters
+        ]
+
+    def _sync_start(self, label: str = "collective") -> float:
+        """Synchronize all ranks at the start of a collective.
+
+        With an injector attached this is also the fault boundary: the
+        verdict for this collective is drawn here (stalls applied to the
+        affected ranks' clocks, corruption/torn-attempt verdicts stashed
+        for the collective body and :meth:`_finish_collective`), crashed
+        ranks are detected, and the optional arrival-skew deadline is
+        enforced.
+        """
+        self._pending_fault = None
+        if self._injector is not None:
+            fault = self._injector.collective_fault(self.nranks, self._coll_index)
+            if fault.any:
+                self._pending_fault = fault
+            for r in sorted(fault.stalls):
+                t0 = self.counters[r].clock
+                self.counters[r].wait_until(t0 + fault.stalls[r])
+                self.trace.record(
+                    TraceEvent(
+                        kind=PhaseKind.FAULT,
+                        label=f"stall:{label}",
+                        start=t0,
+                        end=self.counters[r].clock,
+                        detail=f"rank {r} stalled {fault.stalls[r]:.3g}s",
+                    )
+                )
+            dead = [
+                r
+                for r in range(self.nranks)
+                if self._injector.crash_due(
+                    r, time=self.counters[r].clock, op_index=self._coll_index
+                )
+            ]
+            if dead:
+                t = self.elapsed
+                self.trace.record(
+                    TraceEvent(
+                        kind=PhaseKind.FAULT,
+                        label=f"crash:{label}",
+                        start=t,
+                        end=t,
+                        detail=f"rank(s) {dead} dead at collective #{self._coll_index}",
+                    )
+                )
+                raise RankFailureError(
+                    f"rank(s) {dead} crashed (injected fault) entering collective "
+                    f"{label!r} (#{self._coll_index}):\n  "
+                    + "\n  ".join(self._rank_clock_lines(dead))
+                )
+        if self._deadline is not None:
+            clocks = [c.clock for c in self.counters]
+            skew = max(clocks) - min(clocks)
+            if skew > self._deadline:
+                raise CommTimeoutError(
+                    f"collective {label!r} (#{self._coll_index}) missed its deadline: "
+                    f"rank arrival skew {skew:.6g}s exceeds "
+                    f"collective_deadline={self._deadline:.6g}s:\n  "
+                    + "\n  ".join(self._rank_clock_lines())
+                )
         t = self.elapsed
         for c in self.counters:
             c.wait_until(t)
         return t
+
+    def _apply_corruption(
+        self, values: list, label: str
+    ) -> list:
+        """Corrupt per-rank contributions per the pending collective fault."""
+        fault = self._pending_fault
+        if self._injector is None or fault is None or not fault.corruptions:
+            return values
+        out = list(values)
+        t = self.elapsed
+        for r in sorted(fault.corruptions):
+            if not (0 <= r < len(out)):
+                continue
+            mode = fault.corruptions[r]
+            v = out[r]
+            if isinstance(v, sc.SparseVector):
+                if v.values.size == 0:
+                    continue
+                bad = self._injector.corrupt(
+                    v.values, mode, rank=r, op_index=self._coll_index
+                )
+                out[r] = sc.SparseVector(v.n, v.indices, bad)
+            else:
+                out[r] = self._injector.corrupt(
+                    np.asarray(v, dtype=np.float64), mode, rank=r, op_index=self._coll_index
+                )
+            self.trace.record(
+                TraceEvent(
+                    kind=PhaseKind.FAULT,
+                    label=f"corrupt:{label}",
+                    start=t,
+                    end=t,
+                    detail=f"rank {r} contribution corrupted ({mode})",
+                )
+            )
+        return out
 
     def _per_rank(self, value: float | Sequence[float] | np.ndarray) -> np.ndarray:
         arr = np.asarray(value, dtype=np.float64)
@@ -151,7 +306,50 @@ class BSPCluster:
         sparse_words: float = 0.0,
         saved_words: float = 0.0,
         detail: str = "",
+        retry_messages: float = 0.0,
+        retry_words: float = 0.0,
+        checkpoint_words: float = 0.0,
     ) -> None:
+        fault = self._pending_fault
+        self._pending_fault = None
+        index = self._coll_index
+        self._coll_index += 1
+        if fault is not None and fault.failed_attempts:
+            failures = fault.failed_attempts
+            if self._retry is None or failures > self._retry.max_retries:
+                budget = (
+                    "no retry policy attached"
+                    if self._retry is None
+                    else f"retry budget ({self._retry.max_retries}) exhausted"
+                )
+                raise CommTimeoutError(
+                    f"collective {label!r} (#{index}) torn by injected message loss "
+                    f"{failures} time(s) — {budget} at simulated clock "
+                    f"{self.elapsed:.6g}s:\n  " + "\n  ".join(self._rank_clock_lines())
+                )
+            t0 = self.elapsed
+            for attempt in range(1, failures + 1):
+                extra = cost.time + self._retry.backoff(attempt)
+                for c in self.counters:
+                    c.charge_comm(
+                        cost.messages,
+                        cost.words,
+                        extra,
+                        retry_messages=cost.messages,
+                        retry_words=cost.words,
+                    )
+            self.trace.record(
+                TraceEvent(
+                    kind=PhaseKind.FAULT,
+                    label=f"collective_retry:{label}",
+                    start=t0,
+                    end=self.elapsed,
+                    words=cost.words * self.nranks * failures,
+                    messages=cost.messages * self.nranks * failures,
+                    detail=f"{failures} torn attempt(s) re-charged",
+                )
+            )
+            start = self.elapsed  # the successful attempt begins after the retries
         for c in self.counters:
             c.charge_comm(
                 cost.messages,
@@ -159,6 +357,9 @@ class BSPCluster:
                 cost.time,
                 sparse_words=sparse_words,
                 saved_words=saved_words,
+                retry_messages=retry_messages,
+                retry_words=retry_words,
+                checkpoint_words=checkpoint_words,
             )
         self.trace.record(
             TraceEvent(
@@ -191,7 +392,8 @@ class BSPCluster:
         the RC-SFISTA implementation uses (Fig. 1, stage C).
         """
         arrays = self._check_buffers(values, "allreduce")
-        start = self._sync_start()
+        start = self._sync_start(label)
+        arrays = self._apply_corruption(arrays, label)
         result = coll.allreduce_values(arrays, op)
         cost = coll.allreduce_cost(
             self.machine, self.nranks, _words_of(arrays[0]), self.allreduce_algorithm
@@ -209,7 +411,7 @@ class BSPCluster:
         """
         if words < 0:
             raise ValidationError(f"words must be >= 0, got {words}")
-        start = self._sync_start()
+        start = self._sync_start(label)
         cost = coll.allreduce_cost(self.machine, self.nranks, float(words), self.allreduce_algorithm)
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
 
@@ -244,7 +446,8 @@ class BSPCluster:
         logs the measured union density into the trace.
         """
         vectors = self._check_sparse_buffers(values, "sparse_allreduce")
-        start = self._sync_start()
+        start = self._sync_start(label)
+        vectors = self._apply_corruption(vectors, label)
         reduced = sc.sparse_allreduce_values(vectors, op)
         n, nnz = vectors[0].n, reduced.nnz
         cost = coll.sparse_allreduce_cost(
@@ -266,7 +469,7 @@ class BSPCluster:
         self, n: float, nnz_union: float, label: str = "sparse_allreduce"
     ) -> None:
         """Charge a sparse allreduce without moving data (dry-run replays)."""
-        start = self._sync_start()
+        start = self._sync_start(label)
         cost = coll.sparse_allreduce_cost(
             self.machine, self.nranks, float(n), float(nnz_union), self.allreduce_algorithm
         )
@@ -314,7 +517,8 @@ class BSPCluster:
             return self.sparse_allreduce(vectors, op, label=label)
         # auto decided to densify: dense cost, decision still logged.
         arrays = [v.to_dense() for v in vectors]
-        start = self._sync_start()
+        start = self._sync_start(label)
+        arrays = self._apply_corruption(arrays, label)
         result = coll.allreduce_values(arrays, op)
         cost = coll.allreduce_cost(self.machine, self.nranks, float(n), self.allreduce_algorithm)
         self._finish_collective(
@@ -331,7 +535,7 @@ class BSPCluster:
     ) -> list[np.ndarray]:
         """Gather every rank's buffer onto all ranks."""
         arrays = self._check_buffers(values, "allgather")
-        start = self._sync_start()
+        start = self._sync_start(label)
         words_local = max(_words_of(a) for a in arrays)
         cost = coll.allgather_cost(self.machine, self.nranks, words_local)
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
@@ -341,7 +545,7 @@ class BSPCluster:
         """Broadcast *value* from *root* to all ranks."""
         self._check_root(root)
         arr = np.asarray(value, dtype=np.float64)
-        start = self._sync_start()
+        start = self._sync_start(label)
         cost = coll.bcast_cost(self.machine, self.nranks, _words_of(arr))
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
         return arr.copy()
@@ -356,7 +560,8 @@ class BSPCluster:
         """Reduce per-rank arrays onto *root* (returned to the caller)."""
         self._check_root(root)
         arrays = self._check_buffers(values, "reduce")
-        start = self._sync_start()
+        start = self._sync_start(label)
+        arrays = self._apply_corruption(arrays, label)
         result = coll.allreduce_values(arrays, op)
         cost = coll.reduce_cost(self.machine, self.nranks, _words_of(arrays[0]))
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
@@ -366,7 +571,7 @@ class BSPCluster:
         """Gather per-rank buffers to *root*."""
         self._check_root(root)
         arrays = self._check_buffers(values, "gather")
-        start = self._sync_start()
+        start = self._sync_start(label)
         words_local = max(_words_of(a) for a in arrays)
         cost = coll.gather_cost(self.machine, self.nranks, words_local)
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
@@ -376,7 +581,7 @@ class BSPCluster:
         """Scatter *chunks* (one per rank) from *root*; returns the rank views."""
         self._check_root(root)
         arrays = self._check_buffers(chunks, "scatter")
-        start = self._sync_start()
+        start = self._sync_start(label)
         words_local = max(_words_of(a) for a in arrays)
         cost = coll.scatter_cost(self.machine, self.nranks, words_local)
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
@@ -384,9 +589,46 @@ class BSPCluster:
 
     def barrier(self, label: str = "barrier") -> None:
         """Synchronize all ranks."""
-        start = self._sync_start()
+        start = self._sync_start(label)
         cost = coll.barrier_cost(self.machine, self.nranks)
         self._finish_collective(label, start, cost, PhaseKind.BARRIER)
+
+    # ------------------------------------------------------------------ #
+    # resilience traffic
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, words: float, label: str = "checkpoint") -> None:
+        """Charge a checkpoint of *words* state words to stable storage.
+
+        Modeled as a gather of the solver state to a stable root; the word
+        traffic is tagged ``checkpoint_words`` so ablation reports can
+        separate resilience overhead from algorithmic communication.
+        """
+        if words < 0:
+            raise ValidationError(f"words must be >= 0, got {words}")
+        start = self._sync_start(label)
+        cost = coll.gather_cost(self.machine, self.nranks, float(words))
+        self._finish_collective(
+            label, start, cost, PhaseKind.COLLECTIVE, checkpoint_words=cost.words
+        )
+
+    def recover(self, words: float, label: str = "recovery") -> None:
+        """Charge a rollback/respawn: re-broadcast *words* state words.
+
+        The traffic is tagged ``retry_words``/``retry_messages`` (recovery
+        state transfer is fault-tolerance traffic, not algorithm traffic).
+        """
+        if words < 0:
+            raise ValidationError(f"words must be >= 0, got {words}")
+        start = self._sync_start(label)
+        cost = coll.bcast_cost(self.machine, self.nranks, float(words))
+        self._finish_collective(
+            label,
+            start,
+            cost,
+            PhaseKind.FAULT,
+            retry_messages=cost.messages,
+            retry_words=cost.words,
+        )
 
     def _check_root(self, root: int) -> None:
         if not (0 <= root < self.nranks):

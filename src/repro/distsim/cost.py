@@ -25,6 +25,7 @@ class PhaseKind(enum.Enum):
     COLLECTIVE = "collective"
     P2P = "p2p"
     BARRIER = "barrier"
+    FAULT = "fault"  # injected faults, retries, recovery traffic
 
 
 @dataclass
@@ -37,6 +38,9 @@ class CostCounter:
     messages: float = 0.0
     sparse_words: float = 0.0
     saved_words: float = 0.0
+    retry_messages: float = 0.0
+    retry_words: float = 0.0
+    checkpoint_words: float = 0.0
     compute_time: float = 0.0
     comm_time: float = 0.0
     idle_time: float = 0.0
@@ -58,21 +62,34 @@ class CostCounter:
         *,
         sparse_words: float = 0.0,
         saved_words: float = 0.0,
+        retry_messages: float = 0.0,
+        retry_words: float = 0.0,
+        checkpoint_words: float = 0.0,
     ) -> None:
         """Advance the clock through this rank's share of a communication.
 
         ``sparse_words`` is the part of *words* that travelled in
         index+value encoding; ``saved_words`` the dense-equivalent words
         the sparse encoding avoided (both zero for dense collectives).
+        ``retry_messages``/``retry_words`` tag the part of *messages* /
+        *words* that was fault-tolerance traffic (retransmissions, acks,
+        recovery state transfer); ``checkpoint_words`` tags words spent on
+        periodic checkpointing. All three are *subsets* of the headline
+        counters, so Table-1 totals still reflect everything that moved.
         """
         if messages < 0 or words < 0 or seconds < 0:
             raise ValidationError("communication charges must be non-negative")
         if sparse_words < 0 or saved_words < 0:
             raise ValidationError("sparse word charges must be non-negative")
+        if retry_messages < 0 or retry_words < 0 or checkpoint_words < 0:
+            raise ValidationError("fault-overhead charges must be non-negative")
         self.messages += messages
         self.words += words
         self.sparse_words += sparse_words
         self.saved_words += saved_words
+        self.retry_messages += retry_messages
+        self.retry_words += retry_words
+        self.checkpoint_words += checkpoint_words
         self.comm_time += seconds
         self.clock += seconds
 
@@ -91,6 +108,9 @@ class CostCounter:
             "messages": self.messages,
             "sparse_words": self.sparse_words,
             "saved_words": self.saved_words,
+            "retry_messages": self.retry_messages,
+            "retry_words": self.retry_words,
+            "checkpoint_words": self.checkpoint_words,
             "compute_time": self.compute_time,
             "comm_time": self.comm_time,
             "idle_time": self.idle_time,
@@ -136,6 +156,21 @@ class ClusterCost:
         return sum(c.saved_words for c in self.counters)
 
     @property
+    def total_retry_messages(self) -> float:
+        """Retransmission/ack/recovery messages across all ranks."""
+        return sum(c.retry_messages for c in self.counters)
+
+    @property
+    def total_retry_words(self) -> float:
+        """Words spent on retransmissions, acks and recovery state transfer."""
+        return sum(c.retry_words for c in self.counters)
+
+    @property
+    def total_checkpoint_words(self) -> float:
+        """Words spent on periodic checkpointing, across all ranks."""
+        return sum(c.checkpoint_words for c in self.counters)
+
+    @property
     def max_flops(self) -> float:
         """Critical-path flops (slowest rank) — the per-processor F of Table 1."""
         return max((c.flops for c in self.counters), default=0.0)
@@ -167,4 +202,7 @@ class ClusterCost:
             "messages_total": self.total_messages,
             "sparse_words_total": self.total_sparse_words,
             "saved_words_total": self.total_saved_words,
+            "retry_messages_total": self.total_retry_messages,
+            "retry_words_total": self.total_retry_words,
+            "checkpoint_words_total": self.total_checkpoint_words,
         }

@@ -37,10 +37,17 @@ from typing import Any, Callable, Generator, Sequence
 
 import numpy as np
 
-from repro.exceptions import CommunicatorError, DeadlockError, ValidationError
+from repro.exceptions import (
+    CommTimeoutError,
+    CommunicatorError,
+    DeadlockError,
+    RankFailureError,
+    ValidationError,
+)
 from repro.distsim import collectives as coll
 from repro.distsim import sparse_collectives as sc
 from repro.distsim.cost import ClusterCost, CostCounter, PhaseKind
+from repro.distsim.faults import FaultInjector, RetryPolicy
 from repro.distsim.machine import MachineSpec, get_machine
 from repro.distsim.trace import Trace, TraceEvent
 
@@ -191,6 +198,7 @@ class _RankState:
     gen: Generator
     blocked_on: _Op | None = None
     done: bool = False
+    crashed: bool = False
     result: Any = None
     to_inject: Any = None
     has_injection: bool = False
@@ -223,18 +231,33 @@ class SPMDEngine:
         allreduce_algorithm: str = "recursive_doubling",
         trace: Trace | None = None,
         max_steps: int = 10_000_000,
+        injector: FaultInjector | None = None,
+        recv_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if nranks < 1:
             raise ValidationError(f"nranks must be >= 1, got {nranks}")
+        if recv_timeout is not None and not (np.isfinite(recv_timeout) and recv_timeout > 0):
+            raise ValidationError(f"recv_timeout must be finite and > 0, got {recv_timeout}")
+        if injector is not None and not isinstance(injector, FaultInjector):
+            raise ValidationError("injector must be a FaultInjector (wrap plans with as_injector)")
         self.nranks = nranks
         self.machine = get_machine(machine)
         self.allreduce_algorithm = allreduce_algorithm
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.counters = [CostCounter(rank=r) for r in range(nranks)]
         self.max_steps = max_steps
+        self.injector = injector
+        self.recv_timeout = recv_timeout
+        self.retry = retry
         self._mailboxes: dict[tuple[int, int, int], deque[_Mail]] = {}
         self._posted: list[RecvRequest] = []  # unmatched irecv requests, posting order
         self._seq = 0
+        # Fault-decision indices: per-rank send-attempt count and the global
+        # collective count. Monotone across run() calls on purpose, so
+        # scheduled one-shot events never refire on a resumed/replayed run.
+        self._fault_ops = [0] * nranks
+        self._coll_index = 0
 
     @property
     def cost(self) -> ClusterCost:
@@ -246,7 +269,17 @@ class SPMDEngine:
 
     # ------------------------------------------------------------------ #
     def run(self, program: Callable[..., Generator], *args: Any, **kwargs: Any) -> list[Any]:
-        """Run *program* on every rank; returns per-rank return values."""
+        """Run *program* on every rank; returns per-rank return values.
+
+        The engine is reusable: per-run matching state (mailboxes, posted
+        irecv requests, the send sequence counter) is reset on entry so a
+        previous run's undelivered messages can never leak into this one.
+        Cost counters and clocks accumulate across runs by design — a
+        resumed run after a failure keeps paying for the work already done.
+        """
+        self._mailboxes = {}
+        self._posted = []
+        self._seq = 0
         states = [
             _RankState(gen=program(RankContext(r, self.nranks), *args, **kwargs))
             for r in range(self.nranks)
@@ -258,14 +291,41 @@ class SPMDEngine:
                 raise CommunicatorError(f"SPMD run exceeded {self.max_steps} scheduler steps")
             progressed = False
             for rank, state in enumerate(states):
-                if state.done or state.blocked_on is not None:
+                if state.done or state.crashed:
+                    continue
+                if self._check_crash(rank, state):
+                    continue
+                if state.blocked_on is not None:
                     continue
                 progressed |= self._advance(rank, states)
             progressed |= self._try_deliver(states)
             progressed |= self._try_collective(states)
+            live = [s for s in states if not s.done]
+            if live and all(s.crashed for s in live):
+                self._raise_stuck(states)
             if not progressed and not all(s.done for s in states):
-                self._raise_deadlock(states)
+                self._raise_stuck(states)
         return [s.result for s in states]
+
+    def _check_crash(self, rank: int, state: _RankState) -> bool:
+        """Latch an injected permanent crash for *rank* (True if dead)."""
+        if self.injector is None:
+            return False
+        clock = self.counters[rank].clock
+        if self.injector.crash_due(rank, time=clock, op_index=self._fault_ops[rank]):
+            state.crashed = True
+            state.blocked_on = None
+            self.trace.record(
+                TraceEvent(
+                    kind=PhaseKind.FAULT,
+                    label=f"crash:rank{rank}",
+                    start=clock,
+                    end=clock,
+                    detail=f"after {self._fault_ops[rank]} ops",
+                )
+            )
+            return True
+        return False
 
     # ------------------------------------------------------------------ #
     def _advance(self, rank: int, states: list[_RankState]) -> bool:
@@ -311,6 +371,11 @@ class SPMDEngine:
                 state.blocked_on = op
                 return progressed
             if isinstance(op, (_Recv, _Collective)):
+                if isinstance(op, _Collective) and self.injector is not None:
+                    # Entering a collective counts as an initiated op, so
+                    # at_op crash/stall schedules work for collective-only
+                    # programs too.
+                    self._fault_ops[rank] += 1
                 state.blocked_on = op
                 return progressed
             raise CommunicatorError(
@@ -325,23 +390,103 @@ class SPMDEngine:
         words = _words_of(op.payload)
         sender = self.counters[rank]
         seconds = self.machine.message_time(words)
-        start = sender.clock
-        sender.charge_comm(1.0, words, seconds)
-        self._seq += 1
-        key = (op.dest, rank, op.tag)
-        self._mailboxes.setdefault(key, deque()).append(
-            _Mail(payload=op.payload, available_at=sender.clock, seq=self._seq)
-        )
-        self.trace.record(
-            TraceEvent(
-                kind=PhaseKind.P2P,
-                label=f"send:{rank}->{op.dest}",
-                start=start,
-                end=sender.clock,
-                words=words,
-                messages=1.0,
+        attempt = 0
+        while True:
+            fault = None
+            idx = 0
+            if self.injector is not None:
+                idx = self._fault_ops[rank]
+                self._fault_ops[rank] += 1
+                fault = self.injector.send_fault(rank, idx)
+            if fault is not None and fault.stall > 0:
+                t0 = sender.clock
+                sender.wait_until(t0 + fault.stall)
+                self.trace.record(
+                    TraceEvent(PhaseKind.FAULT, f"stall:rank{rank}", t0, sender.clock)
+                )
+            start = sender.clock
+            retrying = attempt > 0
+            sender.charge_comm(
+                1.0,
+                words,
+                seconds,
+                retry_messages=1.0 if retrying else 0.0,
+                retry_words=words if retrying else 0.0,
             )
-        )
+            if fault is not None and fault.drop:
+                self.trace.record(
+                    TraceEvent(
+                        kind=PhaseKind.FAULT,
+                        label=f"drop:{rank}->{op.dest}",
+                        start=start,
+                        end=sender.clock,
+                        words=words,
+                        messages=1.0,
+                        detail=f"attempt {attempt + 1}",
+                    )
+                )
+                if self.retry is None:
+                    return  # silently lost; the receiver-side deadline catches it
+                if attempt >= self.retry.max_retries:
+                    raise CommTimeoutError(
+                        f"message {rank}->{op.dest} (tag={op.tag}, {words:g} words) "
+                        f"dropped {attempt + 1} times — retry budget "
+                        f"({self.retry.max_retries}) exhausted at simulated clock "
+                        f"{sender.clock:.6g}s"
+                    )
+                attempt += 1
+                sender.wait_until(sender.clock + self.retry.backoff(attempt))
+                continue
+            payload = op.payload
+            if fault is not None and fault.corrupt is not None:
+                payload = self.injector.corrupt(payload, fault.corrupt, rank=rank, op_index=idx)
+                self.trace.record(
+                    TraceEvent(
+                        kind=PhaseKind.FAULT,
+                        label=f"corrupt:{rank}->{op.dest}",
+                        start=sender.clock,
+                        end=sender.clock,
+                        detail=fault.corrupt,
+                    )
+                )
+            if retrying and self.retry is not None and self.retry.ack_words > 0:
+                # Delivery after a resend is confirmed by an ack round-trip,
+                # charged to the sender as fault-tolerance traffic.
+                sender.charge_comm(
+                    1.0,
+                    self.retry.ack_words,
+                    self.machine.message_time(self.retry.ack_words),
+                    retry_messages=1.0,
+                    retry_words=self.retry.ack_words,
+                )
+            available = sender.clock
+            if fault is not None and fault.delay > 0:
+                available += fault.delay
+                self.trace.record(
+                    TraceEvent(
+                        kind=PhaseKind.FAULT,
+                        label=f"delay:{rank}->{op.dest}",
+                        start=sender.clock,
+                        end=available,
+                        detail=f"+{fault.delay:g}s",
+                    )
+                )
+            self._seq += 1
+            key = (op.dest, rank, op.tag)
+            self._mailboxes.setdefault(key, deque()).append(
+                _Mail(payload=payload, available_at=available, seq=self._seq)
+            )
+            self.trace.record(
+                TraceEvent(
+                    kind=PhaseKind.P2P,
+                    label=f"send:{rank}->{op.dest}",
+                    start=start,
+                    end=sender.clock,
+                    words=words,
+                    messages=1.0,
+                )
+            )
+            return
 
     def _match_mail(self, rank: int, op: _Recv) -> tuple[tuple[int, int, int], _Mail] | None:
         candidates: list[tuple[tuple[int, int, int], _Mail]] = []
@@ -428,11 +573,47 @@ class SPMDEngine:
         ):
             raise CommunicatorError(f"invalid collective root {root}")
 
+        cfault = None
+        if self.injector is not None:
+            cidx = self._coll_index
+            self._coll_index += 1
+            cfault = self.injector.collective_fault(self.nranks, cidx)
+            for r in sorted(cfault.stalls):
+                t0 = self.counters[r].clock
+                self.counters[r].wait_until(t0 + cfault.stalls[r])
+                self.trace.record(
+                    TraceEvent(
+                        PhaseKind.FAULT, f"stall:rank{r}", t0, self.counters[r].clock, detail=kind
+                    )
+                )
+        if self.recv_timeout is not None:
+            arrivals = [c.clock for c in self.counters]
+            skew = max(arrivals) - min(arrivals)
+            if skew > self.recv_timeout:
+                slow = int(np.argmax(arrivals))
+                raise CommTimeoutError(
+                    f"collective {kind!r} deadline expired: rank {slow} arrived "
+                    f"{skew:.6g}s after the earliest rank (deadline "
+                    f"{self.recv_timeout:g}s on the simulated clock):\n  "
+                    + "\n  ".join(self._describe_ranks(states))
+                )
+
         start = max(c.clock for c in self.counters)
         for c in self.counters:
             c.wait_until(start)
 
         values = [op.value for op in ops]
+        if cfault is not None and cfault.corruptions:
+            for r in sorted(cfault.corruptions):
+                mode = cfault.corruptions[r]
+                values[r] = self.injector.corrupt(
+                    values[r], mode, rank=r, op_index=self._coll_index - 1
+                )
+                self.trace.record(
+                    TraceEvent(
+                        PhaseKind.FAULT, f"corrupt:rank{r}", start, start, detail=f"{kind}:{mode}"
+                    )
+                )
         results: list[Any]
         detail = ""
         sparse_words = 0.0
@@ -524,6 +705,41 @@ class SPMDEngine:
         else:  # pragma: no cover - defensive
             raise CommunicatorError(f"unknown collective kind {kind!r}")
 
+        if cfault is not None and cfault.failed_attempts:
+            failures = cfault.failed_attempts
+            if self.retry is None or failures > self.retry.max_retries:
+                budget = "no retry policy" if self.retry is None else (
+                    f"retry budget {self.retry.max_retries}"
+                )
+                raise CommTimeoutError(
+                    f"collective {kind!r} torn by injected message loss "
+                    f"{failures} time(s) ({budget}) at simulated clock {start:.6g}s:\n  "
+                    + "\n  ".join(self._describe_ranks(states))
+                )
+            t0 = self.elapsed
+            for a in range(1, failures + 1):
+                extra = cost.time + self.retry.backoff(a)
+                for c in self.counters:
+                    c.charge_comm(
+                        cost.messages,
+                        cost.words,
+                        extra,
+                        retry_messages=cost.messages,
+                        retry_words=cost.words,
+                    )
+            self.trace.record(
+                TraceEvent(
+                    kind=PhaseKind.FAULT,
+                    label=f"collective_retry:{kind}",
+                    start=t0,
+                    end=self.elapsed,
+                    words=cost.words * failures * self.nranks,
+                    messages=cost.messages * failures * self.nranks,
+                    detail=f"{failures} failed attempt(s)",
+                )
+            )
+            start = self.elapsed
+
         for c in self.counters:
             c.charge_comm(
                 cost.messages,
@@ -551,25 +767,65 @@ class SPMDEngine:
             progressed |= self._advance(rank, states)
         return True
 
-    def _raise_deadlock(self, states: list[_RankState]) -> None:
+    def _describe_ranks(self, states: list[_RankState]) -> list[str]:
+        """One diagnostic line per rank: status, pending op, simulated clock.
+
+        Every stuck-state error (deadlock, timeout, rank failure) embeds
+        these lines so a hang is debuggable from the message alone.
+        """
         lines = []
         for rank, s in enumerate(states):
-            if s.done:
-                lines.append(f"rank {rank}: finished")
+            clock = f"clock={self.counters[rank].clock:.6g}s"
+            if s.crashed:
+                lines.append(f"rank {rank}: crashed (injected fault) [{clock}]")
+            elif s.done:
+                lines.append(f"rank {rank}: finished [{clock}]")
             elif isinstance(s.blocked_on, _Recv):
                 lines.append(
-                    f"rank {rank}: waiting recv(source={s.blocked_on.source}, tag={s.blocked_on.tag})"
+                    f"rank {rank}: waiting recv(source={s.blocked_on.source}, "
+                    f"tag={s.blocked_on.tag}) [{clock}]"
                 )
             elif isinstance(s.blocked_on, _Wait):
                 h = s.blocked_on.handle
                 lines.append(
-                    f"rank {rank}: waiting on irecv(source={h.source}, tag={h.tag})"
+                    f"rank {rank}: waiting on irecv(source={h.source}, tag={h.tag}) [{clock}]"
                 )
             elif isinstance(s.blocked_on, _Collective):
-                lines.append(f"rank {rank}: waiting collective {s.blocked_on.kind!r}")
+                lines.append(
+                    f"rank {rank}: waiting collective {s.blocked_on.kind!r} [{clock}]"
+                )
+            elif s.blocked_on is None:
+                lines.append(f"rank {rank}: runnable [{clock}]")
             else:
-                lines.append(f"rank {rank}: blocked on {s.blocked_on!r}")
-        raise DeadlockError("SPMD deadlock detected:\n  " + "\n  ".join(lines))
+                lines.append(f"rank {rank}: blocked on {s.blocked_on!r} [{clock}]")
+        return lines
+
+    def _raise_stuck(self, states: list[_RankState]) -> None:
+        """No rank can progress: classify the hang and raise with diagnostics."""
+        crashed = [rank for rank, s in enumerate(states) if s.crashed]
+        if crashed:
+            raise RankFailureError(
+                f"rank(s) {crashed} crashed (injected fault); surviving ranks "
+                "cannot make progress:\n  " + "\n  ".join(self._describe_ranks(states))
+            )
+        if self.recv_timeout is not None:
+            blocked = [
+                rank
+                for rank, s in enumerate(states)
+                if not s.done and isinstance(s.blocked_on, (_Recv, _Wait))
+            ]
+            if blocked:
+                deadline = self.elapsed + self.recv_timeout
+                for rank in blocked:
+                    self.counters[rank].wait_until(deadline)
+                raise CommTimeoutError(
+                    f"recv deadline ({self.recv_timeout:g}s on the simulated clock) "
+                    "expired with no matching message:\n  "
+                    + "\n  ".join(self._describe_ranks(states))
+                )
+        raise DeadlockError(
+            "SPMD deadlock detected:\n  " + "\n  ".join(self._describe_ranks(states))
+        )
 
 
 def run_spmd(
@@ -578,8 +834,18 @@ def run_spmd(
     *args: Any,
     machine: str | MachineSpec = "comet_effective",
     allreduce_algorithm: str = "recursive_doubling",
+    injector: FaultInjector | None = None,
+    recv_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Convenience one-shot runner; returns per-rank return values."""
-    engine = SPMDEngine(nranks, machine, allreduce_algorithm=allreduce_algorithm)
+    engine = SPMDEngine(
+        nranks,
+        machine,
+        allreduce_algorithm=allreduce_algorithm,
+        injector=injector,
+        recv_timeout=recv_timeout,
+        retry=retry,
+    )
     return engine.run(program, *args, **kwargs)

@@ -111,10 +111,11 @@ class Trace:
             PhaseKind.COLLECTIVE: "A",
             PhaseKind.P2P: "p",
             PhaseKind.BARRIER: "|",
+            PhaseKind.FAULT: "!",
         }
         lines = [
             f"timeline: {len(events)} events over {span:.4g}s "
-            f"(c=compute  A=collective  p=p2p  |=barrier)"
+            f"(c=compute  A=collective  p=p2p  |=barrier  !=fault)"
         ]
         row = [" "] * width
         for e in events:

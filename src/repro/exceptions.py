@@ -18,6 +18,10 @@ __all__ = [
     "PartitionError",
     "DatasetError",
     "FormatError",
+    "FaultError",
+    "RankFailureError",
+    "CommTimeoutError",
+    "NumericalFaultError",
 ]
 
 
@@ -34,7 +38,17 @@ class ShapeError(ValidationError):
 
 
 class ConvergenceError(ReproError, RuntimeError):
-    """An iterative solver failed to reach the requested tolerance."""
+    """An iterative solver failed to reach the requested tolerance.
+
+    When the raising solver can produce one, ``partial`` carries the best
+    :class:`~repro.core.results.SolveResult` reached before giving up
+    (iterate, history, counters) so callers can degrade gracefully instead
+    of losing the whole run. ``None`` when no partial state was available.
+    """
+
+    def __init__(self, message: str, *, partial: object | None = None) -> None:
+        super().__init__(message)
+        self.partial = partial
 
 
 class CommunicatorError(ReproError, RuntimeError):
@@ -55,3 +69,24 @@ class DatasetError(ReproError, ValueError):
 
 class FormatError(ReproError, ValueError):
     """A file could not be parsed (e.g. malformed LIBSVM text)."""
+
+
+class FaultError(ReproError, RuntimeError):
+    """An injected or detected fault could not be tolerated.
+
+    Base class for everything the fault-injection layer
+    (:mod:`repro.distsim.faults`) and the resilient solver runtime raise
+    when detection succeeds but recovery is impossible or exhausted.
+    """
+
+
+class RankFailureError(FaultError):
+    """A simulated rank crashed (permanently) and the run could not proceed."""
+
+
+class CommTimeoutError(FaultError):
+    """A recv/collective deadline on the simulated clock expired."""
+
+
+class NumericalFaultError(FaultError):
+    """NaN/Inf screening caught corrupted numerics and the policy was to raise."""

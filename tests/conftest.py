@@ -16,6 +16,16 @@ from repro.data.datasets import get_dataset
 from repro.data.synthetic import make_regression
 from repro.sparse.random import random_csr
 
+try:  # hypothesis is a test-only extra; keep collection working without it
+    from hypothesis import settings as _hyp_settings
+
+    # Fault-replay property tests rely on reproducibility: print_blob gives
+    # the @reproduce_failure decorator needed to replay a shrunk example.
+    _hyp_settings.register_profile("repro", print_blob=True, deadline=None)
+    _hyp_settings.load_profile("repro")
+except ImportError:  # pragma: no cover
+    pass
+
 
 def pytest_addoption(parser: pytest.Parser) -> None:
     parser.addoption(

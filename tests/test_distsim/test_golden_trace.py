@@ -99,6 +99,32 @@ def test_golden_trace_deterministic_across_runs():
         assert _canonical(_run(comm)) == _canonical(_run(comm))
 
 
+def test_zero_fault_injector_is_identity():
+    """An empty FaultPlan must leave the golden accounting untouched.
+
+    This is the zero-fault-identity guarantee of repro.distsim.faults: an
+    injector built from an all-defaults plan charges nothing and perturbs
+    nothing, so resilience instrumentation cannot skew fault-free
+    benchmarks.
+    """
+    from repro.distsim.faults import FaultInjector, FaultPlan
+
+    def run_with_empty_injector(comm: str) -> dict:
+        cluster = BSPCluster(
+            NRANKS, "comet_paper", trace=Trace(), injector=FaultInjector(FaultPlan())
+        )
+        res = rc_sfista_distributed(
+            _problem(), NRANKS, k=2, S=2, b=0.1, epochs=1, iters_per_epoch=8,
+            estimator="plain", seed=0, monitor_every=4, comm=comm, cluster=cluster,
+        )
+        return _canonical({"cost_summary": res.cost, "w": res.w.tolist()})
+
+    for comm in ("dense", "sparse"):
+        baseline = _canonical(_run(comm))
+        injected = run_with_empty_injector(comm)
+        assert injected["cost_summary"] == baseline["cost_summary"]
+
+
 def test_golden_fixture_phases_cover_stages():
     """The fixture must keep pinning every stage of the Fig. 1 schedule."""
     expected = json.loads(FIXTURE.read_text(encoding="utf-8"))
