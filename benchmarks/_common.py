@@ -13,12 +13,18 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Any
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 QUICK = not FULL
+# Machine-readable output mode: benchmarks additionally write JSON run
+# reports (consumed by benchmarks/check_regression.py and `repro
+# trace-report`). On by default; REPRO_BENCH_JSON=0 disables it.
+JSON_MODE = os.environ.get("REPRO_BENCH_JSON", "1") != "0"
 
 
 def emit(name: str, text: str) -> None:
@@ -26,6 +32,20 @@ def emit(name: str, text: str) -> None:
     print(f"\n===== {name} =====\n{text}\n")
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(name: str, payload: dict[str, Any]) -> Path | None:
+    """Persist a machine-readable report under benchmarks/output/.
+
+    No-op (returns ``None``) when JSON mode is off, so benchmarks can call
+    this unconditionally.
+    """
+    if not JSON_MODE:
+        return None
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
 
 
 def run_once(benchmark, fn, *args, **kwargs):

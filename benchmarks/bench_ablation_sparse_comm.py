@@ -15,14 +15,17 @@ Two sweeps, both on the α-β-γ model:
 
 import numpy as np
 
-from benchmarks._common import QUICK, emit, run_once
+from benchmarks._common import JSON_MODE, OUTPUT_DIR, QUICK, emit, emit_json, run_once
 from repro.core.objectives import L1LeastSquares
 from repro.core.rc_sfista_dist import rc_sfista_distributed
 from repro.data.synthetic import make_regression
 from repro.distsim.bsp import BSPCluster
 from repro.distsim.collectives import allreduce_cost, sparse_allreduce_cost
 from repro.distsim.machine import get_machine
+from repro.obs import MetricsRegistry, TelemetryRecorder, write_chrome_trace
 from repro.perf.report import format_table
+
+SMOKE_SCHEMA = "repro.obs/bench_smoke@1"
 
 N = 4096
 P = 64
@@ -50,6 +53,8 @@ def _solve(comm: str):
     X, y, _w = make_regression(d, m, density=0.04, noise=0.05, rng=5)
     grad0 = X.matvec(y) / m if hasattr(X, "matvec") else X @ y / m
     problem = L1LeastSquares(X, y, 0.05 * float(np.max(np.abs(grad0))))
+    recorder = TelemetryRecorder()
+    registry = MetricsRegistry()
     res = rc_sfista_distributed(
         problem,
         8,
@@ -62,18 +67,24 @@ def _solve(comm: str):
         seed=0,
         monitor_every=4,
         comm=comm,
+        telemetry=recorder,
+        metrics=registry,
     )
-    return res
+    return res, recorder, registry
 
 
 def _compute():
     sweep = _sweep_density()
-    solves = {comm: _solve(comm) for comm in ("dense", "sparse", "auto")}
-    return sweep, solves
+    solves, recorders = {}, {}
+    for comm in ("dense", "sparse", "auto"):
+        res, recorder, registry = _solve(comm)
+        solves[comm] = res
+        recorders[comm] = (recorder, registry)
+    return sweep, solves, recorders
 
 
 def test_ablation_sparse_comm(benchmark):
-    sweep, solves = run_once(benchmark, _compute)
+    sweep, solves, recorders = run_once(benchmark, _compute)
 
     sweep_rows = [
         [f"{f:g}", nnz, f"{dw:.0f}", f"{sw:.0f}", f"{ratio:.3f}"]
@@ -120,3 +131,23 @@ def test_ablation_sparse_comm(benchmark):
     assert sparse.cost["words_per_rank_max"] < dense.cost["words_per_rank_max"]
     assert auto.cost["words_per_rank_max"] <= dense.cost["words_per_rank_max"]
     assert sparse.cost["saved_words_total"] > 0
+
+    # Machine-readable smoke report + Perfetto trace: the CI regression
+    # gate (benchmarks/check_regression.py) diffs smoke_run.json against
+    # benchmarks/baselines/smoke.json; comet_effective has no straggler
+    # jitter, so these numbers are deterministic.
+    emit_json(
+        "smoke_run",
+        {
+            "schema": SMOKE_SCHEMA,
+            "benchmark": "ablation_sparse_comm",
+            "scale": "quick" if QUICK else "full",
+            "runs": {
+                comm: recorder.report(metrics=registry.snapshot()).to_dict()
+                for comm, (recorder, registry) in recorders.items()
+            },
+        },
+    )
+    dense_trace = recorders["dense"][0].trace
+    if JSON_MODE and dense_trace is not None:
+        write_chrome_trace(dense_trace, OUTPUT_DIR / "smoke_trace.json")

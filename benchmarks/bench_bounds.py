@@ -34,7 +34,6 @@ def _compute():
 
 def test_bounds(benchmark):
     rows = run_once(benchmark, _compute)
-    extra = [["(machine)", "-", "Eq.25 k bound", "Eq.27 kS bound (N=200,P=256)", "Eq.26 k bound"]]
     emit(
         "bounds",
         format_table(

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: diff a benchmark JSON report against a baseline.
+
+Usage (what the CI workflow runs)::
+
+    python benchmarks/check_regression.py \
+        benchmarks/output/smoke_run.json benchmarks/baselines/smoke.json
+
+Exit status 0 when every baseline metric is within tolerance, 1 otherwise
+(the offending metrics are printed). Baselines pin dotted paths into the
+report (e.g. ``runs.dense.totals.elapsed``); the smoke benchmark runs on a
+jitter-free machine model, so the committed values are exact and the ±5%
+band only absorbs intentional cost-model changes — after one of those,
+regenerate with::
+
+    python benchmarks/check_regression.py <report> <baseline> --update-baseline
+
+The comparison engine lives in :mod:`repro.obs.regression`; this file is
+the thin CLI the workflow and the unit tests share.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Runnable as a plain script from the repo root without an installed package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.exceptions import FormatError, ValidationError  # noqa: E402
+from repro.obs.regression import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    compare,
+    load_baseline,
+    update_baseline,
+)
+
+
+def _load_report(path: str) -> dict:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise FormatError(
+            f"report {path} does not exist — run the smoke benchmark first "
+            "(PYTHONPATH=src python -m pytest benchmarks/bench_ablation_sparse_comm.py)"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"report {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FormatError(f"report {path} does not contain a JSON object")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare a benchmark JSON report against a committed baseline."
+    )
+    parser.add_argument("report", help="benchmark JSON report (e.g. benchmarks/output/smoke_run.json)")
+    parser.add_argument("baseline", help="baseline JSON (e.g. benchmarks/baselines/smoke.json)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative tolerance override (default: the baseline's, else "
+        f"{DEFAULT_TOLERANCE:.0%})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this report instead of comparing",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="DOTTED.PATH",
+        help="with --update-baseline on a new baseline: dotted path to pin "
+        "(repeatable; existing baselines keep their paths)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = _load_report(args.report)
+        if args.update_baseline:
+            payload = update_baseline(
+                report,
+                args.baseline,
+                metrics=args.metric,
+                tolerance=args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE,
+            )
+            print(f"baseline {args.baseline} updated ({len(payload['metrics'])} metrics)")
+            return 0
+        baseline = load_baseline(args.baseline)
+        violations = compare(report, baseline, tolerance=args.tolerance)
+    except (FormatError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    checked = len(baseline["metrics"])
+    if violations:
+        print(f"PERF REGRESSION: {len(violations)}/{checked} metric(s) out of band")
+        for v in violations:
+            print(f"  {v.describe()}")
+        print(
+            "If the change is intentional, regenerate the baseline with "
+            "--update-baseline and commit it."
+        )
+        return 1
+    print(f"perf gate ok: {checked} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,9 +24,19 @@ Quickstart::
     print(result.summary())
 """
 
-from repro import core, data, distsim, perf, sparse, utils
+from repro import core, data, distsim, obs, perf, sparse, utils
 from repro.exceptions import ReproError
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "data", "distsim", "perf", "sparse", "utils", "ReproError", "__version__"]
+__all__ = [
+    "core",
+    "data",
+    "distsim",
+    "obs",
+    "perf",
+    "sparse",
+    "utils",
+    "ReproError",
+    "__version__",
+]

@@ -7,9 +7,15 @@ One-command access to the solvers on registry datasets or LIBSVM files::
     python -m repro solve --dataset mnist --solver rc_sfista_dist --nranks 64
     python -m repro datasets
     python -m repro machines
+    python -m repro trace-report run_report.json
 
 Results print as a summary table; ``--output result.json`` persists the
-full :class:`SolveResult` for post-processing.
+full :class:`SolveResult` for post-processing. For distributed solves,
+``--report run.json`` writes a machine-readable
+:class:`~repro.obs.telemetry.RunReport` and ``--trace-export trace.json``
+a Chrome trace-event (Perfetto) timeline; ``trace-report`` renders either
+a run report or the benchmark smoke bundle as per-phase breakdowns and
+comm-vs-compute fractions.
 """
 
 from __future__ import annotations
@@ -35,6 +41,15 @@ from repro.data.datasets import DATASETS, get_dataset
 from repro.distsim.faults import CORRUPTION_MODES, FaultPlan, RankCrash, RetryPolicy
 from repro.distsim.machine import MACHINES
 from repro.distsim.sparse_collectives import COMM_MODES
+from repro.exceptions import FormatError
+from repro.obs import (
+    MetricsRegistry,
+    RunReport,
+    TelemetryRecorder,
+    breakdown_tables,
+    fraction_lines,
+    write_chrome_trace,
+)
 from repro.perf.report import format_table
 from repro.sparse.io import load_libsvm
 from repro.utils.serialization import save_result
@@ -79,6 +94,14 @@ def _build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
 
 def _solve(args: argparse.Namespace) -> int:
     problem = _load_problem(args)
+    wants_obs = bool(args.report or args.trace_export)
+    if wants_obs and args.solver != "rc_sfista_dist":
+        raise SystemExit(
+            "--report/--trace-export need a telemetry-capable solver "
+            "(--solver rc_sfista_dist)"
+        )
+    recorder = TelemetryRecorder() if wants_obs else None
+    registry = MetricsRegistry() if wants_obs else None
     stopping = None
     if args.tol is not None:
         fstar = solve_reference(problem, tol=min(args.tol * 1e-3, 1e-8)).meta["fstar"]
@@ -115,6 +138,8 @@ def _solve(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             on_nan=args.on_nan,
             max_recoveries=args.max_recoveries,
+            telemetry=recorder,
+            metrics=registry,
             **budget, **common,
         )
     elif name == "proxcocoa":
@@ -153,6 +178,16 @@ def _solve(args: argparse.Namespace) -> int:
     if args.output:
         save_result(args.output, result)
         print(f"\nresult written to {args.output}")
+    if recorder is not None:
+        if args.report:
+            report = recorder.report(metrics=registry.snapshot())
+            report.save(args.report)
+            print(f"run report written to {args.report}")
+        if args.trace_export:
+            if recorder.trace is None:
+                raise SystemExit("solver produced no trace to export")
+            write_chrome_trace(recorder.trace, args.trace_export)
+            print(f"Perfetto trace written to {args.trace_export}")
     return 0
 
 
@@ -162,6 +197,63 @@ def _list_datasets() -> int:
         for name, spec in DATASETS.items()
     ]
     print(format_table(["dataset", "d", "m", "fill", "note"], rows))
+    return 0
+
+
+def _render_run_report(report: RunReport, *, heading: str | None = None) -> None:
+    title = heading or report.solver
+    print(f"=== {title} ===")
+    if report.params:
+        interesting = {
+            k: v
+            for k, v in sorted(report.params.items())
+            if k in ("nranks", "k", "S", "b", "comm", "machine", "estimator", "inner")
+        }
+        if interesting:
+            print("  " + "  ".join(f"{k}={v}" for k, v in interesting.items()))
+    n_records = len(report.iterations)
+    decisions = sorted(
+        {r.get("comm_decision") for r in report.iterations} - {None}
+    )
+    line = f"  iterations recorded: {n_records}"
+    if decisions:
+        line += f"  (comm decisions seen: {', '.join(decisions)})"
+    print(line + "\n")
+    by_kind = report.phases.get("by_kind", [])
+    by_label = report.phases.get("by_label", [])
+    if by_kind or by_label:
+        print(breakdown_tables(by_kind, by_label))
+        print()
+    if report.fractions:
+        for fl in fraction_lines(report.fractions):
+            print(fl)
+
+
+def _trace_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    try:
+        payload = json.loads(Path(args.report).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(f"no such file: {args.report}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{args.report} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"{args.report} does not contain a JSON object")
+
+    try:
+        if isinstance(payload.get("runs"), dict):
+            # Benchmark smoke bundle: one run report per comm mode.
+            for i, (name, run) in enumerate(sorted(payload["runs"].items())):
+                if i:
+                    print()
+                report = RunReport.from_dict(run)
+                _render_run_report(report, heading=f"{report.solver} [{name}]")
+        else:
+            _render_run_report(RunReport.from_dict(payload))
+    except FormatError as exc:
+        raise SystemExit(f"{args.report}: {exc}")
     return 0
 
 
@@ -200,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allreduce payload encoding for distributed solvers")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--output", help="write the SolveResult as JSON")
+    solve.add_argument("--report", help="write a machine-readable run report "
+                       "(JSON; telemetry-capable solvers only)")
+    solve.add_argument("--trace-export", help="write the simulated timeline as "
+                       "Chrome trace-event JSON (open in Perfetto)")
     # resilient runtime (rc_sfista_dist) --------------------------------- #
     solve.add_argument("--checkpoint-every", type=int, default=0,
                        help="checkpoint every N stage-C rounds (0 disables)")
@@ -226,6 +322,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the Table 2 dataset registry")
     sub.add_parser("machines", help="list the machine-model presets")
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="render a run report (or benchmark smoke bundle) as per-phase "
+        "breakdowns and comm-vs-compute fractions",
+    )
+    trace_report.add_argument("report", help="run-report JSON (solve --report / "
+                              "benchmarks/output/smoke_run.json)")
     return parser
 
 
@@ -237,6 +340,8 @@ def main(argv: list[str] | None = None) -> int:
         return _list_datasets()
     if args.command == "machines":
         return _list_machines()
+    if args.command == "trace-report":
+        return _trace_report(args)
     return 1  # pragma: no cover
 
 

@@ -22,7 +22,6 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.objectives import L1LeastSquares
 from repro.core.proximal import L1Prox, ProximalOperator
 from repro.core.results import History, SolveResult
 from repro.core.stopping import StoppingCriterion

@@ -48,6 +48,8 @@ from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injec
 from repro.distsim.machine import MachineSpec
 from repro.distsim.sparse_collectives import COMM_MODES
 from repro.exceptions import NumericalFaultError, RankFailureError, ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import IterationRecord, TelemetryCallback
 from repro.sparse.ops import sampled_gram
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_in_range, check_positive
@@ -192,6 +194,8 @@ def proximal_newton_distributed(
     checkpoint_every: int = 0,
     on_nan: str | None = None,
     max_recoveries: int = 3,
+    telemetry: TelemetryCallback | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SolveResult:
     """Distributed PN (Fig. 7 experiment) — see module docstring.
 
@@ -212,6 +216,14 @@ def proximal_newton_distributed(
     bit-exactly via the captured RNG state); ``on_nan`` screens every
     collective result (``None`` off, else ``raise|rollback|recompute``);
     ``max_recoveries`` bounds the rollbacks before the failure propagates.
+
+    Observability: ``telemetry`` receives one
+    :class:`~repro.obs.telemetry.IterationRecord` per inner iteration
+    (``objective=None``, ``phase="inner"``) plus one per monitored outer
+    boundary (``phase="outer"``, objective filled in); ``metrics`` is a
+    :class:`~repro.obs.metrics.MetricsRegistry` the cluster publishes into
+    (mutually exclusive with a prebuilt ``cluster``). Both are strictly out
+    of band.
     """
     if inner not in ("fista", "sfista", "rc_sfista"):
         raise ValidationError(f"inner must be fista|sfista|rc_sfista, got {inner!r}")
@@ -253,6 +265,7 @@ def proximal_newton_distributed(
             injector=injector,
             retry=retry,
             collective_deadline=recv_timeout,
+            metrics=metrics,
         )
         injector = cluster.injector
     else:
@@ -261,11 +274,35 @@ def proximal_newton_distributed(
                 "configure faults/retry/recv_timeout on the supplied cluster, "
                 "not through the solver"
             )
+        if metrics is not None:
+            raise ValidationError(
+                "attach the metrics registry to the supplied cluster, "
+                "not through the solver"
+            )
         if cluster.nranks != nranks:
             raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
         injector = cluster.injector
 
     stats = RecoveryStats()
+    if telemetry is not None:
+        telemetry.on_run_start(
+            "proximal_newton_distributed",
+            {
+                "nranks": nranks,
+                "inner": inner,
+                "n_outer": n_outer,
+                "inner_iters": inner_iters,
+                "k": k,
+                "S": S,
+                "b": b,
+                "damping": damping,
+                "step_size": gamma,
+                "comm": comm,
+                "machine": cluster.machine.name,
+                "checkpoint_every": checkpoint_every,
+                "on_nan": on_nan,
+            },
+        )
 
     def screened_allreduce(
         contribs: list[np.ndarray], label: str
@@ -331,6 +368,25 @@ def proximal_newton_distributed(
     comm_rounds = 0
     outer_done = 0
     start_n = 1
+    inner_count = 0
+
+    def emit_iteration(outer: int, obj_val: float | None, phase: str = "inner") -> None:
+        if telemetry is None:
+            return
+        telemetry.on_iteration(
+            IterationRecord(
+                outer=outer,
+                inner=inner_count,
+                objective=obj_val,
+                step_size=gamma,
+                comm_mode=comm,
+                comm_decision=cluster.last_comm_decision,
+                retries=stats.recomputes,
+                recoveries=stats.rollbacks,
+                sim_time=cluster.elapsed,
+                phase=phase,
+            )
+        )
 
     def capture(next_n: int) -> Checkpoint:
         return Checkpoint.capture(
@@ -353,7 +409,7 @@ def proximal_newton_distributed(
         # (and are really charged) a second time.
 
     def main_loop() -> None:
-        nonlocal w, prev_obj, converged, comm_rounds, outer_done, ck
+        nonlocal w, prev_obj, converged, comm_rounds, outer_done, ck, inner_count
         for n in range(start_n, n_outer + 1):
             grad = dist_full_gradient(w)
 
@@ -371,6 +427,8 @@ def proximal_newton_distributed(
                     u_new = soft_threshold(v - gamma * g, thresh)
                     u_prev, u = u, u_new
                     t_prev = t_cur
+                    inner_count += 1
+                    emit_iteration(n, None)
             else:
                 block_k = k if inner == "rc_sfista" else 1
                 reuse_S = S if inner == "rc_sfista" else 1
@@ -395,6 +453,8 @@ def proximal_newton_distributed(
                         u_prev, u = u, z
                         t_prev = t_cur
                         done += 1
+                        inner_count += 1
+                        emit_iteration(n, None)
 
             w = w + damping * (u - w)
             outer_done = n
@@ -406,6 +466,7 @@ def proximal_newton_distributed(
                 history.append(
                     n, obj, stopping.rel_error(obj), sim_time=cluster.elapsed, comm_round=comm_rounds
                 )
+                emit_iteration(n, obj, phase="outer")
                 if stopping.satisfied(obj, prev_obj):
                     converged = True
                     return
@@ -448,6 +509,20 @@ def proximal_newton_distributed(
             stats.rollbacks += 1
             cluster.recover(ck.words)
             restore(ck)
+
+    if telemetry is not None:
+        telemetry.on_run_end(
+            cost=cluster.cost.summary(),
+            trace=cluster.trace,
+            meta={
+                "solver": "proximal_newton_distributed",
+                "converged": converged,
+                "n_outer_done": outer_done,
+                "n_inner_done": inner_count,
+                "n_comm_rounds": comm_rounds,
+                "resilience": stats.as_meta(),
+            },
+        )
 
     return SolveResult(
         w=w,

@@ -46,6 +46,8 @@ from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injec
 from repro.distsim.machine import MachineSpec
 from repro.distsim.sparse_collectives import COMM_MODES
 from repro.exceptions import NumericalFaultError, RankFailureError, ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import IterationRecord, TelemetryCallback
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -79,6 +81,8 @@ def rc_sfista_distributed(
     on_nan: str | None = None,
     max_recoveries: int = 3,
     adaptive_restart: bool = False,
+    telemetry: TelemetryCallback | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SolveResult:
     """Distributed RC-SFISTA (Alg. 5 on the cluster of Fig. 1).
 
@@ -115,6 +119,19 @@ def rc_sfista_distributed(
         propagates.
     adaptive_restart:
         Reset FISTA momentum whenever the monitored objective increases.
+
+    Observability
+    -------------
+    telemetry:
+        A :class:`~repro.obs.telemetry.TelemetryCallback`; receives one
+        :class:`~repro.obs.telemetry.IterationRecord` per inner iteration
+        (``retries`` = screening recomputes, ``recoveries`` = rollbacks,
+        both cumulative at emit time) plus run start/end. Strictly out of
+        band — attaching it never changes iterates, costs or traces.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` the cluster publishes
+        into. Mutually exclusive with a prebuilt ``cluster`` (pass the
+        registry to that cluster instead).
     """
     estimator = GradientEstimator(estimator)
     if comm not in COMM_MODES:
@@ -163,6 +180,7 @@ def rc_sfista_distributed(
             injector=injector,
             retry=retry,
             collective_deadline=recv_timeout,
+            metrics=metrics,
         )
         injector = cluster.injector
     else:
@@ -171,12 +189,36 @@ def rc_sfista_distributed(
                 "configure faults/retry/recv_timeout on the supplied cluster, "
                 "not through the solver"
             )
+        if metrics is not None:
+            raise ValidationError(
+                "attach the metrics registry to the supplied cluster, "
+                "not through the solver"
+            )
         if cluster.nranks != nranks:
             raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
         injector = cluster.injector
 
     # -- resilient-runtime state ---------------------------------------- #
     stats = RecoveryStats()
+    if telemetry is not None:
+        telemetry.on_run_start(
+            "rc_sfista_distributed",
+            {
+                "nranks": nranks,
+                "k": k,
+                "S": S,
+                "b": b,
+                "mbar": mbar,
+                "epochs": epochs,
+                "iters_per_epoch": iters_per_epoch,
+                "estimator": estimator.value,
+                "step_size": gamma,
+                "comm": comm,
+                "machine": cluster.machine.name,
+                "checkpoint_every": checkpoint_every,
+                "on_nan": on_nan,
+            },
+        )
     w = np.zeros(d)
     w_prev = w.copy()
     t_prev = 1.0
@@ -259,6 +301,23 @@ def rc_sfista_distributed(
             f"stage-C allreduce stayed non-finite after {max_recoveries + 1} attempt(s)"
         )
 
+    def emit_iteration(epoch: int, obj_val: float | None) -> None:
+        if telemetry is None:
+            return
+        telemetry.on_iteration(
+            IterationRecord(
+                outer=epoch,
+                inner=sampled_iter,
+                objective=obj_val,
+                step_size=gamma,
+                comm_mode=comm,
+                comm_decision=cluster.last_comm_decision,
+                retries=stats.recomputes,
+                recoveries=stats.rollbacks,
+                sim_time=cluster.elapsed,
+            )
+        )
+
     def main_loop() -> None:
         nonlocal w, w_prev, t_prev, prev_obj, converged, diverged, sampled_iter
         nonlocal comm_rounds, anchor, full_grad, rounds_done, in_epoch, start_rnd, ck
@@ -322,6 +381,7 @@ def rc_sfista_distributed(
                     t_prev = t_cur
                     sampled_iter += 1
 
+                    iter_obj: float | None = None
                     if sampled_iter % monitor_every == 0 or (
                         epoch == epochs - 1 and rnd == n_rounds - 1 and j == block - 1
                     ):
@@ -337,19 +397,22 @@ def rc_sfista_distributed(
                             sim_time=cluster.elapsed,
                             comm_round=comm_rounds,
                         )
+                        iter_obj = obj
                         if not np.isfinite(obj):
                             diverged = True
                             stop_now = True
-                            break
-                        if stopping.satisfied(obj, prev_obj):
+                        elif stopping.satisfied(obj, prev_obj):
                             converged = True
                             stop_now = True
-                            break
-                        if adaptive_restart and prev_obj is not None and obj > prev_obj:
-                            t_prev = 1.0
-                            w_prev = w.copy()
-                            stats.momentum_restarts += 1
-                        prev_obj = obj
+                        else:
+                            if adaptive_restart and prev_obj is not None and obj > prev_obj:
+                                t_prev = 1.0
+                                w_prev = w.copy()
+                                stats.momentum_restarts += 1
+                            prev_obj = obj
+                    emit_iteration(epoch, iter_obj)
+                    if stop_now:
+                        break
                 rounds_done += 1
                 if stop_now:
                     return
@@ -395,6 +458,20 @@ def rc_sfista_distributed(
             stats.rollbacks += 1
             cluster.recover(ck.words)
             restore(ck)
+
+    if telemetry is not None:
+        telemetry.on_run_end(
+            cost=cluster.cost.summary(),
+            trace=cluster.trace,
+            meta={
+                "solver": "rc_sfista_distributed",
+                "converged": converged,
+                "diverged": diverged,
+                "n_iterations": sampled_iter,
+                "n_comm_rounds": comm_rounds,
+                "resilience": stats.as_meta(),
+            },
+        )
 
     return SolveResult(
         w=w,

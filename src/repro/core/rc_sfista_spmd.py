@@ -31,7 +31,10 @@ from repro.distsim.engine import SPMDEngine
 from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injector
 from repro.distsim.machine import MachineSpec
 from repro.distsim.sparse_collectives import COMM_MODES
+from repro.distsim.trace import Trace
 from repro.exceptions import RankFailureError, ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import IterationRecord, TelemetryCallback
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -56,6 +59,8 @@ def rc_sfista_spmd(
     recv_timeout: float | None = None,
     checkpoint_every: int = 0,
     max_recoveries: int = 3,
+    telemetry: TelemetryCallback | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SolveResult:
     """Run RC-SFISTA (k-overlap, S=1, single epoch) on the SPMD engine.
 
@@ -70,6 +75,13 @@ def rc_sfista_spmd(
     the crashed ranks and reruns the program — which resumes from the last
     checkpoint (bit-exactly, via the captured RNG state) on the *same*
     engine, so counters and clocks keep accumulating across the failure.
+
+    Observability: ``telemetry`` receives one
+    :class:`~repro.obs.telemetry.IterationRecord` per inner iteration
+    (emitted once, from rank 0's program) plus run start/end; attaching it
+    also enables the engine trace so the recorder can harvest a timeline.
+    ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry` the engine
+    publishes into. Both are strictly out of band.
     """
     estimator = GradientEstimator(estimator)
     if comm not in COMM_MODES:
@@ -162,6 +174,22 @@ def rc_sfista_spmd(
                 w_new = soft_threshold(v - gamma * (H @ v - R), thresh)
                 w_prev, w = w, w_new
                 t_prev = t_cur
+                if telemetry is not None and ctx.rank == 0:
+                    # One emission per iteration: rank 0 speaks for the
+                    # replicated state. Replays after a heal re-emit.
+                    telemetry.on_iteration(
+                        IterationRecord(
+                            outer=0,
+                            inner=done + j + 1,
+                            objective=None,
+                            step_size=gamma,
+                            comm_mode=comm,
+                            comm_decision=engine.last_comm_decision,
+                            retries=0,
+                            recoveries=recoveries,
+                            sim_time=engine.elapsed,
+                        )
+                    )
             done += block
             if checkpoint_every and done < n_iterations and (
                 -(-done // k)
@@ -189,7 +217,26 @@ def rc_sfista_spmd(
         injector=injector,
         retry=retry,
         recv_timeout=recv_timeout,
+        # The engine's trace is off by default; telemetry wants a timeline.
+        trace=Trace() if telemetry is not None else None,
+        metrics=metrics,
     )
+    if telemetry is not None:
+        telemetry.on_run_start(
+            "rc_sfista_spmd",
+            {
+                "nranks": nranks,
+                "k": k,
+                "b": b,
+                "mbar": mbar,
+                "n_iterations": n_iterations,
+                "estimator": estimator.value,
+                "step_size": gamma,
+                "comm": comm,
+                "machine": engine.machine.name,
+                "checkpoint_every": checkpoint_every,
+            },
+        )
     recoveries = 0
     healed_ranks: list[int] = []
     while True:
@@ -208,6 +255,17 @@ def rc_sfista_spmd(
     for other in per_rank_w[1:]:
         if not np.allclose(other, per_rank_w[0], atol=1e-12):
             raise ValidationError("replicated iterates diverged across ranks")
+    if telemetry is not None:
+        telemetry.on_run_end(
+            cost=engine.cost.summary(),
+            trace=engine.trace,
+            meta={
+                "solver": "rc_sfista_spmd",
+                "n_iterations": n_iterations,
+                "checkpoints": ck_holder["count"],
+                "rank_failures_recovered": recoveries,
+            },
+        )
     return SolveResult(
         w=per_rank_w[0],
         converged=False,

@@ -75,6 +75,12 @@ class BSPCluster:
         collective: if the earliest and latest arriving ranks differ by
         more than this, :class:`~repro.exceptions.CommTimeoutError` is
         raised instead of silently absorbing the straggler.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` the cluster
+        publishes into (``distsim_*`` instruments: phase counts, word and
+        message totals, fault/retry counters, the simulated-clock gauge).
+        Publishing is strictly observational — costs, clocks, traces and
+        collective results are bit-identical with or without it.
     """
 
     def __init__(
@@ -88,6 +94,7 @@ class BSPCluster:
         injector: FaultInjector | FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         collective_deadline: float | None = None,
+        metrics=None,
     ) -> None:
         if nranks < 1:
             raise ValidationError(f"nranks must be >= 1, got {nranks}")
@@ -118,6 +125,56 @@ class BSPCluster:
         # a resilient solver rolls back and replays.
         self._coll_index = 0
         self._pending_fault = None
+        # Encoding the most recent allreduce-family collective actually used
+        # ("dense"/"sparse"); solver telemetry reads it per stage-C round.
+        self.last_comm_decision: str | None = None
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_phases = metrics.counter(
+                "distsim_phases_total", help="simulated phases by kind and label"
+            )
+            self._m_flops = metrics.counter(
+                "distsim_flops_total", help="flops charged across all ranks"
+            )
+            self._m_words = metrics.counter(
+                "distsim_words_total", help="words moved across all ranks"
+            )
+            self._m_messages = metrics.counter(
+                "distsim_messages_total", help="messages sent across all ranks"
+            )
+            self._m_sparse_words = metrics.counter(
+                "distsim_sparse_words_total", help="words moved in index+value encoding"
+            )
+            self._m_saved_words = metrics.counter(
+                "distsim_saved_words_total", help="dense-equivalent words avoided"
+            )
+            self._m_retry_words = metrics.counter(
+                "distsim_retry_words_total", help="fault-tolerance words (retries, recovery)"
+            )
+            self._m_retry_messages = metrics.counter(
+                "distsim_retry_messages_total", help="fault-tolerance messages"
+            )
+            self._m_checkpoint_words = metrics.counter(
+                "distsim_checkpoint_words_total", help="words spent on checkpoints"
+            )
+            self._m_faults = metrics.counter(
+                "distsim_faults_total", help="injected fault effects by type"
+            )
+            self._m_decisions = metrics.counter(
+                "distsim_comm_decisions_total",
+                help="allreduce encoding decisions (dense vs sparse)",
+            )
+            self._m_clock = metrics.gauge(
+                "distsim_sim_time_seconds", help="current simulated wall-clock"
+            )
+            self._m_phase_seconds = metrics.histogram(
+                "distsim_phase_seconds", help="simulated phase durations"
+            )
+
+    def _note_decision(self, decision: str) -> None:
+        self.last_comm_decision = decision
+        if self._metrics is not None:
+            self._m_decisions.inc(decision=decision)
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -182,6 +239,8 @@ class BSPCluster:
                         detail=f"rank {r} stalled {fault.stalls[r]:.3g}s",
                     )
                 )
+                if self._metrics is not None:
+                    self._m_faults.inc(type="stall")
             dead = [
                 r
                 for r in range(self.nranks)
@@ -190,6 +249,8 @@ class BSPCluster:
                 )
             ]
             if dead:
+                if self._metrics is not None:
+                    self._m_faults.inc(len(dead), type="crash")
                 t = self.elapsed
                 self.trace.record(
                     TraceEvent(
@@ -254,6 +315,8 @@ class BSPCluster:
                     detail=f"rank {r} contribution corrupted ({mode})",
                 )
             )
+            if self._metrics is not None:
+                self._m_faults.inc(type="corrupt")
         return out
 
     def _per_rank(self, value: float | Sequence[float] | np.ndarray) -> np.ndarray:
@@ -292,6 +355,11 @@ class BSPCluster:
                 flops=float(per_rank.sum()),
             )
         )
+        if self._metrics is not None:
+            self._m_phases.inc(kind=PhaseKind.COMPUTE.value, label=label)
+            self._m_flops.inc(float(per_rank.sum()))
+            self._m_phase_seconds.observe(self.elapsed - start, kind="compute")
+            self._m_clock.set(self.elapsed)
 
     # ------------------------------------------------------------------ #
     # collectives
@@ -349,6 +417,12 @@ class BSPCluster:
                     detail=f"{failures} torn attempt(s) re-charged",
                 )
             )
+            if self._metrics is not None:
+                self._m_faults.inc(failures, type="torn_collective")
+                self._m_words.inc(cost.words * self.nranks * failures)
+                self._m_messages.inc(cost.messages * self.nranks * failures)
+                self._m_retry_words.inc(cost.words * self.nranks * failures)
+                self._m_retry_messages.inc(cost.messages * self.nranks * failures)
             start = self.elapsed  # the successful attempt begins after the retries
         for c in self.counters:
             c.charge_comm(
@@ -372,6 +446,21 @@ class BSPCluster:
                 detail=detail,
             )
         )
+        if self._metrics is not None:
+            self._m_phases.inc(kind=kind.value, label=label)
+            self._m_words.inc(cost.words * self.nranks)
+            self._m_messages.inc(cost.messages * self.nranks)
+            if sparse_words:
+                self._m_sparse_words.inc(sparse_words * self.nranks)
+            if saved_words:
+                self._m_saved_words.inc(saved_words * self.nranks)
+            if retry_words or retry_messages:
+                self._m_retry_words.inc(retry_words * self.nranks)
+                self._m_retry_messages.inc(retry_messages * self.nranks)
+            if checkpoint_words:
+                self._m_checkpoint_words.inc(checkpoint_words * self.nranks)
+            self._m_phase_seconds.observe(self.elapsed - start, kind=kind.value)
+            self._m_clock.set(self.elapsed)
 
     def _check_buffers(self, values: Sequence[np.ndarray], what: str) -> list[np.ndarray]:
         if len(values) != self.nranks:
@@ -392,6 +481,7 @@ class BSPCluster:
         the RC-SFISTA implementation uses (Fig. 1, stage C).
         """
         arrays = self._check_buffers(values, "allreduce")
+        self._note_decision("dense")
         start = self._sync_start(label)
         arrays = self._apply_corruption(arrays, label)
         result = coll.allreduce_values(arrays, op)
@@ -411,6 +501,7 @@ class BSPCluster:
         """
         if words < 0:
             raise ValidationError(f"words must be >= 0, got {words}")
+        self._note_decision("dense")
         start = self._sync_start(label)
         cost = coll.allreduce_cost(self.machine, self.nranks, float(words), self.allreduce_algorithm)
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
@@ -446,6 +537,7 @@ class BSPCluster:
         logs the measured union density into the trace.
         """
         vectors = self._check_sparse_buffers(values, "sparse_allreduce")
+        self._note_decision("sparse")
         start = self._sync_start(label)
         vectors = self._apply_corruption(vectors, label)
         reduced = sc.sparse_allreduce_values(vectors, op)
@@ -469,6 +561,7 @@ class BSPCluster:
         self, n: float, nnz_union: float, label: str = "sparse_allreduce"
     ) -> None:
         """Charge a sparse allreduce without moving data (dry-run replays)."""
+        self._note_decision("sparse")
         start = self._sync_start(label)
         cost = coll.sparse_allreduce_cost(
             self.machine, self.nranks, float(n), float(nnz_union), self.allreduce_algorithm
@@ -517,6 +610,7 @@ class BSPCluster:
             return self.sparse_allreduce(vectors, op, label=label)
         # auto decided to densify: dense cost, decision still logged.
         arrays = [v.to_dense() for v in vectors]
+        self._note_decision("dense")
         start = self._sync_start(label)
         arrays = self._apply_corruption(arrays, label)
         result = coll.allreduce_values(arrays, op)

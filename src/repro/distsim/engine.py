@@ -234,6 +234,7 @@ class SPMDEngine:
         injector: FaultInjector | None = None,
         recv_timeout: float | None = None,
         retry: RetryPolicy | None = None,
+        metrics=None,
     ) -> None:
         if nranks < 1:
             raise ValidationError(f"nranks must be >= 1, got {nranks}")
@@ -258,6 +259,50 @@ class SPMDEngine:
         # scheduled one-shot events never refire on a resumed/replayed run.
         self._fault_ops = [0] * nranks
         self._coll_index = 0
+        # Encoding the most recent allreduce actually used ("dense"/"sparse");
+        # solver telemetry reads it per collective round.
+        self.last_comm_decision: str | None = None
+        # Optional MetricsRegistry (see repro.obs.metrics). Instrument names
+        # are shared with BSPCluster so a registry spanning both substrates
+        # aggregates naturally. Publishing never affects costs or results.
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_phases = metrics.counter(
+                "distsim_phases_total", help="simulated phases by kind and label"
+            )
+            self._m_words = metrics.counter(
+                "distsim_words_total", help="words moved across all ranks"
+            )
+            self._m_messages = metrics.counter(
+                "distsim_messages_total", help="messages sent across all ranks"
+            )
+            self._m_sparse_words = metrics.counter(
+                "distsim_sparse_words_total", help="words moved in index+value encoding"
+            )
+            self._m_saved_words = metrics.counter(
+                "distsim_saved_words_total", help="dense-equivalent words avoided"
+            )
+            self._m_retry_words = metrics.counter(
+                "distsim_retry_words_total", help="fault-tolerance words (retries, recovery)"
+            )
+            self._m_retry_messages = metrics.counter(
+                "distsim_retry_messages_total", help="fault-tolerance messages"
+            )
+            self._m_faults = metrics.counter(
+                "distsim_faults_total", help="injected fault effects by type"
+            )
+            self._m_decisions = metrics.counter(
+                "distsim_comm_decisions_total",
+                help="allreduce encoding decisions (dense vs sparse)",
+            )
+            self._m_clock = metrics.gauge(
+                "distsim_sim_time_seconds", help="current simulated wall-clock"
+            )
+
+    def _note_decision(self, decision: str) -> None:
+        self.last_comm_decision = decision
+        if self._metrics is not None:
+            self._m_decisions.inc(decision=decision)
 
     @property
     def cost(self) -> ClusterCost:
@@ -315,6 +360,8 @@ class SPMDEngine:
         if self.injector.crash_due(rank, time=clock, op_index=self._fault_ops[rank]):
             state.crashed = True
             state.blocked_on = None
+            if self._metrics is not None:
+                self._m_faults.inc(type="crash")
             self.trace.record(
                 TraceEvent(
                     kind=PhaseKind.FAULT,
@@ -404,6 +451,8 @@ class SPMDEngine:
                 self.trace.record(
                     TraceEvent(PhaseKind.FAULT, f"stall:rank{rank}", t0, sender.clock)
                 )
+                if self._metrics is not None:
+                    self._m_faults.inc(type="stall")
             start = sender.clock
             retrying = attempt > 0
             sender.charge_comm(
@@ -413,6 +462,12 @@ class SPMDEngine:
                 retry_messages=1.0 if retrying else 0.0,
                 retry_words=words if retrying else 0.0,
             )
+            if self._metrics is not None:
+                self._m_words.inc(words)
+                self._m_messages.inc(1.0)
+                if retrying:
+                    self._m_retry_words.inc(words)
+                    self._m_retry_messages.inc(1.0)
             if fault is not None and fault.drop:
                 self.trace.record(
                     TraceEvent(
@@ -425,6 +480,8 @@ class SPMDEngine:
                         detail=f"attempt {attempt + 1}",
                     )
                 )
+                if self._metrics is not None:
+                    self._m_faults.inc(type="drop")
                 if self.retry is None:
                     return  # silently lost; the receiver-side deadline catches it
                 if attempt >= self.retry.max_retries:
@@ -449,6 +506,8 @@ class SPMDEngine:
                         detail=fault.corrupt,
                     )
                 )
+                if self._metrics is not None:
+                    self._m_faults.inc(type="corrupt")
             if retrying and self.retry is not None and self.retry.ack_words > 0:
                 # Delivery after a resend is confirmed by an ack round-trip,
                 # charged to the sender as fault-tolerance traffic.
@@ -459,6 +518,11 @@ class SPMDEngine:
                     retry_messages=1.0,
                     retry_words=self.retry.ack_words,
                 )
+                if self._metrics is not None:
+                    self._m_words.inc(self.retry.ack_words)
+                    self._m_messages.inc(1.0)
+                    self._m_retry_words.inc(self.retry.ack_words)
+                    self._m_retry_messages.inc(1.0)
             available = sender.clock
             if fault is not None and fault.delay > 0:
                 available += fault.delay
@@ -486,6 +550,9 @@ class SPMDEngine:
                     messages=1.0,
                 )
             )
+            if self._metrics is not None:
+                self._m_phases.inc(kind=PhaseKind.P2P.value, label=f"send:{rank}->{op.dest}")
+                self._m_clock.set(self.elapsed)
             return
 
     def _match_mail(self, rank: int, op: _Recv) -> tuple[tuple[int, int, int], _Mail] | None:
@@ -586,6 +653,8 @@ class SPMDEngine:
                         PhaseKind.FAULT, f"stall:rank{r}", t0, self.counters[r].clock, detail=kind
                     )
                 )
+                if self._metrics is not None:
+                    self._m_faults.inc(type="stall")
         if self.recv_timeout is not None:
             arrivals = [c.clock for c in self.counters]
             skew = max(arrivals) - min(arrivals)
@@ -614,6 +683,8 @@ class SPMDEngine:
                         PhaseKind.FAULT, f"corrupt:rank{r}", start, start, detail=f"{kind}:{mode}"
                     )
                 )
+                if self._metrics is not None:
+                    self._m_faults.inc(type="corrupt")
         results: list[Any]
         detail = ""
         sparse_words = 0.0
@@ -633,6 +704,7 @@ class SPMDEngine:
                     self.machine, self.nranks, _words_of(values[0]), self.allreduce_algorithm
                 )
                 results = [reduced.copy() for _ in range(self.nranks)]
+                self._note_decision("dense")
             else:
                 vectors = [sc.as_sparse_vector(v) for v in values]
                 n = vectors[0].n
@@ -659,6 +731,7 @@ class SPMDEngine:
                 else:
                     cost = dense_cost
                     detail = f"auto->dense nnz={nnz}/{n}"
+                self._note_decision(resolved)
                 reduced = reduced_sv.to_dense()
                 results = [reduced.copy() for _ in range(self.nranks)]
         elif kind == "reduce":
@@ -738,6 +811,12 @@ class SPMDEngine:
                     detail=f"{failures} failed attempt(s)",
                 )
             )
+            if self._metrics is not None:
+                self._m_faults.inc(failures, type="torn_collective")
+                self._m_words.inc(cost.words * failures * self.nranks)
+                self._m_messages.inc(cost.messages * failures * self.nranks)
+                self._m_retry_words.inc(cost.words * failures * self.nranks)
+                self._m_retry_messages.inc(cost.messages * failures * self.nranks)
             start = self.elapsed
 
         for c in self.counters:
@@ -759,6 +838,16 @@ class SPMDEngine:
                 detail=detail,
             )
         )
+        if self._metrics is not None:
+            phase_kind = PhaseKind.COLLECTIVE if kind != "barrier" else PhaseKind.BARRIER
+            self._m_phases.inc(kind=phase_kind.value, label=kind)
+            self._m_words.inc(cost.words * self.nranks)
+            self._m_messages.inc(cost.messages * self.nranks)
+            if sparse_words:
+                self._m_sparse_words.inc(sparse_words * self.nranks)
+            if saved_words:
+                self._m_saved_words.inc(saved_words * self.nranks)
+            self._m_clock.set(self.elapsed)
         for rank, state in enumerate(states):
             state.blocked_on = None
             state.to_inject, state.has_injection = results[rank], True

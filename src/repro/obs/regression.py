@@ -1,0 +1,162 @@
+"""Perf-regression comparison engine behind ``benchmarks/check_regression.py``.
+
+A *baseline* is a small committed JSON document::
+
+    {
+      "benchmark": "ablation_sparse_comm (QUICK smoke)",
+      "tolerance": 0.05,
+      "metrics": {
+        "runs.dense.totals.elapsed": 0.0123,
+        "runs.dense.totals.words_total": 456789.0
+      }
+    }
+
+Metric keys are dotted paths into the benchmark's JSON report (any nesting;
+list indices allowed as bare integers). :func:`compare` re-extracts each
+path from a fresh report and flags relative deviations beyond the
+tolerance; :func:`update_baseline` rewrites the baseline values from the
+report, keeping keys and tolerance. The CI gate fails on any violation and
+prints the offending metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import FormatError, ValidationError
+
+__all__ = [
+    "Violation",
+    "extract",
+    "load_baseline",
+    "compare",
+    "update_baseline",
+    "DEFAULT_TOLERANCE",
+]
+
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One metric outside its allowed band."""
+
+    metric: str
+    baseline: float
+    measured: float
+    tolerance: float
+
+    @property
+    def rel_change(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.measured != 0 else 0.0
+        return (self.measured - self.baseline) / abs(self.baseline)
+
+    def describe(self) -> str:
+        return (
+            f"{self.metric}: baseline {self.baseline:.6g} -> measured "
+            f"{self.measured:.6g} ({self.rel_change:+.2%}, tolerance ±{self.tolerance:.0%})"
+        )
+
+
+def extract(payload: Any, path: str) -> float:
+    """Resolve a dotted *path* (dict keys / list indices) to a float."""
+    node = payload
+    for part in path.split("."):
+        if isinstance(node, dict):
+            if part not in node:
+                raise FormatError(f"metric path {path!r}: no key {part!r}")
+            node = node[part]
+        elif isinstance(node, list):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError) as exc:
+                raise FormatError(f"metric path {path!r}: bad list index {part!r}") from exc
+        else:
+            raise FormatError(f"metric path {path!r}: {part!r} reached a leaf")
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        raise FormatError(f"metric path {path!r} is not numeric: {node!r}")
+    return float(node)
+
+
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise FormatError(
+            f"baseline {path} does not exist — create it with --update-baseline"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload.get("metrics"), dict) or not payload["metrics"]:
+        raise FormatError(f"baseline {path} has no 'metrics' mapping")
+    return payload
+
+
+def compare(
+    report: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    tolerance: float | None = None,
+) -> list[Violation]:
+    """All baseline metrics whose measured value deviates beyond tolerance.
+
+    *tolerance* overrides the baseline's own ``tolerance`` field (which in
+    turn defaults to ±5%). The check is symmetric: a large *improvement*
+    also fails, because it means the baseline is stale and the gate would
+    stop guarding against losing the win — re-baseline instead.
+    """
+    tol = tolerance if tolerance is not None else baseline.get("tolerance", DEFAULT_TOLERANCE)
+    if not (0 < tol < 1):
+        raise ValidationError(f"tolerance must be in (0, 1), got {tol}")
+    violations = []
+    for metric, expected in sorted(baseline["metrics"].items()):
+        expected = float(expected)
+        measured = extract(report, metric)
+        if expected == 0:
+            ok = measured == 0
+        else:
+            ok = abs(measured - expected) <= tol * abs(expected)
+        if not ok:
+            violations.append(
+                Violation(metric=metric, baseline=expected, measured=measured, tolerance=tol)
+            )
+    return violations
+
+
+def update_baseline(
+    report: dict[str, Any],
+    baseline_path: str | Path,
+    *,
+    metrics: list[str] | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    benchmark: str = "",
+) -> dict[str, Any]:
+    """Rewrite *baseline_path* with values re-extracted from *report*.
+
+    When the baseline already exists its metric keys, tolerance and
+    benchmark name are kept (unless overridden); otherwise *metrics* must
+    list the dotted paths to pin.
+    """
+    baseline_path = Path(baseline_path)
+    existing: dict[str, Any] | None = None
+    if baseline_path.exists():
+        existing = load_baseline(baseline_path)
+    keys = metrics or sorted((existing or {}).get("metrics", {}))
+    if not keys:
+        raise ValidationError(
+            "new baseline needs at least one --metric dotted path to pin"
+        )
+    payload = {
+        "benchmark": benchmark or (existing or {}).get("benchmark", baseline_path.stem),
+        "tolerance": (existing or {}).get("tolerance", tolerance) if existing else tolerance,
+        "metrics": {k: extract(report, k) for k in keys},
+    }
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return payload

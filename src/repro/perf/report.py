@@ -18,9 +18,8 @@ def format_value(value: Any, precision: int = 4) -> str:
     if isinstance(value, float):
         if value == 0:
             return "0"
-        a = abs(value)
-        if a >= 1e5 or a < 1e-3:
-            return f"{value:.{precision}g}"
+        # ``g`` already switches to scientific notation outside the
+        # comfortable range, so one format string covers every magnitude.
         return f"{value:.{precision}g}"
     return str(value)
 

@@ -7,7 +7,6 @@ from repro.core.cd import coordinate_descent_lasso, coordinate_descent_quadratic
 from repro.core.objectives import L1LeastSquares
 from repro.core.stopping import StoppingCriterion
 from repro.exceptions import ValidationError
-from repro.sparse.csr import CSCMatrix, CSRMatrix
 
 
 class TestCdLasso:

@@ -10,7 +10,6 @@ from repro.core.rc_sfista import rc_sfista
 from repro.core.rc_sfista_dist import rc_sfista_distributed
 from repro.core.sfista import sfista
 from repro.core.sfista_dist import sfista_distributed
-from repro.core.stopping import StoppingCriterion
 from repro.data.datasets import dataset_from_libsvm
 from repro.exceptions import DatasetError
 from repro.sparse.io import save_libsvm

@@ -68,7 +68,6 @@ class TestFista:
         assert fista_iters < ista_iters
 
     def test_restart_not_worse(self, small_dense_problem, small_reference):
-        fstar = small_reference.meta["fstar"]
         plain = fista(small_dense_problem, max_iter=300)
         restarted = fista(small_dense_problem, max_iter=300, restart=True)
         assert restarted.history.objectives[-1] <= plain.history.objectives[-1] * (1 + 1e-6)

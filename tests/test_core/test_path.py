@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.objectives import L1LeastSquares
-from repro.core.path import PathResult, lambda_max, lasso_path
+from repro.core.path import lambda_max, lasso_path
 from repro.exceptions import ValidationError
 
 

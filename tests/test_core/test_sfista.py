@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.fista import fista
-from repro.core.sfista import GradientEstimator, SampledGradient, sfista, stochastic_step_size
+from repro.core.sfista import SampledGradient, sfista, stochastic_step_size
 from repro.core.stopping import StoppingCriterion
 from repro.exceptions import ValidationError
 

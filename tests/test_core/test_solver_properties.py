@@ -5,7 +5,6 @@ and assert solver invariants that must hold universally.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.data.scaling import center_labels, normalize_feature_rows, normalize_sample_columns
 from repro.exceptions import ValidationError
-from repro.sparse.csr import CSCMatrix, CSRMatrix
+from repro.sparse.csr import CSCMatrix
 
 
 class TestNormalizeFeatureRows:

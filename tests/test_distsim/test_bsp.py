@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from repro.distsim.bsp import BSPCluster
-from repro.distsim.collectives import allreduce_cost, barrier_cost, bcast_cost, ceil_log2
+from repro.distsim.collectives import allreduce_cost, barrier_cost, bcast_cost
 from repro.distsim.cost import PhaseKind
-from repro.distsim.machine import get_machine
 from repro.exceptions import CommunicatorError, ValidationError
 
 

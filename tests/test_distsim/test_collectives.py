@@ -1,7 +1,5 @@
 """Unit tests for collective numerics and cost formulas."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -33,7 +33,6 @@ class TestFig2a:
         out = fig2a_sampling_rate(quick=True, bs=(1.0, 0.2, 0.05))
         series = out["series"]
         assert "fista" in series
-        final_fista = series["fista"][1][-1]
         for label, (_, errs) in series.items():
             assert np.isfinite(errs[-1])
             # every curve makes progress from its start
@@ -69,7 +68,6 @@ class TestFig4:
             by_key.setdefault((r["dataset"], r["nranks"]), []).append((r["k"], r["speedup"]))
         for cells in by_key.values():
             cells.sort()
-            ks = [c[0] for c in cells]
             sps = [c[1] for c in cells]
             assert sps[-1] > sps[0]  # largest k beats k=1
 

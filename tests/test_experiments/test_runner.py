@@ -1,6 +1,5 @@
 """Integration tests: dry-run cost schedules must match the real solvers."""
 
-import numpy as np
 import pytest
 
 from repro.core.rc_sfista_dist import rc_sfista_distributed

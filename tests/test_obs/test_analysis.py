@@ -1,0 +1,85 @@
+"""Breakdown tables and comm-vs-compute critical-path analysis."""
+
+import pytest
+
+from repro.distsim.cost import PhaseKind
+from repro.distsim.trace import Trace, TraceEvent
+from repro.obs.analysis import (
+    breakdown_by_kind,
+    breakdown_by_label,
+    breakdown_tables,
+    critical_path,
+    fraction_lines,
+)
+
+
+def _trace() -> Trace:
+    t = Trace()
+    t.record(TraceEvent(kind=PhaseKind.COMPUTE, label="update", start=0.0, end=1.0, flops=10.0))
+    t.record(TraceEvent(kind=PhaseKind.COMPUTE, label="update", start=1.0, end=2.0, flops=10.0))
+    t.record(
+        TraceEvent(
+            kind=PhaseKind.COLLECTIVE, label="allreduce", start=2.0, end=5.0, words=64.0, messages=4.0
+        )
+    )
+    t.record(TraceEvent(kind=PhaseKind.FAULT, label="retry", start=5.0, end=6.0))
+    return t
+
+
+class TestBreakdowns:
+    def test_by_kind_aggregates_and_sorts(self):
+        rows = breakdown_by_kind(_trace())
+        assert [r["key"] for r in rows] == ["collective", "compute", "fault"]
+        coll = rows[0]
+        assert coll["events"] == 1
+        assert coll["time"] == pytest.approx(3.0)
+        assert coll["words"] == pytest.approx(64.0)
+        compute = rows[1]
+        assert compute["events"] == 2
+        assert compute["flops"] == pytest.approx(20.0)
+
+    def test_time_fractions_sum_to_one(self):
+        rows = breakdown_by_kind(_trace())
+        assert sum(r["time_frac"] for r in rows) == pytest.approx(1.0)
+
+    def test_by_label(self):
+        rows = breakdown_by_label(_trace())
+        keys = [r["key"] for r in rows]
+        assert keys[0] == "allreduce"
+        assert set(keys) == {"allreduce", "update", "retry"}
+
+    def test_tables_render(self):
+        rows_k = breakdown_by_kind(_trace())
+        rows_l = breakdown_by_label(_trace())
+        text = breakdown_tables(rows_k, rows_l)
+        assert "by phase kind" in text
+        assert "allreduce" in text
+        assert "time %" in text
+
+
+class TestCriticalPath:
+    def test_split(self):
+        path = critical_path(_trace())
+        assert path["span"] == pytest.approx(6.0)
+        assert path["compute_time"] == pytest.approx(2.0)
+        assert path["comm_time"] == pytest.approx(3.0)
+        assert path["fault_time"] == pytest.approx(1.0)
+        assert path["gap_time"] == pytest.approx(0.0)
+        assert path["comm_fraction"] == pytest.approx(0.5)
+        assert path["compute_fraction"] == pytest.approx(2.0 / 6.0)
+
+    def test_gap_detected(self):
+        t = Trace()
+        t.record(TraceEvent(kind=PhaseKind.COMPUTE, label="a", start=0.0, end=1.0))
+        t.record(TraceEvent(kind=PhaseKind.COMPUTE, label="b", start=3.0, end=4.0))
+        assert critical_path(t)["gap_time"] == pytest.approx(2.0)
+
+    def test_empty_trace_is_all_zero(self):
+        path = critical_path(Trace())
+        assert path["span"] == 0.0
+        assert path["comm_fraction"] == 0.0
+
+    def test_fraction_lines(self):
+        lines = fraction_lines(critical_path(_trace()))
+        joined = "\n".join(lines)
+        assert "compute" in joined and "comm" in joined and "fault" in joined

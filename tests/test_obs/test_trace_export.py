@@ -1,0 +1,90 @@
+"""Perfetto (Chrome trace-event) exporter round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.distsim.cost import PhaseKind
+from repro.distsim.trace import Trace, TraceEvent
+from repro.exceptions import ValidationError
+from repro.obs.trace_export import KIND_LANES, to_chrome_trace, write_chrome_trace
+
+
+def _sample_trace() -> Trace:
+    trace = Trace()
+    trace.record(
+        TraceEvent(
+            kind=PhaseKind.COMPUTE, label="hessian", start=1.0, end=1.5, flops=100.0
+        )
+    )
+    trace.record(
+        TraceEvent(
+            kind=PhaseKind.COLLECTIVE,
+            label="allreduce_G",
+            start=1.5,
+            end=1.9,
+            words=640.0,
+            messages=8.0,
+            detail="sparse nnz=12/400",
+        )
+    )
+    trace.record(
+        TraceEvent(kind=PhaseKind.FAULT, label="retry", start=1.9, end=2.0)
+    )
+    return trace
+
+
+class TestToChromeTrace:
+    def test_structure(self):
+        doc = to_chrome_trace(_sample_trace())
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_metadata_names_all_lanes(self):
+        doc = to_chrome_trace(_sample_trace(), process_name="myproc")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "myproc" in names
+        assert {k.value for k in KIND_LANES} <= names
+
+    def test_events_rebased_and_monotone(self):
+        doc = to_chrome_trace(_sample_trace())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs[0]["ts"] == 0.0  # rebased to earliest start
+        ts = [e["ts"] for e in xs]
+        assert ts == sorted(ts)
+
+    def test_durations_match_trace_events(self):
+        trace = _sample_trace()
+        doc = to_chrome_trace(trace)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(trace.events)
+        for x, e in zip(xs, sorted(trace.events, key=lambda e: e.start)):
+            assert x["dur"] == pytest.approx(e.duration * 1e6)
+            assert x["name"] == e.label
+            assert x["cat"] == e.kind.value
+            assert x["tid"] == KIND_LANES[e.kind]
+
+    def test_args_carry_accounting(self):
+        doc = to_chrome_trace(_sample_trace())
+        coll = next(e for e in doc["traceEvents"] if e.get("name") == "allreduce_G")
+        assert coll["args"] == {
+            "words": 640.0,
+            "messages": 8.0,
+            "detail": "sparse nnz=12/400",
+        }
+
+    def test_empty_trace(self):
+        doc = to_chrome_trace(Trace())
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+class TestWriteChromeTrace:
+    def test_round_trip_valid_json(self, tmp_path):
+        path = write_chrome_trace(_sample_trace(), tmp_path / "t.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == to_chrome_trace(_sample_trace())
+
+    def test_rejects_non_json_suffix(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_chrome_trace(_sample_trace(), tmp_path / "t.txt")

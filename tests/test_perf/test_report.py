@@ -24,6 +24,18 @@ class TestFormatValue:
     def test_string(self):
         assert format_value("abc") == "abc"
 
+    def test_large_float_scientific(self):
+        # Pins the collapsed magnitude branch: ``g`` alone already renders
+        # |v| >= 1e5 in scientific notation at the default precision.
+        assert format_value(123456.789) == "1.235e+05"
+
+    def test_mid_range_float_stays_positional(self):
+        assert format_value(0.25) == "0.25"
+        assert format_value(99999.0) == "1e+05"
+
+    def test_precision_widens_before_scientific(self):
+        assert format_value(123456.789, precision=9) == "123456.789"
+
 
 class TestFormatTable:
     def test_alignment(self):
