@@ -24,7 +24,7 @@ Quickstart::
     print(result.summary())
 """
 
-from repro import core, data, distsim, obs, perf, sparse, utils
+from repro import core, data, distsim, obs, perf, runtime, sparse, utils
 from repro.exceptions import ReproError
 
 __version__ = "1.0.0"
@@ -35,6 +35,7 @@ __all__ = [
     "distsim",
     "obs",
     "perf",
+    "runtime",
     "sparse",
     "utils",
     "ReproError",

@@ -32,11 +32,11 @@ from repro.core.objectives import L1LeastSquares
 from repro.core.proxcocoa import proxcocoa
 from repro.core.rc_sfista import rc_sfista
 from repro.core.rc_sfista_dist import rc_sfista_distributed
+from repro.core.rc_sfista_spmd import rc_sfista_spmd
 from repro.core.reference import solve_reference
 from repro.core.sfista import sfista
 from repro.core.sfista_dist import sfista_distributed
 from repro.core.stopping import StoppingCriterion
-from repro.core.resilience import ON_NAN_POLICIES
 from repro.data.datasets import DATASETS, get_dataset
 from repro.distsim.faults import CORRUPTION_MODES, FaultPlan, RankCrash, RetryPolicy
 from repro.distsim.machine import MACHINES
@@ -51,13 +51,17 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.perf.report import format_table
+from repro.runtime import ON_NAN_POLICIES, RuntimeConfig
 from repro.sparse.io import load_libsvm
 from repro.utils.serialization import save_result
 
 __all__ = ["main"]
 
 SERIAL_SOLVERS = ("fista", "ista", "cd", "sfista", "rc_sfista")
-DIST_SOLVERS = ("sfista_dist", "rc_sfista_dist", "proxcocoa")
+DIST_SOLVERS = ("sfista_dist", "rc_sfista_dist", "rc_sfista_spmd", "proxcocoa")
+#: Solvers that accept a :class:`repro.runtime.RuntimeConfig` — and with it
+#: the fault/resilience/telemetry flags below.
+RUNTIME_SOLVERS = ("sfista_dist", "rc_sfista_dist", "rc_sfista_spmd")
 
 
 def _load_problem(args: argparse.Namespace) -> L1LeastSquares:
@@ -92,13 +96,34 @@ def _build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
     return None if plan.empty else plan
 
 
+def _build_runtime(
+    args: argparse.Namespace,
+    recorder: TelemetryRecorder | None,
+    registry: MetricsRegistry | None,
+) -> RuntimeConfig:
+    """One RuntimeConfig from the CLI's machine/comm/fault/resilience knobs."""
+    plan = _build_fault_plan(args)
+    return RuntimeConfig(
+        machine=args.machine,
+        comm=args.comm,
+        faults=plan,
+        retry=RetryPolicy() if plan is not None and plan.collective_drop_rate > 0 else None,
+        recv_timeout=args.recv_timeout,
+        checkpoint_every=args.checkpoint_every,
+        on_nan=args.on_nan,
+        max_recoveries=args.max_recoveries,
+        telemetry=recorder,
+        metrics=registry,
+    )
+
+
 def _solve(args: argparse.Namespace) -> int:
     problem = _load_problem(args)
     wants_obs = bool(args.report or args.trace_export)
-    if wants_obs and args.solver != "rc_sfista_dist":
+    if wants_obs and args.solver not in RUNTIME_SOLVERS:
         raise SystemExit(
             "--report/--trace-export need a telemetry-capable solver "
-            "(--solver rc_sfista_dist)"
+            f"(--solver {' | '.join(RUNTIME_SOLVERS)})"
         )
     recorder = TelemetryRecorder() if wants_obs else None
     registry = MetricsRegistry() if wants_obs else None
@@ -124,23 +149,22 @@ def _solve(args: argparse.Namespace) -> int:
         )
     elif name == "sfista_dist":
         result = sfista_distributed(
-            problem, args.nranks, machine=args.machine, b=args.b, seed=args.seed,
+            problem, args.nranks, b=args.b, seed=args.seed,
+            runtime=_build_runtime(args, recorder, registry),
             **budget, **common,
         )
     elif name == "rc_sfista_dist":
-        plan = _build_fault_plan(args)
         result = rc_sfista_distributed(
-            problem, args.nranks, machine=args.machine, k=args.k, S=args.S,
-            b=args.b, seed=args.seed, comm=args.comm,
-            faults=plan,
-            retry=RetryPolicy() if plan is not None and plan.collective_drop_rate > 0 else None,
-            recv_timeout=args.recv_timeout,
-            checkpoint_every=args.checkpoint_every,
-            on_nan=args.on_nan,
-            max_recoveries=args.max_recoveries,
-            telemetry=recorder,
-            metrics=registry,
+            problem, args.nranks, k=args.k, S=args.S, b=args.b, seed=args.seed,
+            runtime=_build_runtime(args, recorder, registry),
             **budget, **common,
+        )
+    elif name == "rc_sfista_spmd":
+        # Fixed-budget rank-program solver: no StoppingCriterion support.
+        result = rc_sfista_spmd(
+            problem, args.nranks, k=args.k, b=args.b, seed=args.seed,
+            n_iterations=args.epochs * args.iters_per_epoch,
+            runtime=_build_runtime(args, recorder, registry),
         )
     elif name == "proxcocoa":
         result = proxcocoa(
@@ -296,7 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
                        "(JSON; telemetry-capable solvers only)")
     solve.add_argument("--trace-export", help="write the simulated timeline as "
                        "Chrome trace-event JSON (open in Perfetto)")
-    # resilient runtime (rc_sfista_dist) --------------------------------- #
+    # resilient runtime (sfista_dist / rc_sfista_dist / rc_sfista_spmd) --- #
     solve.add_argument("--checkpoint-every", type=int, default=0,
                        help="checkpoint every N stage-C rounds (0 disables)")
     solve.add_argument("--on-nan", choices=ON_NAN_POLICIES, default=None,

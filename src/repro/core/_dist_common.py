@@ -16,12 +16,44 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.objectives import L1LeastSquares
+from repro.core.proximal import soft_threshold
 from repro.exceptions import ValidationError
 from repro.sparse.csr import CSCMatrix, CSRMatrix
 from repro.sparse.ops import gram_flops, rhs_flops, sampled_gram, sampled_rhs
 from repro.sparse.partition import ColumnPartition, partition_columns
 
-__all__ = ["RankData", "DistributedData", "distribute_problem", "UPDATE_FLOPS"]
+__all__ = [
+    "RankData",
+    "DistributedData",
+    "distribute_problem",
+    "hessian_reuse_update",
+    "UPDATE_FLOPS",
+]
+
+
+def hessian_reuse_update(
+    H: np.ndarray,
+    R: np.ndarray,
+    v: np.ndarray,
+    *,
+    gamma: float,
+    thresh: float,
+    S: int = 1,
+    eps_reg: float = 0.0,
+) -> np.ndarray:
+    """``S`` Hessian-reuse prox steps on the sampled model (Eqs. 20–23).
+
+    The replicated stage-D arithmetic shared by every execution substrate
+    (serial, BSP host view, SPMD rank programs): starting from the
+    momentum point ``v``, iterate ``u ← prox(u − γ(Hu − R + ε(u − v)))``.
+    ``S=1, eps_reg=0`` is the plain SFISTA step. The caller charges the
+    ``UPDATE_FLOPS`` cost — this function is pure arithmetic.
+    """
+    u = v
+    for _s in range(S):
+        step_dir = H @ u - R + eps_reg * (u - v)
+        u = soft_threshold(u - gamma * step_dir, thresh)
+    return u
 
 
 def UPDATE_FLOPS(d: int) -> float:

@@ -35,21 +35,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core._dist_common import UPDATE_FLOPS, distribute_problem
+from repro.core._dist_common import UPDATE_FLOPS, distribute_problem, hessian_reuse_update
 from repro.core.cd import coordinate_descent_quadratic
 from repro.core.fista import fista, momentum_mu, t_next
 from repro.core.objectives import L1LeastSquares, QuadraticModel
 from repro.core.proximal import L1Prox, soft_threshold
-from repro.core.resilience import Checkpoint, NumericalGuard, RecoveryStats, RollbackRequested
 from repro.core.results import History, SolveResult
 from repro.core.stopping import StoppingCriterion
 from repro.distsim.bsp import BSPCluster
-from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injector
+from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.distsim.machine import MachineSpec
-from repro.distsim.sparse_collectives import COMM_MODES
-from repro.exceptions import NumericalFaultError, RankFailureError, ValidationError
+from repro.exceptions import ValidationError
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.telemetry import IterationRecord, TelemetryCallback
+from repro.obs.telemetry import TelemetryCallback
+from repro.runtime import Checkpoint, ResilientLoop, RuntimeConfig, build_host_backend, resolve_runtime
 from repro.sparse.ops import sampled_gram
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_in_range, check_positive
@@ -196,6 +195,7 @@ def proximal_newton_distributed(
     max_recoveries: int = 3,
     telemetry: TelemetryCallback | None = None,
     metrics: MetricsRegistry | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> SolveResult:
     """Distributed PN (Fig. 7 experiment) — see module docstring.
 
@@ -209,38 +209,45 @@ def proximal_newton_distributed(
     (index+value, O(nnz_union) words) or ``"auto"`` (per-phase
     stream-and-switch on measured density, logged into the trace).
 
-    Resilience: ``faults``/``retry``/``recv_timeout`` configure the
-    cluster's fault layer (mutually exclusive with a prebuilt ``cluster``);
-    ``checkpoint_every`` checkpoints the outer iterate every that many
-    outer iterations (rollback replays the interrupted outer iteration
-    bit-exactly via the captured RNG state); ``on_nan`` screens every
-    collective result (``None`` off, else ``raise|rollback|recompute``);
-    ``max_recoveries`` bounds the rollbacks before the failure propagates.
-
-    Observability: ``telemetry`` receives one
-    :class:`~repro.obs.telemetry.IterationRecord` per inner iteration
-    (``objective=None``, ``phase="inner"``) plus one per monitored outer
-    boundary (``phase="outer"``, objective filled in); ``metrics`` is a
-    :class:`~repro.obs.metrics.MetricsRegistry` the cluster publishes into
-    (mutually exclusive with a prebuilt ``cluster``). Both are strictly out
-    of band.
+    Runtime
+    -------
+    runtime:
+        A :class:`~repro.runtime.RuntimeConfig` bundling the execution
+        knobs (machine/comm, faults, retry, recv_timeout, checkpointing
+        every ``checkpoint_every`` *outer* iterations with bit-exact
+        rollback replay, ``on_nan`` screening of every collective result
+        and monitored objective, telemetry, metrics). The individual
+        kwargs remain accepted but cannot be combined with ``runtime=``;
+        the resilience/observability ones are deprecated as kwargs.
+        ``telemetry`` receives one record per inner iteration
+        (``objective=None``, ``phase="inner"``) plus one per monitored
+        outer boundary (``phase="outer"``); both observers are strictly
+        out of band.
     """
+    config = resolve_runtime(
+        runtime,
+        machine=machine,
+        allreduce_algorithm=allreduce_algorithm,
+        comm=comm,
+        cluster=cluster,
+        faults=faults,
+        retry=retry,
+        recv_timeout=recv_timeout,
+        checkpoint_every=checkpoint_every,
+        on_nan=on_nan,
+        max_recoveries=max_recoveries,
+        telemetry=telemetry,
+        metrics=metrics,
+    )
     if inner not in ("fista", "sfista", "rc_sfista"):
         raise ValidationError(f"inner must be fista|sfista|rc_sfista, got {inner!r}")
-    if comm not in COMM_MODES:
-        raise ValidationError(f"comm must be one of {COMM_MODES}, got {comm!r}")
     if inner != "rc_sfista" and (k != 1 or S != 1):
         raise ValidationError("k and S only apply to the rc_sfista inner solver")
     if n_outer < 1 or inner_iters < 1 or k < 1 or S < 1:
         raise ValidationError("n_outer, inner_iters, k, S must be >= 1")
     if monitor_every < 1:
         raise ValidationError(f"monitor_every must be >= 1, got {monitor_every}")
-    if checkpoint_every < 0:
-        raise ValidationError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
-    if max_recoveries < 0:
-        raise ValidationError(f"max_recoveries must be >= 0, got {max_recoveries}")
     stopping = stopping or StoppingCriterion()
-    guard = NumericalGuard(on_nan)
     rng = as_generator(seed)
     d, lam = problem.d, problem.lam
     gamma = (
@@ -256,68 +263,26 @@ def proximal_newton_distributed(
     )
 
     data = distribute_problem(problem, nranks)
-    injector = as_injector(faults)
-    if cluster is None:
-        cluster = BSPCluster(
-            nranks,
-            machine,
-            allreduce_algorithm=allreduce_algorithm,
-            injector=injector,
-            retry=retry,
-            collective_deadline=recv_timeout,
-            metrics=metrics,
-        )
-        injector = cluster.injector
-    else:
-        if injector is not None or retry is not None or recv_timeout is not None:
-            raise ValidationError(
-                "configure faults/retry/recv_timeout on the supplied cluster, "
-                "not through the solver"
-            )
-        if metrics is not None:
-            raise ValidationError(
-                "attach the metrics registry to the supplied cluster, "
-                "not through the solver"
-            )
-        if cluster.nranks != nranks:
-            raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
-        injector = cluster.injector
-
-    stats = RecoveryStats()
-    if telemetry is not None:
-        telemetry.on_run_start(
-            "proximal_newton_distributed",
-            {
-                "nranks": nranks,
-                "inner": inner,
-                "n_outer": n_outer,
-                "inner_iters": inner_iters,
-                "k": k,
-                "S": S,
-                "b": b,
-                "damping": damping,
-                "step_size": gamma,
-                "comm": comm,
-                "machine": cluster.machine.name,
-                "checkpoint_every": checkpoint_every,
-                "on_nan": on_nan,
-            },
-        )
-
-    def screened_allreduce(
-        contribs: list[np.ndarray], label: str
-    ) -> np.ndarray:
-        """Allreduce with recompute-on-corruption screening."""
-        nonlocal comm_rounds
-        for _attempt in range(max_recoveries + 1):
-            out = cluster.allreduce_comm(contribs, mode=comm, label=label)
-            comm_rounds += 1
-            if not guard.screen(out, label, stats):
-                return out
-            stats.recomputes += 1
-        raise NumericalFaultError(
-            f"{label} stayed non-finite after {max_recoveries + 1} attempt(s)"
-        )
+    backend = build_host_backend(config, nranks)
+    loop = ResilientLoop(backend, config, solver="proximal_newton_distributed")
+    loop.step_size = gamma
+    loop.start(
+        {
+            "nranks": nranks,
+            "inner": inner,
+            "n_outer": n_outer,
+            "inner_iters": inner_iters,
+            "k": k,
+            "S": S,
+            "b": b,
+            "damping": damping,
+            "step_size": gamma,
+            "comm": config.comm,
+            "machine": backend.machine_name,
+            "checkpoint_every": config.checkpoint_every,
+            "on_nan": config.on_nan,
+        }
+    )
 
     def dist_full_gradient(point: np.ndarray) -> np.ndarray:
         contribs, flops = [], []
@@ -325,8 +290,8 @@ def proximal_newton_distributed(
             g_p, fl = rd.full_gradient_contribution(point, problem.m)
             contribs.append(g_p)
             flops.append(fl)
-        cluster.compute(flops, label="full_gradient")
-        return screened_allreduce(contribs, "allreduce_grad")
+        backend.compute(flops, label="full_gradient")
+        return loop.allreduce(contribs, "allreduce_grad")
 
     def dist_hessian_apply(vec: np.ndarray) -> np.ndarray:
         """Exact Hessian-vector product through the distributed data."""
@@ -343,8 +308,8 @@ def proximal_newton_distributed(
                 hv = rd.X_local.matvec(rd.X_local.rmatvec(vec)) / problem.m
                 flops.append(float(4 * rd.X_local.nnz))
             contribs.append(hv)
-        cluster.compute(flops, label="hessian_apply")
-        return screened_allreduce(contribs, "allreduce_Hv")
+        backend.compute(flops, label="hessian_apply")
+        return loop.allreduce(contribs, "allreduce_Hv")
 
     def sampled_blocks(count: int) -> np.ndarray:
         """Stages A–C for *count* fresh sampled Hessians: one allreduce."""
@@ -356,8 +321,8 @@ def proximal_newton_distributed(
                 H_p, _local, fl = rd.sampled_hessian_contribution(idx, mbar, d)
                 payload[p].append(H_p.ravel())
                 flops[p] += fl
-        cluster.compute(flops, label="hessian_blocks")
-        return screened_allreduce(
+        backend.compute(flops, label="hessian_blocks")
+        return loop.allreduce(
             [np.concatenate(chunks) for chunks in payload], "allreduce_G"
         )
 
@@ -365,28 +330,9 @@ def proximal_newton_distributed(
     history = History()
     prev_obj: float | None = None
     converged = False
-    comm_rounds = 0
     outer_done = 0
     start_n = 1
     inner_count = 0
-
-    def emit_iteration(outer: int, obj_val: float | None, phase: str = "inner") -> None:
-        if telemetry is None:
-            return
-        telemetry.on_iteration(
-            IterationRecord(
-                outer=outer,
-                inner=inner_count,
-                objective=obj_val,
-                step_size=gamma,
-                comm_mode=comm,
-                comm_decision=cluster.last_comm_decision,
-                retries=stats.recomputes,
-                recoveries=stats.rollbacks,
-                sim_time=cluster.elapsed,
-                phase=phase,
-            )
-        )
 
     def capture(next_n: int) -> Checkpoint:
         return Checkpoint.capture(
@@ -405,11 +351,11 @@ def proximal_newton_distributed(
         converged = False
         ck.restore_rng(rng)
         history.truncate(ck.history_len)
-        # comm_rounds is not restored: replayed collectives really happen
-        # (and are really charged) a second time.
+        # loop.comm_rounds is not restored: replayed collectives really
+        # happen (and are really charged) a second time.
 
     def main_loop() -> None:
-        nonlocal w, prev_obj, converged, comm_rounds, outer_done, ck, inner_count
+        nonlocal w, prev_obj, converged, outer_done, inner_count
         for n in range(start_n, n_outer + 1):
             grad = dist_full_gradient(w)
 
@@ -423,12 +369,12 @@ def proximal_newton_distributed(
                     mu = momentum_mu(t_prev, t_cur)
                     v = u + mu * (u - u_prev)
                     g = dist_hessian_apply(v - w) + grad
-                    cluster.compute(8.0 * d, label="update")
+                    backend.compute(8.0 * d, label="update")
                     u_new = soft_threshold(v - gamma * g, thresh)
                     u_prev, u = u, u_new
                     t_prev = t_cur
                     inner_count += 1
-                    emit_iteration(n, None)
+                    loop.emit(outer=n, inner=inner_count, objective=None)
             else:
                 block_k = k if inner == "rc_sfista" else 1
                 reuse_S = S if inner == "rc_sfista" else 1
@@ -441,96 +387,59 @@ def proximal_newton_distributed(
                         H_j = G[j * d * d : (j + 1) * d * d].reshape(d, d)
                         # R of the linearized model with sampled H: Hw − ∇f(w).
                         R_j = H_j @ w - grad
-                        cluster.compute(2.0 * d * d, label="model_rhs")
+                        backend.compute(2.0 * d * d, label="model_rhs")
                         t_cur = t_next(t_prev)
                         mu = momentum_mu(t_prev, t_cur)
                         v = u + mu * (u - u_prev)
-                        z = v
+                        z = hessian_reuse_update(
+                            H_j, R_j, v, gamma=gamma, thresh=thresh, S=reuse_S, eps_reg=eps_reg
+                        )
                         for _s in range(reuse_S):  # Hessian-reuse prox steps
-                            step_dir = H_j @ z - R_j + eps_reg * (z - v)
-                            z = soft_threshold(z - gamma * step_dir, thresh)
-                            cluster.compute(UPDATE_FLOPS(d), label="update")
+                            backend.compute(UPDATE_FLOPS(d), label="update")
                         u_prev, u = u, z
                         t_prev = t_cur
                         done += 1
                         inner_count += 1
-                        emit_iteration(n, None)
+                        loop.emit(outer=n, inner=inner_count, objective=None)
 
             w = w + damping * (u - w)
             outer_done = n
             if n % monitor_every == 0 or n == n_outer:
                 obj = problem.value(w)  # out of band
-                if guard.enabled and guard.screen(obj, "monitored objective", stats):
-                    # A non-finite iterate cannot be fixed by re-communicating.
-                    raise RollbackRequested("monitored objective")
+                # A non-finite iterate cannot be fixed by re-communicating.
+                loop.screen_objective(obj)
                 history.append(
-                    n, obj, stopping.rel_error(obj), sim_time=cluster.elapsed, comm_round=comm_rounds
+                    n, obj, stopping.rel_error(obj), sim_time=backend.elapsed,
+                    comm_round=loop.comm_rounds,
                 )
-                emit_iteration(n, obj, phase="outer")
+                loop.emit(outer=n, inner=inner_count, objective=obj, phase="outer")
                 if stopping.satisfied(obj, prev_obj):
                     converged = True
                     return
                 prev_obj = obj
-            if checkpoint_every and n % checkpoint_every == 0 and n < n_outer:
-                # Promote the snapshot only after its traffic lands: a crash
-                # mid-checkpoint must roll back to the previous durable one.
-                new_ck = capture(n + 1)
-                cluster.checkpoint(new_ck.words)
-                ck = new_ck
-                stats.checkpoints += 1
+            if config.checkpoint_every and n % config.checkpoint_every == 0 and n < n_outer:
+                loop.commit_checkpoint(capture(n + 1))
 
-    # Free initial checkpoint: recovery without periodic checkpoints
-    # restarts from scratch.
-    ck = capture(1)
-    recoveries = 0
-    while True:
-        try:
-            main_loop()
-            break
-        except RankFailureError:
-            if injector is None:
-                raise
-            recoveries += 1
-            if recoveries > max_recoveries:
-                raise
-            healed = injector.heal_all()
-            stats.rank_failures_recovered += 1
-            stats.healed_ranks.extend(healed)
-            stats.rollbacks += 1
-            cluster.recover(ck.words)
-            restore(ck)
-        except RollbackRequested as sig:
-            recoveries += 1
-            if recoveries > max_recoveries:
-                raise NumericalFaultError(
-                    f"non-finite values in {sig.what} persisted after "
-                    f"{max_recoveries} rollback(s)"
-                ) from None
-            stats.rollbacks += 1
-            cluster.recover(ck.words)
-            restore(ck)
+    # The free initial checkpoint (capture=) means recovery without
+    # periodic checkpoints restarts from scratch.
+    loop.run(main_loop, capture=lambda: capture(1), restore=restore)
 
-    if telemetry is not None:
-        telemetry.on_run_end(
-            cost=cluster.cost.summary(),
-            trace=cluster.trace,
-            meta={
-                "solver": "proximal_newton_distributed",
-                "converged": converged,
-                "n_outer_done": outer_done,
-                "n_inner_done": inner_count,
-                "n_comm_rounds": comm_rounds,
-                "resilience": stats.as_meta(),
-            },
-        )
+    loop.finish(
+        {
+            "converged": converged,
+            "n_outer_done": outer_done,
+            "n_inner_done": inner_count,
+            "n_comm_rounds": loop.comm_rounds,
+        }
+    )
 
     return SolveResult(
         w=w,
         converged=converged,
         n_iterations=outer_done,
         history=history,
-        n_comm_rounds=comm_rounds,
-        cost=cluster.cost.summary(),
+        n_comm_rounds=loop.comm_rounds,
+        cost=backend.cost_summary(),
         meta={
             "solver": "proximal_newton_distributed",
             "inner": inner,
@@ -540,11 +449,11 @@ def proximal_newton_distributed(
             "S": S,
             "b": b,
             "nranks": nranks,
-            "machine": cluster.machine.name,
-            "comm": comm,
-            "checkpoint_every": checkpoint_every,
-            "on_nan": on_nan,
-            "max_recoveries": max_recoveries,
-            "resilience": stats.as_meta(),
+            "machine": backend.machine_name,
+            "comm": config.comm,
+            "checkpoint_every": config.checkpoint_every,
+            "on_nan": config.on_nan,
+            "max_recoveries": config.max_recoveries,
+            "resilience": loop.stats.as_meta(),
         },
     )

@@ -17,37 +17,36 @@ The iterate sequence matches the serial :func:`repro.core.rc_sfista.rc_sfista`
 with the same seed (the overlap changes only *where* communication
 happens), which the integration tests assert.
 
-Resilient runtime
------------------
-With ``faults``/``retry``/``checkpoint_every``/``on_nan`` set, the solver
-runs on a faulty cluster and tolerates it: state is checkpointed every
-``checkpoint_every`` stage-C rounds (charged to the ``checkpoint_words``
-counter), a crashed rank is healed and the run rolls back to the last
-checkpoint — replaying bit-exactly thanks to the captured RNG state, so
-the recovered solution equals the fault-free one — and NaN/Inf escaping a
-collective is screened per the ``on_nan`` policy.
+Unified runtime
+---------------
+Execution-substrate, resilience and observability concerns live in
+:mod:`repro.runtime`: bundle them in ``runtime=RuntimeConfig(...)`` (the
+individual kwargs remain accepted; the resilience/observability ones are
+deprecated). The solver body here is purely algorithmic — an
+:class:`~repro.runtime.backend.ExecutionBackend` supplies the collectives
+(serial or BSP-simulated) and a
+:class:`~repro.runtime.driver.ResilientLoop` supplies checkpointing,
+crash/NaN recovery with bit-exact replay, and telemetry.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core._dist_common import UPDATE_FLOPS, distribute_problem
+from repro.core._dist_common import UPDATE_FLOPS, distribute_problem, hessian_reuse_update
 from repro.core.fista import momentum_mu, t_next
 from repro.core.objectives import L1LeastSquares
-from repro.core.proximal import soft_threshold
-from repro.core.resilience import Checkpoint, NumericalGuard, RecoveryStats, RollbackRequested
 from repro.core.results import History, SolveResult
 from repro.core.sfista import GradientEstimator, stochastic_step_size
 from repro.core.sfista_dist import _epoch_anchor_gradient
 from repro.core.stopping import StoppingCriterion
 from repro.distsim.bsp import BSPCluster
-from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injector
+from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.distsim.machine import MachineSpec
-from repro.distsim.sparse_collectives import COMM_MODES
-from repro.exceptions import NumericalFaultError, RankFailureError, ValidationError
+from repro.exceptions import ValidationError
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.telemetry import IterationRecord, TelemetryCallback
+from repro.obs.telemetry import TelemetryCallback
+from repro.runtime import Checkpoint, ResilientLoop, RuntimeConfig, build_host_backend, resolve_runtime
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -83,6 +82,7 @@ def rc_sfista_distributed(
     adaptive_restart: bool = False,
     telemetry: TelemetryCallback | None = None,
     metrics: MetricsRegistry | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> SolveResult:
     """Distributed RC-SFISTA (Alg. 5 on the cluster of Fig. 1).
 
@@ -98,44 +98,36 @@ def rc_sfista_distributed(
     cheaper encoding (the decision is logged into the cluster trace).
     Iterates are bit-identical across the three modes.
 
-    Resilience knobs
-    ----------------
-    faults / retry / recv_timeout:
-        Build the cluster with a :class:`~repro.distsim.faults.FaultPlan`
-        (or injector), a torn-collective
-        :class:`~repro.distsim.faults.RetryPolicy`, and an arrival-skew
-        deadline. Mutually exclusive with passing a prebuilt ``cluster``
-        (configure that cluster directly instead).
-    checkpoint_every:
-        Checkpoint iterate + momentum + RNG state every this many stage-C
-        rounds (0 disables periodic checkpoints; a free initial checkpoint
-        always exists, so crash recovery restarts from scratch).
-    on_nan:
-        NaN/Inf screening policy for collective results and monitored
-        objectives: ``None`` (off — legacy ``diverged`` behavior),
-        ``"raise"``, ``"rollback"`` or ``"recompute"``.
-    max_recoveries:
-        Rollbacks (crash or numerical) tolerated before the error
-        propagates.
-    adaptive_restart:
-        Reset FISTA momentum whenever the monitored objective increases.
-
-    Observability
-    -------------
-    telemetry:
-        A :class:`~repro.obs.telemetry.TelemetryCallback`; receives one
-        :class:`~repro.obs.telemetry.IterationRecord` per inner iteration
-        (``retries`` = screening recomputes, ``recoveries`` = rollbacks,
-        both cumulative at emit time) plus run start/end. Strictly out of
-        band — attaching it never changes iterates, costs or traces.
-    metrics:
-        A :class:`~repro.obs.metrics.MetricsRegistry` the cluster publishes
-        into. Mutually exclusive with a prebuilt ``cluster`` (pass the
-        registry to that cluster instead).
+    Runtime
+    -------
+    runtime:
+        A :class:`~repro.runtime.RuntimeConfig` bundling the execution
+        knobs below (machine/comm selection, faults, retry, recv_timeout,
+        checkpointing, on_nan, max_recoveries, adaptive_restart,
+        telemetry, metrics — see that class for per-field docs). The
+        individual kwargs remain accepted for compatibility but cannot be
+        combined with ``runtime=``; passing the resilience/observability
+        ones individually is deprecated. ``RuntimeConfig(backend="serial")``
+        runs the same body on the zero-cost single-rank backend.
     """
     estimator = GradientEstimator(estimator)
-    if comm not in COMM_MODES:
-        raise ValidationError(f"comm must be one of {COMM_MODES}, got {comm!r}")
+    config = resolve_runtime(
+        runtime,
+        machine=machine,
+        allreduce_algorithm=allreduce_algorithm,
+        comm=comm,
+        jitter_seed=jitter_seed,
+        cluster=cluster,
+        faults=faults,
+        retry=retry,
+        recv_timeout=recv_timeout,
+        checkpoint_every=checkpoint_every,
+        on_nan=on_nan,
+        max_recoveries=max_recoveries,
+        adaptive_restart=adaptive_restart,
+        telemetry=telemetry,
+        metrics=metrics,
+    )
     if k < 1 or S < 1:
         raise ValidationError(f"k and S must be >= 1, got k={k}, S={S}")
     if estimator is GradientEstimator.EXACT:
@@ -144,12 +136,7 @@ def rc_sfista_distributed(
         raise ValidationError("epochs and iters_per_epoch must be >= 1")
     if monitor_every < 1:
         raise ValidationError(f"monitor_every must be >= 1, got {monitor_every}")
-    if checkpoint_every < 0:
-        raise ValidationError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
-    if max_recoveries < 0:
-        raise ValidationError(f"max_recoveries must be >= 0, got {max_recoveries}")
     stopping = stopping or StoppingCriterion()
-    guard = NumericalGuard(on_nan)
     rng = as_generator(seed)
     mbar = minibatch_size(problem.m, b)
     gamma = (
@@ -170,55 +157,26 @@ def rc_sfista_distributed(
     eps_reg = 0.25 * problem.sampled_hessian_deviation(mbar) if S > 1 else 0.0
 
     data = distribute_problem(problem, nranks)
-    injector = as_injector(faults)
-    if cluster is None:
-        cluster = BSPCluster(
-            nranks,
-            machine,
-            allreduce_algorithm=allreduce_algorithm,
-            jitter_seed=jitter_seed,
-            injector=injector,
-            retry=retry,
-            collective_deadline=recv_timeout,
-            metrics=metrics,
-        )
-        injector = cluster.injector
-    else:
-        if injector is not None or retry is not None or recv_timeout is not None:
-            raise ValidationError(
-                "configure faults/retry/recv_timeout on the supplied cluster, "
-                "not through the solver"
-            )
-        if metrics is not None:
-            raise ValidationError(
-                "attach the metrics registry to the supplied cluster, "
-                "not through the solver"
-            )
-        if cluster.nranks != nranks:
-            raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
-        injector = cluster.injector
-
-    # -- resilient-runtime state ---------------------------------------- #
-    stats = RecoveryStats()
-    if telemetry is not None:
-        telemetry.on_run_start(
-            "rc_sfista_distributed",
-            {
-                "nranks": nranks,
-                "k": k,
-                "S": S,
-                "b": b,
-                "mbar": mbar,
-                "epochs": epochs,
-                "iters_per_epoch": iters_per_epoch,
-                "estimator": estimator.value,
-                "step_size": gamma,
-                "comm": comm,
-                "machine": cluster.machine.name,
-                "checkpoint_every": checkpoint_every,
-                "on_nan": on_nan,
-            },
-        )
+    backend = build_host_backend(config, nranks)
+    loop = ResilientLoop(backend, config, solver="rc_sfista_distributed")
+    loop.step_size = gamma
+    loop.start(
+        {
+            "nranks": nranks,
+            "k": k,
+            "S": S,
+            "b": b,
+            "mbar": mbar,
+            "epochs": epochs,
+            "iters_per_epoch": iters_per_epoch,
+            "estimator": estimator.value,
+            "step_size": gamma,
+            "comm": config.comm,
+            "machine": backend.machine_name,
+            "checkpoint_every": config.checkpoint_every,
+            "on_nan": config.on_nan,
+        }
+    )
     w = np.zeros(d)
     w_prev = w.copy()
     t_prev = 1.0
@@ -227,7 +185,6 @@ def rc_sfista_distributed(
     converged = False
     diverged = False
     sampled_iter = 0
-    comm_rounds = 0
     anchor = w.copy()
     full_grad: np.ndarray | None = None
     rounds_done = 0  # completed stage-C rounds, the checkpoint cadence
@@ -272,60 +229,20 @@ def rc_sfista_distributed(
         # Replayed monitor points re-append; drop the rows past the
         # checkpoint so the history is not recorded twice.
         history.truncate(ck.history_len)
-        # comm_rounds is NOT restored: replayed collectives really happen
-        # (and are really charged) a second time.
-
-    def screened_anchor_gradient() -> np.ndarray:
-        """SVRG anchor gradient with recompute-on-corruption screening."""
-        nonlocal comm_rounds
-        for _attempt in range(max_recoveries + 1):
-            g = _epoch_anchor_gradient(cluster, data, anchor, problem.m, comm)
-            comm_rounds += 1
-            if not guard.screen(g, "anchor gradient allreduce", stats):
-                return g
-            stats.recomputes += 1
-        raise NumericalFaultError(
-            f"anchor gradient stayed non-finite after {max_recoveries + 1} attempt(s)"
-        )
-
-    def screened_allreduce_G(packed: list[np.ndarray]) -> np.ndarray:
-        """Stage-C allreduce with recompute-on-corruption screening."""
-        nonlocal comm_rounds
-        for _attempt in range(max_recoveries + 1):
-            combined = cluster.allreduce_comm(packed, mode=comm, label="allreduce_G")
-            comm_rounds += 1
-            if not guard.screen(combined, "stage-C allreduce", stats):
-                return combined
-            stats.recomputes += 1
-        raise NumericalFaultError(
-            f"stage-C allreduce stayed non-finite after {max_recoveries + 1} attempt(s)"
-        )
-
-    def emit_iteration(epoch: int, obj_val: float | None) -> None:
-        if telemetry is None:
-            return
-        telemetry.on_iteration(
-            IterationRecord(
-                outer=epoch,
-                inner=sampled_iter,
-                objective=obj_val,
-                step_size=gamma,
-                comm_mode=comm,
-                comm_decision=cluster.last_comm_decision,
-                retries=stats.recomputes,
-                recoveries=stats.rollbacks,
-                sim_time=cluster.elapsed,
-            )
-        )
+        # loop.comm_rounds is NOT restored: replayed collectives really
+        # happen (and are really charged) a second time.
 
     def main_loop() -> None:
         nonlocal w, w_prev, t_prev, prev_obj, converged, diverged, sampled_iter
-        nonlocal comm_rounds, anchor, full_grad, rounds_done, in_epoch, start_rnd, ck
+        nonlocal anchor, full_grad, rounds_done, in_epoch, start_rnd
         for epoch in range(start_epoch, epochs):
             if not in_epoch:
                 anchor = w.copy()
                 full_grad = (
-                    screened_anchor_gradient()
+                    loop.screened(
+                        lambda: _epoch_anchor_gradient(backend, data, anchor, problem.m),
+                        "anchor gradient allreduce",
+                    )
                     if estimator is GradientEstimator.SVRG
                     else None
                 )
@@ -352,11 +269,11 @@ def rc_sfista_distributed(
                         per_rank_payload[p].append(H_p.ravel())
                         per_rank_payload[p].append(R_p)
                         per_rank_flops[p] += fl + fl_r
-                cluster.compute(per_rank_flops, label="hessian_blocks")
+                backend.compute(per_rank_flops, label="hessian_blocks")
 
                 # ---- stage C: ONE allreduce of k(d² + d) words --------- #
                 packed = [np.concatenate(chunks) for chunks in per_rank_payload]
-                combined = screened_allreduce_G(packed)
+                combined = loop.allreduce(packed, label="allreduce_G")
 
                 # ---- stage D: k × S replicated local updates ----------- #
                 stride = d * d + d
@@ -368,15 +285,15 @@ def rc_sfista_distributed(
                         R = combined[base + d * d : base + stride]
                     else:
                         R = H @ anchor - full_grad  # type: ignore[operator]
-                        cluster.compute(2.0 * d * d, label="svrg_rhs")
+                        backend.compute(2.0 * d * d, label="svrg_rhs")
                     t_cur = t_next(t_prev)
                     mu = momentum_mu(t_prev, t_cur)
                     v = w + mu * (w - w_prev)
-                    u = v
-                    for _s in range(S):  # Eqs. (20)-(23): prox steps on the model
-                        step_dir = H @ u - R + eps_reg * (u - v)
-                        u = soft_threshold(u - gamma * step_dir, thresh)
-                        cluster.compute(UPDATE_FLOPS(d), label="update")
+                    u = hessian_reuse_update(
+                        H, R, v, gamma=gamma, thresh=thresh, S=S, eps_reg=eps_reg
+                    )
+                    for _s in range(S):  # Eqs. (20)-(23): S prox steps on the model
+                        backend.compute(UPDATE_FLOPS(d), label="update")
                     w_prev, w = w, u
                     t_prev = t_cur
                     sampled_iter += 1
@@ -386,16 +303,15 @@ def rc_sfista_distributed(
                         epoch == epochs - 1 and rnd == n_rounds - 1 and j == block - 1
                     ):
                         obj = problem.value(w)  # out of band
-                        if guard.enabled and guard.screen(obj, "monitored objective", stats):
-                            # An iterate gone non-finite cannot be fixed by
-                            # re-communicating — recompute degrades to rollback.
-                            raise RollbackRequested("monitored objective")
+                        # An iterate gone non-finite cannot be fixed by
+                        # re-communicating — recompute degrades to rollback.
+                        loop.screen_objective(obj)
                         history.append(
                             sampled_iter,
                             obj,
                             stopping.rel_error(obj),
-                            sim_time=cluster.elapsed,
-                            comm_round=comm_rounds,
+                            sim_time=backend.elapsed,
+                            comm_round=loop.comm_rounds,
                         )
                         iter_obj = obj
                         if not np.isfinite(obj):
@@ -405,81 +321,43 @@ def rc_sfista_distributed(
                             converged = True
                             stop_now = True
                         else:
-                            if adaptive_restart and prev_obj is not None and obj > prev_obj:
+                            if config.adaptive_restart and prev_obj is not None and obj > prev_obj:
                                 t_prev = 1.0
                                 w_prev = w.copy()
-                                stats.momentum_restarts += 1
+                                loop.stats.momentum_restarts += 1
                             prev_obj = obj
-                    emit_iteration(epoch, iter_obj)
+                    loop.emit(outer=epoch, inner=sampled_iter, objective=iter_obj)
                     if stop_now:
                         break
                 rounds_done += 1
                 if stop_now:
                     return
-                if checkpoint_every and rounds_done % checkpoint_every == 0:
-                    # Capture first, but only promote the snapshot to the
-                    # rollback target once its traffic lands: a crash mid-
-                    # checkpoint leaves a torn copy on stable storage, so
-                    # recovery must use the previous durable one.
-                    new_ck = capture(epoch, rnd + 1, mid_epoch=True)
-                    cluster.checkpoint(new_ck.words)
-                    ck = new_ck
-                    stats.checkpoints += 1
+                if config.checkpoint_every and rounds_done % config.checkpoint_every == 0:
+                    loop.commit_checkpoint(capture(epoch, rnd + 1, mid_epoch=True))
             if converged or diverged:
                 return
 
-    # Free initial checkpoint: recovery without periodic checkpoints
-    # restarts from scratch (nothing has moved, nothing is charged).
-    ck = capture(0, 0, mid_epoch=False)
-    recoveries = 0
-    while True:
-        try:
-            main_loop()
-            break
-        except RankFailureError:
-            if injector is None:
-                raise
-            recoveries += 1
-            if recoveries > max_recoveries:
-                raise
-            healed = injector.heal_all()
-            stats.rank_failures_recovered += 1
-            stats.healed_ranks.extend(healed)
-            stats.rollbacks += 1
-            cluster.recover(ck.words)
-            restore(ck)
-        except RollbackRequested as sig:
-            recoveries += 1
-            if recoveries > max_recoveries:
-                raise NumericalFaultError(
-                    f"non-finite values in {sig.what} persisted after "
-                    f"{max_recoveries} rollback(s)"
-                ) from None
-            stats.rollbacks += 1
-            cluster.recover(ck.words)
-            restore(ck)
+    # The free initial checkpoint (capture=) means recovery without
+    # periodic checkpoints restarts from scratch — nothing has moved,
+    # nothing is charged.
+    loop.run(main_loop, capture=lambda: capture(0, 0, mid_epoch=False), restore=restore)
 
-    if telemetry is not None:
-        telemetry.on_run_end(
-            cost=cluster.cost.summary(),
-            trace=cluster.trace,
-            meta={
-                "solver": "rc_sfista_distributed",
-                "converged": converged,
-                "diverged": diverged,
-                "n_iterations": sampled_iter,
-                "n_comm_rounds": comm_rounds,
-                "resilience": stats.as_meta(),
-            },
-        )
+    loop.finish(
+        {
+            "converged": converged,
+            "diverged": diverged,
+            "n_iterations": sampled_iter,
+            "n_comm_rounds": loop.comm_rounds,
+        }
+    )
 
     return SolveResult(
         w=w,
         converged=converged,
         n_iterations=sampled_iter,
         history=history,
-        n_comm_rounds=comm_rounds,
-        cost=cluster.cost.summary(),
+        n_comm_rounds=loop.comm_rounds,
+        cost=backend.cost_summary(),
         meta={
             "solver": "rc_sfista_distributed",
             "diverged": diverged,
@@ -490,13 +368,13 @@ def rc_sfista_distributed(
             "estimator": estimator.value,
             "step_size": gamma,
             "nranks": nranks,
-            "machine": cluster.machine.name,
-            "allreduce_algorithm": cluster.allreduce_algorithm,
-            "comm": comm,
-            "checkpoint_every": checkpoint_every,
-            "on_nan": on_nan,
-            "max_recoveries": max_recoveries,
-            "adaptive_restart": adaptive_restart,
-            "resilience": stats.as_meta(),
+            "machine": backend.machine_name,
+            "allreduce_algorithm": backend.allreduce_algorithm,
+            "comm": config.comm,
+            "checkpoint_every": config.checkpoint_every,
+            "on_nan": config.on_nan,
+            "max_recoveries": config.max_recoveries,
+            "adaptive_restart": config.adaptive_restart,
+            "resilience": loop.stats.as_meta(),
         },
     )

@@ -13,6 +13,15 @@ per-rank message/word counters as the BSP run and the serial reference.
 Fixed iteration budget, plain or SVRG estimator; for the fully-featured
 front-end (stopping rules, monitoring, Hessian-reuse damping) use
 :func:`repro.core.rc_sfista_dist.rc_sfista_distributed`.
+
+The solver runs on the unified :mod:`repro.runtime`: the
+:class:`~repro.runtime.backend.SPMDBackend` owns the engine, and the
+:class:`~repro.runtime.driver.ResilientLoop` owns the heal-and-rerun
+recovery choreography and telemetry. Because the algorithm lives in rank
+programs, in-band state (checkpoint shipping, NaN screening of reduced
+values) stays inside the program — every rank screens the *same*
+replicated collective result, so all ranks take identical control-flow
+branches without extra communication.
 """
 
 from __future__ import annotations
@@ -21,20 +30,23 @@ import copy
 
 import numpy as np
 
-from repro.core._dist_common import distribute_problem
+from repro.core._dist_common import distribute_problem, hessian_reuse_update
 from repro.core.fista import momentum_mu, t_next
 from repro.core.objectives import L1LeastSquares
-from repro.core.proximal import soft_threshold
 from repro.core.results import SolveResult
 from repro.core.sfista import GradientEstimator, stochastic_step_size
-from repro.distsim.engine import SPMDEngine
-from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injector
+from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.distsim.machine import MachineSpec
-from repro.distsim.sparse_collectives import COMM_MODES
-from repro.distsim.trace import Trace
-from repro.exceptions import RankFailureError, ValidationError
+from repro.exceptions import NumericalFaultError, ValidationError
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.telemetry import IterationRecord, TelemetryCallback
+from repro.obs.telemetry import TelemetryCallback
+from repro.runtime import (
+    ResilientLoop,
+    RollbackRequested,
+    RuntimeConfig,
+    SPMDBackend,
+    resolve_runtime,
+)
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -58,9 +70,12 @@ def rc_sfista_spmd(
     retry: RetryPolicy | None = None,
     recv_timeout: float | None = None,
     checkpoint_every: int = 0,
+    on_nan: str | None = None,
     max_recoveries: int = 3,
+    adaptive_restart: bool = False,
     telemetry: TelemetryCallback | None = None,
     metrics: MetricsRegistry | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> SolveResult:
     """Run RC-SFISTA (k-overlap, S=1, single epoch) on the SPMD engine.
 
@@ -75,6 +90,11 @@ def rc_sfista_spmd(
     the crashed ranks and reruns the program — which resumes from the last
     checkpoint (bit-exactly, via the captured RNG state) on the *same*
     engine, so counters and clocks keep accumulating across the failure.
+    ``on_nan`` screens every reduced collective result and (out of band)
+    the monitored objective: ``"raise"`` fails fast, ``"rollback"`` reruns
+    from the last checkpoint, ``"recompute"`` re-issues the corrupted
+    allreduce. ``adaptive_restart`` resets the FISTA momentum whenever the
+    objective increases (monitored out of band, replicated on all ranks).
 
     Observability: ``telemetry`` receives one
     :class:`~repro.obs.telemetry.IterationRecord` per inner iteration
@@ -82,18 +102,32 @@ def rc_sfista_spmd(
     also enables the engine trace so the recorder can harvest a timeline.
     ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry` the engine
     publishes into. Both are strictly out of band.
+
+    All the runtime knobs can equivalently be bundled in
+    ``runtime=RuntimeConfig(...)``; mixing ``runtime=`` with explicit
+    kwargs is rejected, and the resilience/observability kwargs are
+    deprecated in favour of the bundle.
     """
     estimator = GradientEstimator(estimator)
-    if comm not in COMM_MODES:
-        raise ValidationError(f"comm must be one of {COMM_MODES}, got {comm!r}")
+    config = resolve_runtime(
+        runtime,
+        machine=machine,
+        allreduce_algorithm=allreduce_algorithm,
+        comm=comm,
+        faults=faults,
+        retry=retry,
+        recv_timeout=recv_timeout,
+        checkpoint_every=checkpoint_every,
+        on_nan=on_nan,
+        max_recoveries=max_recoveries,
+        adaptive_restart=adaptive_restart,
+        telemetry=telemetry,
+        metrics=metrics,
+    )
     if estimator is GradientEstimator.EXACT:
         raise ValidationError("SPMD RC-SFISTA requires a sampled estimator")
     if k < 1 or n_iterations < 1:
         raise ValidationError("k and n_iterations must be >= 1")
-    if checkpoint_every < 0:
-        raise ValidationError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
-    if max_recoveries < 0:
-        raise ValidationError(f"max_recoveries must be >= 0, got {max_recoveries}")
     mbar = minibatch_size(problem.m, b)
     gamma = (
         check_positive(step_size, "step_size")
@@ -113,10 +147,53 @@ def rc_sfista_spmd(
     thresh = problem.lam * gamma
     data = distribute_problem(problem, nranks)
 
+    backend = SPMDBackend.from_config(config, nranks)
+    loop = ResilientLoop(backend, config, solver="rc_sfista_spmd")
+    loop.step_size = gamma
+    guard = loop.guard
+    # Objective monitoring is only needed when a feature consumes it; it is
+    # out of band (never charged) and replicated, so every rank sees it.
+    monitored = guard.enabled or config.adaptive_restart
+    loop.start(
+        {
+            "nranks": nranks,
+            "k": k,
+            "b": b,
+            "mbar": mbar,
+            "n_iterations": n_iterations,
+            "estimator": estimator.value,
+            "step_size": gamma,
+            "comm": config.comm,
+            "machine": backend.machine_name,
+            "checkpoint_every": config.checkpoint_every,
+            "on_nan": config.on_nan,
+        }
+    )
+
     # Host-side checkpoint store: the state is replicated across ranks, so
     # rank 0's copy stands for all of them. A rerun of the program after a
-    # heal resumes from here.
+    # heal (or a rollback) resumes from here.
     ck_holder: dict = {"state": None, "count": 0}
+
+    def screen_replicated(ctx, value, what: str) -> bool:
+        """NaN screen of a replicated value, identical on every rank.
+
+        The engine replicates ONE reduced result to all ranks, so every
+        rank takes the same branch here without extra communication; only
+        rank 0 mutates the (host-side) stats. Returns True when the policy
+        is recompute and the caller should re-issue the collective.
+        """
+        if not guard.enabled or bool(np.all(np.isfinite(value))):
+            return False
+        if ctx.rank == 0:
+            loop.stats.numerical_faults += 1
+        if config.on_nan == "raise":
+            raise NumericalFaultError(
+                f"non-finite values detected in {what} (policy 'raise')"
+            )
+        if config.on_nan == "rollback":
+            raise RollbackRequested(what)
+        return True
 
     def program(ctx):
         rank_data = data.ranks[ctx.rank]
@@ -129,6 +206,7 @@ def rc_sfista_spmd(
         t_prev = 1.0
         anchor = w.copy()
         full_grad = None
+        prev_obj = None
         done = 0
         ck = ck_holder["state"]
         if ck is not None:
@@ -139,10 +217,21 @@ def rc_sfista_spmd(
             t_prev = ck["t_prev"]
             done = ck["done"]
             full_grad = None if ck["full_grad"] is None else ck["full_grad"].copy()
+            prev_obj = ck["prev_obj"]
             rng.bit_generator.state = copy.deepcopy(ck["rng_state"])
         elif estimator is GradientEstimator.SVRG:
             g_p, _fl = rank_data.full_gradient_contribution(anchor, problem.m)
-            full_grad = yield ctx.allreduce(g_p, comm=comm)
+            for _attempt in range(config.max_recoveries + 1):
+                full_grad = yield ctx.allreduce(g_p, comm=config.comm)
+                if not screen_replicated(ctx, full_grad, "anchor gradient allreduce"):
+                    break
+                if ctx.rank == 0:
+                    loop.stats.recomputes += 1
+            else:
+                raise NumericalFaultError(
+                    f"anchor gradient allreduce stayed non-finite after "
+                    f"{config.max_recoveries + 1} attempt(s) (on_nan='recompute')"
+                )
 
         while done < n_iterations:
             block = min(k, n_iterations - done)
@@ -158,7 +247,18 @@ def rc_sfista_spmd(
                 chunks.append(H_p.ravel())
                 chunks.append(R_p)
             # Stage C: one allreduce of k(d² + d) words.
-            combined = yield ctx.allreduce(np.concatenate(chunks), comm=comm)
+            packed = np.concatenate(chunks)
+            for _attempt in range(config.max_recoveries + 1):
+                combined = yield ctx.allreduce(packed, comm=config.comm)
+                if not screen_replicated(ctx, combined, "stage-C allreduce"):
+                    break
+                if ctx.rank == 0:
+                    loop.stats.recomputes += 1
+            else:
+                raise NumericalFaultError(
+                    f"stage-C allreduce stayed non-finite after "
+                    f"{config.max_recoveries + 1} attempt(s) (on_nan='recompute')"
+                )
             # Stage D: replicated updates.
             stride = d * d + d
             for j in range(block):
@@ -171,29 +271,32 @@ def rc_sfista_spmd(
                 t_cur = t_next(t_prev)
                 mu = momentum_mu(t_prev, t_cur)
                 v = w + mu * (w - w_prev)
-                w_new = soft_threshold(v - gamma * (H @ v - R), thresh)
+                w_new = hessian_reuse_update(H, R, v, gamma=gamma, thresh=thresh)
                 w_prev, w = w, w_new
                 t_prev = t_cur
-                if telemetry is not None and ctx.rank == 0:
+
+                iter_obj = None
+                if monitored:
+                    obj = problem.value(w)  # out of band, replicated
+                    if screen_replicated(ctx, obj, "monitored objective"):
+                        # A diverged iterate cannot be fixed by
+                        # re-communicating — recompute degrades to rollback.
+                        raise RollbackRequested("monitored objective")
+                    if config.adaptive_restart and prev_obj is not None and obj > prev_obj:
+                        t_prev = 1.0
+                        w_prev = w.copy()
+                        if ctx.rank == 0:
+                            loop.stats.momentum_restarts += 1
+                    prev_obj = obj
+                    iter_obj = obj
+                if ctx.rank == 0:
                     # One emission per iteration: rank 0 speaks for the
                     # replicated state. Replays after a heal re-emit.
-                    telemetry.on_iteration(
-                        IterationRecord(
-                            outer=0,
-                            inner=done + j + 1,
-                            objective=None,
-                            step_size=gamma,
-                            comm_mode=comm,
-                            comm_decision=engine.last_comm_decision,
-                            retries=0,
-                            recoveries=recoveries,
-                            sim_time=engine.elapsed,
-                        )
-                    )
+                    loop.emit(outer=0, inner=done + j + 1, objective=iter_obj)
             done += block
-            if checkpoint_every and done < n_iterations and (
+            if config.checkpoint_every and done < n_iterations and (
                 -(-done // k)
-            ) % checkpoint_every == 0:
+            ) % config.checkpoint_every == 0:
                 # Ship the replicated state to the stable root — a real
                 # reduce, charged to the counters like any collective.
                 yield ctx.reduce(np.concatenate([w, w_prev]), root=0)
@@ -204,75 +307,36 @@ def rc_sfista_spmd(
                         "t_prev": t_prev,
                         "done": done,
                         "full_grad": None if full_grad is None else full_grad.copy(),
+                        "prev_obj": prev_obj,
                         "rng_state": copy.deepcopy(rng.bit_generator.state),
                     }
                     ck_holder["count"] += 1
         return w
 
-    injector = as_injector(faults)
-    engine = SPMDEngine(
-        nranks,
-        machine,
-        allreduce_algorithm=allreduce_algorithm,
-        injector=injector,
-        retry=retry,
-        recv_timeout=recv_timeout,
-        # The engine's trace is off by default; telemetry wants a timeline.
-        trace=Trace() if telemetry is not None else None,
-        metrics=metrics,
-    )
-    if telemetry is not None:
-        telemetry.on_run_start(
-            "rc_sfista_spmd",
-            {
-                "nranks": nranks,
-                "k": k,
-                "b": b,
-                "mbar": mbar,
-                "n_iterations": n_iterations,
-                "estimator": estimator.value,
-                "step_size": gamma,
-                "comm": comm,
-                "machine": engine.machine.name,
-                "checkpoint_every": checkpoint_every,
-            },
-        )
-    recoveries = 0
-    healed_ranks: list[int] = []
-    while True:
-        try:
-            per_rank_w = engine.run(program)
-            break
-        except RankFailureError:
-            if injector is None:
-                raise
-            recoveries += 1
-            if recoveries > max_recoveries:
-                raise
-            healed_ranks.extend(injector.heal_all())
-            # Rerun on the SAME engine: counters and clocks accumulate, so
-            # the failed attempt's cost stays on the books.
+    # No capture/restore: the rank programs re-derive everything from the
+    # host-side ck_holder, and a rerun's collectives are genuinely
+    # re-charged on the same engine, so there is no out-of-band recovery
+    # traffic to bill.
+    per_rank_w = loop.run(lambda: backend.run_program(program))
     for other in per_rank_w[1:]:
         if not np.allclose(other, per_rank_w[0], atol=1e-12):
             raise ValidationError("replicated iterates diverged across ranks")
-    if telemetry is not None:
-        telemetry.on_run_end(
-            cost=engine.cost.summary(),
-            trace=engine.trace,
-            meta={
-                "solver": "rc_sfista_spmd",
-                "n_iterations": n_iterations,
-                "checkpoints": ck_holder["count"],
-                "rank_failures_recovered": recoveries,
-            },
-        )
+
+    loop.stats.checkpoints = ck_holder["count"]
+    loop.finish(
+        {
+            "n_iterations": n_iterations,
+            "checkpoints": ck_holder["count"],
+            "rank_failures_recovered": loop.stats.rank_failures_recovered,
+        }
+    )
     return SolveResult(
         w=per_rank_w[0],
         converged=False,
         n_iterations=n_iterations,
         n_comm_rounds=-(-n_iterations // k)
         + (1 if estimator is GradientEstimator.SVRG else 0),
-        cost=engine.cost.summary(),
+        cost=backend.cost_summary(),
         meta={
             "solver": "rc_sfista_spmd",
             "k": k,
@@ -281,13 +345,11 @@ def rc_sfista_spmd(
             "estimator": estimator.value,
             "step_size": gamma,
             "nranks": nranks,
-            "comm": comm,
-            "checkpoint_every": checkpoint_every,
-            "max_recoveries": max_recoveries,
-            "resilience": {
-                "checkpoints": ck_holder["count"],
-                "rank_failures_recovered": recoveries,
-                "healed_ranks": sorted(set(healed_ranks)),
-            },
+            "comm": config.comm,
+            "checkpoint_every": config.checkpoint_every,
+            "on_nan": config.on_nan,
+            "max_recoveries": config.max_recoveries,
+            "adaptive_restart": config.adaptive_restart,
+            "resilience": loop.stats.as_meta(),
         },
     )

@@ -12,13 +12,20 @@ Two communication modes:
 * ``"gradient"`` (ablation, DESIGN.md choice #3) — each rank computes its
   local *gradient* contribution and only ``d`` words are allreduced. Not
   compatible with Hessian-reuse, but shows the design space.
+
+Like every distributed solver the baseline runs on the unified
+:mod:`repro.runtime`: pass ``runtime=RuntimeConfig(...)`` (or the legacy
+individual kwargs) to get fault injection, checkpoint/rollback recovery,
+NaN screening, telemetry and metrics — the same resilience surface as
+:func:`repro.core.rc_sfista_dist.rc_sfista_distributed`, so the paper
+comparison stays apples-to-apples under failures too.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core._dist_common import UPDATE_FLOPS, distribute_problem
+from repro.core._dist_common import UPDATE_FLOPS, distribute_problem, hessian_reuse_update
 from repro.core.fista import momentum_mu, t_next
 from repro.core.objectives import L1LeastSquares
 from repro.core.proximal import soft_threshold
@@ -26,8 +33,13 @@ from repro.core.results import History, SolveResult
 from repro.core.sfista import GradientEstimator, stochastic_step_size
 from repro.core.stopping import StoppingCriterion
 from repro.distsim.bsp import BSPCluster
+from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.distsim.machine import MachineSpec
 from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TelemetryCallback
+from repro.runtime import Checkpoint, ResilientLoop, RuntimeConfig, build_host_backend, resolve_runtime
+from repro.runtime.backend import ExecutionBackend
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -35,7 +47,7 @@ __all__ = ["sfista_distributed"]
 
 
 def _epoch_anchor_gradient(
-    cluster: BSPCluster, data, w: np.ndarray, m: int, comm: str = "dense"
+    backend: ExecutionBackend, data, w: np.ndarray, m: int
 ) -> np.ndarray:
     """SVRG anchor gradient: local contributions + one d-word allreduce."""
     contribs = []
@@ -44,8 +56,8 @@ def _epoch_anchor_gradient(
         g_p, fl = rank_data.full_gradient_contribution(w, m)
         contribs.append(g_p)
         flops.append(fl)
-    cluster.compute(flops, label="anchor_gradient")
-    return cluster.allreduce_comm(contribs, mode=comm, label="allreduce_anchor_grad")
+    backend.compute(flops, label="anchor_gradient")
+    return backend.allreduce(contribs, label="allreduce_anchor_grad")
 
 
 def sfista_distributed(
@@ -66,6 +78,16 @@ def sfista_distributed(
     allreduce_algorithm: str = "recursive_doubling",
     jitter_seed: RandomState = None,
     cluster: BSPCluster | None = None,
+    faults: FaultPlan | FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
+    recv_timeout: float | None = None,
+    checkpoint_every: int = 0,
+    on_nan: str | None = None,
+    max_recoveries: int = 3,
+    adaptive_restart: bool = False,
+    telemetry: TelemetryCallback | None = None,
+    metrics: MetricsRegistry | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> SolveResult:
     """Distributed SFISTA on the simulated cluster.
 
@@ -73,8 +95,38 @@ def sfista_distributed(
     times per checkpoint and whose ``cost`` holds the cluster counters
     (critical-path messages/words per rank — the L and W of Table 1).
     Objective monitoring is out of band (not charged).
+
+    ``comm_mode`` picks the *algorithm* (what is reduced: Hessian blocks
+    or gradients); the collective payload *encoding* (dense/sparse/auto)
+    comes from ``runtime=RuntimeConfig(comm=...)`` and defaults to dense.
+
+    Runtime
+    -------
+    runtime:
+        A :class:`~repro.runtime.RuntimeConfig` bundling machine/comm
+        selection, fault injection, retry, checkpointing (every
+        ``checkpoint_every`` communication rounds), ``on_nan`` screening,
+        ``adaptive_restart``, telemetry and metrics. The individual
+        kwargs remain accepted but cannot be combined with ``runtime=``;
+        the resilience/observability ones are deprecated as kwargs.
     """
     estimator = GradientEstimator(estimator)
+    config = resolve_runtime(
+        runtime,
+        machine=machine,
+        allreduce_algorithm=allreduce_algorithm,
+        jitter_seed=jitter_seed,
+        cluster=cluster,
+        faults=faults,
+        retry=retry,
+        recv_timeout=recv_timeout,
+        checkpoint_every=checkpoint_every,
+        on_nan=on_nan,
+        max_recoveries=max_recoveries,
+        adaptive_restart=adaptive_restart,
+        telemetry=telemetry,
+        metrics=metrics,
+    )
     if comm_mode not in ("hessian", "gradient"):
         raise ValidationError(f"comm_mode must be 'hessian' or 'gradient', got {comm_mode!r}")
     if estimator is GradientEstimator.EXACT:
@@ -102,12 +154,25 @@ def sfista_distributed(
     thresh = problem.lam * gamma
 
     data = distribute_problem(problem, nranks)
-    if cluster is None:
-        cluster = BSPCluster(
-            nranks, machine, allreduce_algorithm=allreduce_algorithm, jitter_seed=jitter_seed
-        )
-    elif cluster.nranks != nranks:
-        raise ValidationError(f"cluster has {cluster.nranks} ranks, expected {nranks}")
+    backend = build_host_backend(config, nranks)
+    loop = ResilientLoop(backend, config, solver="sfista_distributed")
+    loop.step_size = gamma
+    loop.start(
+        {
+            "nranks": nranks,
+            "b": b,
+            "mbar": mbar,
+            "epochs": epochs,
+            "iters_per_epoch": iters_per_epoch,
+            "estimator": estimator.value,
+            "comm_mode": comm_mode,
+            "step_size": gamma,
+            "comm": config.comm,
+            "machine": backend.machine_name,
+            "checkpoint_every": config.checkpoint_every,
+            "on_nan": config.on_nan,
+        }
+    )
 
     w = np.zeros(d)
     w_prev = w.copy()
@@ -117,112 +182,180 @@ def sfista_distributed(
     converged = False
     diverged = False
     total_iter = 0
-    comm_rounds = 0
+    anchor = w.copy()
+    full_grad: np.ndarray | None = None
+    rounds_done = 0  # completed allreduce rounds, the checkpoint cadence
+    start_epoch = 0
+    start_n = 0
+    in_epoch = False  # resuming mid-epoch: skip the epoch header
 
-    for epoch in range(epochs):
-        anchor = w.copy()
-        full_grad = (
-            _epoch_anchor_gradient(cluster, data, anchor, problem.m)
-            if estimator is GradientEstimator.SVRG
-            else None
+    def capture(epoch: int, next_n: int, mid_epoch: bool) -> Checkpoint:
+        return Checkpoint.capture(
+            arrays={"w": w, "w_prev": w_prev, "anchor": anchor, "full_grad": full_grad},
+            scalars={
+                "epoch": epoch,
+                "n": next_n,
+                "in_epoch": mid_epoch,
+                "t_prev": t_prev,
+                "prev_obj": prev_obj,
+                "total_iter": total_iter,
+                "rounds_done": rounds_done,
+            },
+            rng=rng,
+            history_len=len(history),
         )
-        if estimator is GradientEstimator.SVRG:
-            comm_rounds += 1
-        if restart_momentum:
-            t_prev = 1.0
-            w_prev = w.copy()
 
-        for _n in range(iters_per_epoch):
-            total_iter += 1
-            idx = sample_indices(rng, problem.m, mbar)
+    def restore(ck: Checkpoint) -> None:
+        nonlocal w, w_prev, t_prev, prev_obj, total_iter, anchor, full_grad
+        nonlocal rounds_done, start_epoch, start_n, in_epoch, converged, diverged
+        w = ck.array("w")
+        w_prev = ck.array("w_prev")
+        anchor = ck.array("anchor")
+        full_grad = ck.get("full_grad")
+        s = ck.scalars
+        t_prev = s["t_prev"]
+        prev_obj = s["prev_obj"]
+        total_iter = s["total_iter"]
+        rounds_done = s["rounds_done"]
+        start_epoch = s["epoch"]
+        start_n = s["n"]
+        in_epoch = s["in_epoch"]
+        converged = diverged = False
+        ck.restore_rng(rng)
+        history.truncate(ck.history_len)
 
-            t_cur = t_next(t_prev)
-            mu = momentum_mu(t_prev, t_cur)
-            v = w + mu * (w - w_prev)
-
-            if comm_mode == "hessian":
-                # Stages A+B: local sampled Gram blocks.
-                packed = []
-                flops = []
-                for rank_data in data.ranks:
-                    H_p, local_idx, fl = rank_data.sampled_hessian_contribution(idx, mbar, d)
-                    if estimator is GradientEstimator.PLAIN:
-                        R_p, fl_r = rank_data.sampled_rhs_contribution(local_idx, mbar, d)
-                    else:
-                        R_p, fl_r = np.zeros(d), 0.0
-                    packed.append(np.concatenate([H_p.ravel(), R_p]))
-                    flops.append(fl + fl_r)
-                cluster.compute(flops, label="hessian_blocks")
-                # Stage C: one allreduce of d² + d words.
-                combined = cluster.allreduce(packed, label="allreduce_HR")
-                comm_rounds += 1
-                H = combined[: d * d].reshape(d, d)
-                if estimator is GradientEstimator.PLAIN:
-                    R = combined[d * d :]
-                else:  # svrg: R = Hŵ − ∇f(ŵ), replicated arithmetic
-                    R = H @ anchor - full_grad  # type: ignore[operator]
-                    cluster.compute(2.0 * d * d, label="svrg_rhs")
-                g = H @ v - R
-                cluster.compute(UPDATE_FLOPS(d), label="update")
-            else:
-                # Gradient mode: local sampled-gradient contributions.
-                contribs = []
-                flops = []
-                for rank_data in data.ranks:
-                    local_idx = rank_data._restrict(idx)
-                    if local_idx.size == 0:
-                        contribs.append(np.zeros(d))
-                        flops.append(0.0)
-                        continue
-                    if isinstance(rank_data.X_local, np.ndarray):
-                        A = rank_data.X_local[:, local_idx]
-                    else:
-                        A = rank_data.X_local.select_columns(local_idx).to_dense()
-                    if estimator is GradientEstimator.PLAIN:
-                        g_p = A @ (A.T @ v - rank_data.y_local[local_idx]) / mbar
-                    else:
-                        g_p = A @ (A.T @ (v - anchor)) / mbar
-                    contribs.append(g_p)
-                    flops.append(float(4 * A.shape[0] * A.shape[1]))
-                cluster.compute(flops, label="gradient_blocks")
-                g = cluster.allreduce(contribs, label="allreduce_grad")
-                comm_rounds += 1
-                if estimator is GradientEstimator.SVRG:
-                    g = g + full_grad  # type: ignore[operator]
-                cluster.compute(8.0 * d, label="update")
-
-            w_new = soft_threshold(v - gamma * g, thresh)
-            w_prev, w = w, w_new
-            t_prev = t_cur
-
-            if total_iter % monitor_every == 0 or (
-                epoch == epochs - 1 and _n == iters_per_epoch - 1
-            ):
-                obj = problem.value(w)  # out of band
-                history.append(
-                    total_iter,
-                    obj,
-                    stopping.rel_error(obj),
-                    sim_time=cluster.elapsed,
-                    comm_round=comm_rounds,
+    def main_loop() -> None:
+        nonlocal w, w_prev, t_prev, prev_obj, converged, diverged, total_iter
+        nonlocal anchor, full_grad, rounds_done, in_epoch, start_n
+        for epoch in range(start_epoch, epochs):
+            if not in_epoch:
+                anchor = w.copy()
+                full_grad = (
+                    loop.screened(
+                        lambda: _epoch_anchor_gradient(backend, data, anchor, problem.m),
+                        "anchor gradient allreduce",
+                    )
+                    if estimator is GradientEstimator.SVRG
+                    else None
                 )
-                if not np.isfinite(obj):
-                    diverged = True
-                    break
-                if stopping.satisfied(obj, prev_obj):
-                    converged = True
-                    break
-                prev_obj = obj
-        if converged or diverged:
-            break
+                if restart_momentum:
+                    t_prev = 1.0
+                    w_prev = w.copy()
+                start_n = 0
+            in_epoch = False
+
+            for _n in range(start_n, iters_per_epoch):
+                total_iter += 1
+                idx = sample_indices(rng, problem.m, mbar)
+
+                t_cur = t_next(t_prev)
+                mu = momentum_mu(t_prev, t_cur)
+                v = w + mu * (w - w_prev)
+
+                if comm_mode == "hessian":
+                    # Stages A+B: local sampled Gram blocks.
+                    packed = []
+                    flops = []
+                    for rank_data in data.ranks:
+                        H_p, local_idx, fl = rank_data.sampled_hessian_contribution(idx, mbar, d)
+                        if estimator is GradientEstimator.PLAIN:
+                            R_p, fl_r = rank_data.sampled_rhs_contribution(local_idx, mbar, d)
+                        else:
+                            R_p, fl_r = np.zeros(d), 0.0
+                        packed.append(np.concatenate([H_p.ravel(), R_p]))
+                        flops.append(fl + fl_r)
+                    backend.compute(flops, label="hessian_blocks")
+                    # Stage C: one allreduce of d² + d words.
+                    combined = loop.allreduce(packed, label="allreduce_HR")
+                    H = combined[: d * d].reshape(d, d)
+                    if estimator is GradientEstimator.PLAIN:
+                        R = combined[d * d :]
+                    else:  # svrg: R = Hŵ − ∇f(ŵ), replicated arithmetic
+                        R = H @ anchor - full_grad  # type: ignore[operator]
+                        backend.compute(2.0 * d * d, label="svrg_rhs")
+                    w_new = hessian_reuse_update(H, R, v, gamma=gamma, thresh=thresh)
+                    backend.compute(UPDATE_FLOPS(d), label="update")
+                else:
+                    # Gradient mode: local sampled-gradient contributions.
+                    contribs = []
+                    flops = []
+                    for rank_data in data.ranks:
+                        local_idx = rank_data._restrict(idx)
+                        if local_idx.size == 0:
+                            contribs.append(np.zeros(d))
+                            flops.append(0.0)
+                            continue
+                        if isinstance(rank_data.X_local, np.ndarray):
+                            A = rank_data.X_local[:, local_idx]
+                        else:
+                            A = rank_data.X_local.select_columns(local_idx).to_dense()
+                        if estimator is GradientEstimator.PLAIN:
+                            g_p = A @ (A.T @ v - rank_data.y_local[local_idx]) / mbar
+                        else:
+                            g_p = A @ (A.T @ (v - anchor)) / mbar
+                        contribs.append(g_p)
+                        flops.append(float(4 * A.shape[0] * A.shape[1]))
+                    backend.compute(flops, label="gradient_blocks")
+                    g = loop.allreduce(contribs, label="allreduce_grad")
+                    if estimator is GradientEstimator.SVRG:
+                        g = g + full_grad  # type: ignore[operator]
+                    backend.compute(8.0 * d, label="update")
+                    w_new = soft_threshold(v - gamma * g, thresh)
+
+                w_prev, w = w, w_new
+                t_prev = t_cur
+
+                iter_obj: float | None = None
+                if total_iter % monitor_every == 0 or (
+                    epoch == epochs - 1 and _n == iters_per_epoch - 1
+                ):
+                    obj = problem.value(w)  # out of band
+                    loop.screen_objective(obj)
+                    history.append(
+                        total_iter,
+                        obj,
+                        stopping.rel_error(obj),
+                        sim_time=backend.elapsed,
+                        comm_round=loop.comm_rounds,
+                    )
+                    iter_obj = obj
+                    if not np.isfinite(obj):
+                        diverged = True
+                    elif stopping.satisfied(obj, prev_obj):
+                        converged = True
+                    else:
+                        if config.adaptive_restart and prev_obj is not None and obj > prev_obj:
+                            t_prev = 1.0
+                            w_prev = w.copy()
+                            loop.stats.momentum_restarts += 1
+                        prev_obj = obj
+                loop.emit(outer=epoch, inner=total_iter, objective=iter_obj)
+                rounds_done += 1
+                if converged or diverged:
+                    return
+                if config.checkpoint_every and rounds_done % config.checkpoint_every == 0:
+                    loop.commit_checkpoint(capture(epoch, _n + 1, mid_epoch=True))
+            if converged or diverged:
+                return
+
+    loop.run(main_loop, capture=lambda: capture(0, 0, mid_epoch=False), restore=restore)
+
+    loop.finish(
+        {
+            "converged": converged,
+            "diverged": diverged,
+            "n_iterations": total_iter,
+            "n_comm_rounds": loop.comm_rounds,
+        }
+    )
 
     return SolveResult(
         w=w,
         converged=converged,
         n_iterations=total_iter,
         history=history,
-        n_comm_rounds=comm_rounds,
-        cost=cluster.cost.summary(),
+        n_comm_rounds=loop.comm_rounds,
+        cost=backend.cost_summary(),
         meta={
             "solver": "sfista_distributed",
             "diverged": diverged,
@@ -232,7 +365,13 @@ def sfista_distributed(
             "comm_mode": comm_mode,
             "step_size": gamma,
             "nranks": nranks,
-            "machine": cluster.machine.name,
-            "allreduce_algorithm": cluster.allreduce_algorithm,
+            "machine": backend.machine_name,
+            "allreduce_algorithm": backend.allreduce_algorithm,
+            "comm": config.comm,
+            "checkpoint_every": config.checkpoint_every,
+            "on_nan": config.on_nan,
+            "max_recoveries": config.max_recoveries,
+            "adaptive_restart": config.adaptive_restart,
+            "resilience": loop.stats.as_meta(),
         },
     )

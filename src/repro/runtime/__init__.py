@@ -1,0 +1,54 @@
+"""Unified solver runtime: config, execution backends, resilient driver.
+
+This package is the one place the distributed solvers get their
+cross-cutting machinery from:
+
+* :class:`~repro.runtime.config.RuntimeConfig` — the validated bundle of
+  machine/comm/fault/checkpoint/telemetry knobs every solver accepts as
+  ``runtime=`` (with :func:`~repro.runtime.config.resolve_runtime`
+  merging in legacy per-solver kwargs).
+* :class:`~repro.runtime.backend.ExecutionBackend` — the collective
+  protocol with :class:`~repro.runtime.backend.SerialBackend`,
+  :class:`~repro.runtime.backend.BSPBackend` and
+  :class:`~repro.runtime.backend.SPMDBackend` implementations.
+* :class:`~repro.runtime.driver.ResilientLoop` — the single
+  checkpoint/rollback/bit-exact-replay driver.
+* :mod:`~repro.runtime.resilience` — checkpoints, NaN guards and
+  recovery statistics (formerly ``repro.core.resilience``).
+
+See ``docs/RUNTIME.md`` for the architecture walkthrough.
+"""
+
+from repro.runtime.backend import (
+    BSPBackend,
+    ExecutionBackend,
+    SerialBackend,
+    SPMDBackend,
+    build_host_backend,
+)
+from repro.runtime.config import BACKENDS, RuntimeConfig, resolve_runtime
+from repro.runtime.driver import ResilientLoop
+from repro.runtime.resilience import (
+    ON_NAN_POLICIES,
+    Checkpoint,
+    NumericalGuard,
+    RecoveryStats,
+    RollbackRequested,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BSPBackend",
+    "Checkpoint",
+    "ExecutionBackend",
+    "NumericalGuard",
+    "ON_NAN_POLICIES",
+    "RecoveryStats",
+    "ResilientLoop",
+    "RollbackRequested",
+    "RuntimeConfig",
+    "SPMDBackend",
+    "SerialBackend",
+    "build_host_backend",
+    "resolve_runtime",
+]

@@ -1,0 +1,398 @@
+"""ExecutionBackend: one collective surface over serial/BSP/SPMD substrates.
+
+The solver bodies (RC-SFISTA stages A–D, the SFISTA epoch loop, the PN
+outer loop) are written once against this protocol; which substrate
+executes them — and what it costs — is the backend's business:
+
+* :class:`SerialBackend` — the degenerate P=1 case: collectives return
+  the single contribution, nothing is charged, ``cost_summary()`` is
+  ``None``. Iterates are bit-identical to a 1-rank BSP run.
+* :class:`BSPBackend` — wraps :class:`~repro.distsim.bsp.BSPCluster`:
+  lock-step collectives under the α-β-γ machine model with fault
+  injection, sparse encodings and checkpoint/recovery charging.
+* :class:`SPMDBackend` — wraps :class:`~repro.distsim.engine.SPMDEngine`
+  for solvers expressed as per-rank generator programs. Host-side
+  collectives run as one-shot rank programs on the persistent engine
+  (counters and clocks accumulate across runs); rank-program solvers use
+  :meth:`SPMDBackend.run_program` directly.
+
+Cost accounting invariant: for a fixed backend and config, running a body
+through this layer charges exactly what the hand-wired solver charged —
+the golden traces in ``tests/golden/`` pin this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.distsim import sparse_collectives as sc
+from repro.distsim.bsp import BSPCluster
+from repro.distsim.engine import SPMDEngine
+from repro.distsim.faults import FaultInjector, as_injector
+from repro.distsim.trace import Trace
+from repro.exceptions import ValidationError
+from repro.runtime.config import RuntimeConfig
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "BSPBackend",
+    "SPMDBackend",
+    "build_host_backend",
+]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What a solver body may ask of its execution substrate.
+
+    Collectives take one contribution per rank (host view) and return the
+    replicated result; ``compute`` charges per-rank flops; ``checkpoint``/
+    ``recover`` charge resilience traffic; the accessors expose the
+    simulated clock, accumulated cost and trace for monitoring, telemetry
+    and ``SolveResult`` assembly.
+    """
+
+    nranks: int
+
+    # -- collectives --------------------------------------------------- #
+    def allreduce(self, contribs: Sequence[np.ndarray], label: str = "allreduce") -> np.ndarray: ...
+
+    def reduce(self, contribs: Sequence[np.ndarray], root: int = 0, label: str = "reduce") -> np.ndarray: ...
+
+    def broadcast(self, value: np.ndarray, root: int = 0, label: str = "bcast") -> np.ndarray: ...
+
+    def barrier(self, label: str = "barrier") -> None: ...
+
+    # -- compute + resilience charging --------------------------------- #
+    def compute(self, flops: float | Sequence[float] | np.ndarray, label: str = "compute") -> None: ...
+
+    def checkpoint(self, words: float) -> None: ...
+
+    def recover(self, words: float) -> None: ...
+
+    # -- cost + clock accessors ---------------------------------------- #
+    @property
+    def elapsed(self) -> float: ...
+
+    @property
+    def last_comm_decision(self) -> str | None: ...
+
+    @property
+    def trace(self) -> Trace | None: ...
+
+    @property
+    def injector(self) -> FaultInjector | None: ...
+
+    @property
+    def machine_name(self) -> str: ...
+
+    @property
+    def allreduce_algorithm(self) -> str: ...
+
+    def cost_summary(self) -> dict | None: ...
+
+
+class SerialBackend:
+    """P=1, zero-cost: the serial degenerate case of the protocol.
+
+    Collectives return the lone contribution unchanged (bit-identical to
+    a 1-rank BSP reduction in every ``comm`` mode), nothing is charged and
+    no trace exists. ``last_comm_decision`` still resolves the configured
+    encoding against the contribution's density so telemetry records stay
+    meaningful.
+    """
+
+    nranks = 1
+
+    def __init__(self, comm: str = "dense", allreduce_algorithm: str = "recursive_doubling") -> None:
+        if comm not in sc.COMM_MODES:
+            raise ValidationError(f"comm must be one of {sc.COMM_MODES}, got {comm!r}")
+        self.comm = comm
+        self._allreduce_algorithm = allreduce_algorithm
+        self._last_decision: str | None = None
+
+    def _single(self, contribs: Sequence[np.ndarray], what: str) -> np.ndarray:
+        if len(contribs) != 1:
+            raise ValidationError(
+                f"{what} on the serial backend needs exactly 1 contribution, "
+                f"got {len(contribs)}"
+            )
+        return np.array(contribs[0], dtype=np.float64, copy=True)
+
+    def allreduce(self, contribs: Sequence[np.ndarray], label: str = "allreduce") -> np.ndarray:
+        out = self._single(contribs, "allreduce")
+        if self.comm == "dense":
+            self._last_decision = "dense"
+        else:
+            density = float(np.count_nonzero(out)) / out.size if out.size else 0.0
+            self._last_decision = sc.resolve_comm_mode(self.comm, union_density=density)
+        return out
+
+    def reduce(self, contribs: Sequence[np.ndarray], root: int = 0, label: str = "reduce") -> np.ndarray:
+        return self._single(contribs, "reduce")
+
+    def broadcast(self, value: np.ndarray, root: int = 0, label: str = "bcast") -> np.ndarray:
+        return np.array(value, dtype=np.float64, copy=True)
+
+    def barrier(self, label: str = "barrier") -> None:
+        pass
+
+    def compute(self, flops: float | Sequence[float] | np.ndarray, label: str = "compute") -> None:
+        pass
+
+    def checkpoint(self, words: float) -> None:
+        pass
+
+    def recover(self, words: float) -> None:
+        pass
+
+    @property
+    def elapsed(self) -> float:
+        return 0.0
+
+    @property
+    def last_comm_decision(self) -> str | None:
+        return self._last_decision
+
+    @property
+    def trace(self) -> Trace | None:
+        return None
+
+    @property
+    def injector(self) -> FaultInjector | None:
+        return None
+
+    @property
+    def machine_name(self) -> str:
+        return "serial"
+
+    @property
+    def allreduce_algorithm(self) -> str:
+        return self._allreduce_algorithm
+
+    def cost_summary(self) -> dict | None:
+        return None
+
+
+class BSPBackend:
+    """Lock-step execution on a :class:`~repro.distsim.bsp.BSPCluster`.
+
+    Thin by design: every call forwards to the cluster method that charges
+    it, preserving labels, clock effects and trace events exactly as the
+    pre-runtime solvers produced them.
+    """
+
+    def __init__(self, cluster: BSPCluster, comm: str = "dense") -> None:
+        if comm not in sc.COMM_MODES:
+            raise ValidationError(f"comm must be one of {sc.COMM_MODES}, got {comm!r}")
+        self.cluster = cluster
+        self.comm = comm
+        self.nranks = cluster.nranks
+
+    @classmethod
+    def from_config(cls, config: RuntimeConfig, nranks: int) -> "BSPBackend":
+        """Build or adopt the cluster a config describes.
+
+        The faults/retry/metrics-versus-prebuilt-cluster exclusivity is
+        already enforced by :class:`~repro.runtime.config.RuntimeConfig`;
+        here only the rank count has to line up.
+        """
+        if config.cluster is not None:
+            if config.cluster.nranks != nranks:
+                raise ValidationError(
+                    f"cluster has {config.cluster.nranks} ranks, expected {nranks}"
+                )
+            return cls(config.cluster, comm=config.comm)
+        cluster = BSPCluster(
+            nranks,
+            config.machine,
+            allreduce_algorithm=config.allreduce_algorithm,
+            jitter_seed=config.jitter_seed,
+            injector=as_injector(config.faults),
+            retry=config.retry,
+            collective_deadline=config.recv_timeout,
+            metrics=config.metrics,
+        )
+        return cls(cluster, comm=config.comm)
+
+    def allreduce(self, contribs: Sequence[np.ndarray], label: str = "allreduce") -> np.ndarray:
+        return self.cluster.allreduce_comm(contribs, mode=self.comm, label=label)
+
+    def reduce(self, contribs: Sequence[np.ndarray], root: int = 0, label: str = "reduce") -> np.ndarray:
+        return self.cluster.reduce(contribs, root=root, label=label)
+
+    def broadcast(self, value: np.ndarray, root: int = 0, label: str = "bcast") -> np.ndarray:
+        return self.cluster.bcast(value, root=root, label=label)
+
+    def barrier(self, label: str = "barrier") -> None:
+        self.cluster.barrier(label=label)
+
+    def compute(self, flops: float | Sequence[float] | np.ndarray, label: str = "compute") -> None:
+        self.cluster.compute(flops, label=label)
+
+    def checkpoint(self, words: float) -> None:
+        self.cluster.checkpoint(words)
+
+    def recover(self, words: float) -> None:
+        self.cluster.recover(words)
+
+    @property
+    def elapsed(self) -> float:
+        return self.cluster.elapsed
+
+    @property
+    def last_comm_decision(self) -> str | None:
+        return self.cluster.last_comm_decision
+
+    @property
+    def trace(self) -> Trace | None:
+        return self.cluster.trace
+
+    @property
+    def injector(self) -> FaultInjector | None:
+        return self.cluster.injector
+
+    @property
+    def machine_name(self) -> str:
+        return self.cluster.machine.name
+
+    @property
+    def allreduce_algorithm(self) -> str:
+        return self.cluster.allreduce_algorithm
+
+    def cost_summary(self) -> dict | None:
+        return self.cluster.cost.summary()
+
+
+class SPMDBackend:
+    """Execution on the generator-based :class:`SPMDEngine` mini-MPI.
+
+    Rank-program solvers hand their program to :meth:`run_program`; the
+    engine persists across runs, so a rerun after a heal keeps paying into
+    the same counters and clocks (the failed attempt's cost stays on the
+    books). The protocol's host-side collectives run as one-shot rank
+    programs on that same engine.
+
+    ``compute`` is deliberately a no-op: the SPMD solvers model
+    communication only (their rank programs charge no host-side flops),
+    and charging here would shift the simulated clocks every ``at_time``
+    fault schedule is calibrated against.
+
+    ``checkpoint``/``recover`` are no-ops too: in the SPMD model the
+    checkpoint traffic is a *real* reduce the rank programs ship
+    themselves, and recovery is a rerun whose collectives are genuinely
+    re-charged — there is no out-of-band state transfer to bill.
+    """
+
+    def __init__(self, engine: SPMDEngine, comm: str = "dense") -> None:
+        if comm not in sc.COMM_MODES:
+            raise ValidationError(f"comm must be one of {sc.COMM_MODES}, got {comm!r}")
+        self.engine = engine
+        self.comm = comm
+        self.nranks = engine.nranks
+
+    @classmethod
+    def from_config(cls, config: RuntimeConfig, nranks: int) -> "SPMDBackend":
+        if config.cluster is not None:
+            raise ValidationError(
+                "the SPMD backend builds its own engine; a prebuilt BSP cluster "
+                "cannot be supplied"
+            )
+        engine = SPMDEngine(
+            nranks,
+            config.machine,
+            allreduce_algorithm=config.allreduce_algorithm,
+            injector=as_injector(config.faults),
+            retry=config.retry,
+            recv_timeout=config.recv_timeout,
+            # The engine's trace is off by default; telemetry wants a timeline.
+            trace=Trace() if config.telemetry is not None else None,
+            metrics=config.metrics,
+        )
+        return cls(engine, comm=config.comm)
+
+    def run_program(self, program: Callable, *args: Any, **kwargs: Any) -> list[Any]:
+        """Run a rank program on the persistent engine (one attempt)."""
+        return self.engine.run(program, *args, **kwargs)
+
+    def allreduce(self, contribs: Sequence[np.ndarray], label: str = "allreduce") -> np.ndarray:
+        comm = self.comm
+
+        def prog(ctx):
+            out = yield ctx.allreduce(contribs[ctx.rank], comm=comm)
+            return out
+
+        return self.engine.run(prog)[0]
+
+    def reduce(self, contribs: Sequence[np.ndarray], root: int = 0, label: str = "reduce") -> np.ndarray:
+        def prog(ctx):
+            out = yield ctx.reduce(contribs[ctx.rank], root=root)
+            return out
+
+        return self.engine.run(prog)[root]
+
+    def broadcast(self, value: np.ndarray, root: int = 0, label: str = "bcast") -> np.ndarray:
+        def prog(ctx):
+            out = yield ctx.bcast(value if ctx.rank == root else None, root=root)
+            return out
+
+        return self.engine.run(prog)[0]
+
+    def barrier(self, label: str = "barrier") -> None:
+        def prog(ctx):
+            yield ctx.barrier()
+
+        self.engine.run(prog)
+
+    def compute(self, flops: float | Sequence[float] | np.ndarray, label: str = "compute") -> None:
+        pass
+
+    def checkpoint(self, words: float) -> None:
+        pass
+
+    def recover(self, words: float) -> None:
+        pass
+
+    @property
+    def elapsed(self) -> float:
+        return self.engine.elapsed
+
+    @property
+    def last_comm_decision(self) -> str | None:
+        return self.engine.last_comm_decision
+
+    @property
+    def trace(self) -> Trace | None:
+        return self.engine.trace
+
+    @property
+    def injector(self) -> FaultInjector | None:
+        return self.engine.injector
+
+    @property
+    def machine_name(self) -> str:
+        return self.engine.machine.name
+
+    @property
+    def allreduce_algorithm(self) -> str:
+        return self.engine.allreduce_algorithm
+
+    def cost_summary(self) -> dict | None:
+        return self.engine.cost.summary()
+
+
+def build_host_backend(config: RuntimeConfig, nranks: int) -> "SerialBackend | BSPBackend":
+    """The host-view backend a config selects for lock-step solver bodies."""
+    if config.backend == "serial":
+        if nranks != 1:
+            raise ValidationError(
+                f"the serial backend runs exactly 1 rank, got nranks={nranks}; "
+                "use backend='bsp' for multi-rank simulation"
+            )
+        if config.cluster is not None:
+            raise ValidationError("the serial backend does not take a prebuilt cluster")
+        return SerialBackend(comm=config.comm, allreduce_algorithm=config.allreduce_algorithm)
+    return BSPBackend.from_config(config, nranks)

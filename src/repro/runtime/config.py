@@ -1,0 +1,215 @@
+"""RuntimeConfig: one validated bundle for the cross-cutting solver knobs.
+
+Every distributed solver used to copy-paste the same ~12 keyword
+arguments — machine/cluster selection, collective encoding, fault
+injection, retry policy, checkpointing, NaN screening, telemetry and
+metrics — and re-validate them by hand. :class:`RuntimeConfig` is the one
+frozen dataclass that carries them all, validates them in one place, and
+is accepted by every distributed solver as ``runtime=``::
+
+    from repro.runtime import RuntimeConfig
+
+    cfg = RuntimeConfig(machine="comet_paper", comm="auto",
+                        checkpoint_every=2, on_nan="rollback")
+    rc_sfista_distributed(problem, 16, k=4, runtime=cfg)
+
+The individual keyword arguments remain accepted for backward
+compatibility; passing the resilience/observability ones triggers a
+:class:`DeprecationWarning` steering callers to ``runtime=``. Passing
+``runtime=`` *and* explicit legacy values together is rejected — there
+must be exactly one source of truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.distsim.machine import MachineSpec
+from repro.distsim.sparse_collectives import COMM_MODES
+from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TelemetryCallback
+from repro.runtime.resilience import ON_NAN_POLICIES
+from repro.utils.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.distsim.bsp import BSPCluster
+
+__all__ = ["BACKENDS", "RuntimeConfig", "resolve_runtime"]
+
+# Host-driven execution substrates build_host_backend can produce. The SPMD
+# engine is not selected through this knob: rank-program solvers construct
+# an SPMDBackend directly (the program structure is part of the algorithm).
+BACKENDS = ("bsp", "serial")
+
+# Legacy kwargs that warrant a deprecation nudge: the resilience and
+# observability surface. The simulation-shape knobs (machine, comm, ...)
+# stay warning-free — they are equally valid through either path.
+_DEPRECATED_KWARGS = frozenset(
+    {
+        "faults",
+        "retry",
+        "recv_timeout",
+        "checkpoint_every",
+        "on_nan",
+        "max_recoveries",
+        "adaptive_restart",
+        "telemetry",
+        "metrics",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Cross-cutting execution knobs shared by every distributed solver.
+
+    Simulation shape
+    ----------------
+    backend:
+        ``"bsp"`` (simulated cluster, the default) or ``"serial"`` (the
+        degenerate single-rank backend: no cluster, zero cost, bit-
+        identical iterates to a 1-rank BSP run).
+    machine / allreduce_algorithm / jitter_seed:
+        The α-β-γ machine model, collective algorithm and per-rank compute
+        jitter of the simulated cluster.
+    comm:
+        Collective payload encoding: ``"dense"``, ``"sparse"``
+        (index+value, O(nnz_union) words) or ``"auto"`` (per-phase
+        stream-and-switch). Iterates are bit-identical across modes.
+    cluster:
+        A prebuilt :class:`~repro.distsim.bsp.BSPCluster` to run on
+        (costs accumulate). Mutually exclusive with ``faults``/``retry``/
+        ``recv_timeout``/``metrics`` — configure those on the cluster.
+
+    Resilience
+    ----------
+    faults / retry / recv_timeout:
+        Deterministic fault plan (or prebuilt injector), torn-collective
+        retry policy, and collective arrival-skew deadline.
+    checkpoint_every:
+        Checkpoint the solver state every this many communication rounds
+        (0 disables periodic checkpoints; a free initial checkpoint always
+        exists, so crash recovery restarts from scratch).
+    on_nan:
+        NaN/Inf screening policy: ``None`` (off), ``"raise"``,
+        ``"rollback"`` or ``"recompute"``.
+    max_recoveries:
+        Rollbacks/recomputes tolerated before the failure propagates.
+    adaptive_restart:
+        Reset FISTA momentum whenever the monitored objective increases.
+
+    Observability
+    -------------
+    telemetry:
+        A :class:`~repro.obs.telemetry.TelemetryCallback` receiving run
+        start/end and one record per inner iteration. Strictly out of
+        band: attaching it never changes iterates, costs or traces.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` the substrate
+        publishes into (mutually exclusive with a prebuilt ``cluster``).
+    """
+
+    backend: str = "bsp"
+    machine: str | MachineSpec = "comet_effective"
+    allreduce_algorithm: str = "recursive_doubling"
+    comm: str = "dense"
+    jitter_seed: RandomState = None
+    cluster: "BSPCluster | None" = None
+    faults: FaultPlan | FaultInjector | None = None
+    retry: RetryPolicy | None = None
+    recv_timeout: float | None = None
+    checkpoint_every: int = 0
+    on_nan: str | None = None
+    max_recoveries: int = 3
+    adaptive_restart: bool = False
+    telemetry: TelemetryCallback | None = None
+    metrics: MetricsRegistry | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.comm not in COMM_MODES:
+            raise ValidationError(
+                f"comm must be one of {COMM_MODES}, got {self.comm!r}"
+            )
+        if self.on_nan is not None and self.on_nan not in ON_NAN_POLICIES:
+            raise ValidationError(
+                f"on_nan must be one of {ON_NAN_POLICIES} or None, got {self.on_nan!r}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValidationError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.max_recoveries < 0:
+            raise ValidationError(
+                f"max_recoveries must be >= 0, got {self.max_recoveries}"
+            )
+        if self.cluster is not None:
+            if (
+                self.faults is not None
+                or self.retry is not None
+                or self.recv_timeout is not None
+            ):
+                raise ValidationError(
+                    "configure faults/retry/recv_timeout on the supplied cluster, "
+                    "not through the solver"
+                )
+            if self.metrics is not None:
+                raise ValidationError(
+                    "attach the metrics registry to the supplied cluster, "
+                    "not through the solver"
+                )
+
+    def replace(self, **changes) -> "RuntimeConfig":
+        """A copy with *changes* applied (re-runs the validation)."""
+        return dataclasses.replace(self, **changes)
+
+
+_FIELD_DEFAULTS = {f.name: f.default for f in dataclasses.fields(RuntimeConfig)}
+
+
+def resolve_runtime(
+    runtime: RuntimeConfig | None = None, **legacy
+) -> RuntimeConfig:
+    """Merge a ``runtime=`` config with per-solver legacy kwargs.
+
+    Solvers call this with whatever subset of the legacy runtime kwargs
+    their public signature still carries. Exactly one source wins:
+
+    * ``runtime`` given and no legacy kwarg moved off its default — use
+      the config as-is.
+    * ``runtime`` given *and* legacy kwargs set — ambiguous, rejected.
+    * legacy kwargs only — build a :class:`RuntimeConfig` from them
+      (single validation path), warning once per call when any of the
+      deprecated resilience/observability kwargs were used.
+    """
+    unknown = set(legacy) - set(_FIELD_DEFAULTS)
+    if unknown:
+        raise ValidationError(
+            f"unknown runtime kwargs {sorted(unknown)}; valid fields are "
+            f"{sorted(_FIELD_DEFAULTS)}"
+        )
+    moved = {k for k, v in legacy.items() if v != _FIELD_DEFAULTS[k]}
+    if runtime is not None:
+        if moved:
+            raise ValidationError(
+                "pass runtime knobs either through runtime=RuntimeConfig(...) or "
+                f"as individual kwargs, not both (runtime= plus {sorted(moved)})"
+            )
+        return runtime
+    deprecated = sorted(moved & _DEPRECATED_KWARGS)
+    if deprecated:
+        warnings.warn(
+            f"passing {', '.join(deprecated)} as individual solver kwargs is "
+            "deprecated; bundle them in runtime=RuntimeConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return RuntimeConfig(**legacy)

@@ -1,0 +1,228 @@
+"""ResilientLoop: the one checkpoint/rollback/replay driver for all solvers.
+
+Before this module existed, every distributed solver carried its own copy
+of the same choreography: wrap collectives in a NaN screen, checkpoint at
+round boundaries, catch :class:`~repro.exceptions.RankFailureError` /
+:class:`~repro.runtime.resilience.RollbackRequested` in a while-loop,
+heal, charge recovery traffic, restore state and replay. The copies had
+to agree exactly (recovery is *bit-exact*: a recovered run converges to
+the fault-free solution) — four hand-synchronised copies of bit-exact
+choreography is four chances to drift.
+
+:class:`ResilientLoop` is that choreography, once. A solver builds one
+per run, hands it the body as a closure plus ``capture``/``restore``
+callbacks for its replayable state, and keeps only its algorithm::
+
+    loop = ResilientLoop(backend, config, solver="rc_sfista_distributed")
+    loop.start(params)                      # telemetry on_run_start
+    result = loop.run(body, capture=capture, restore=restore)
+    return loop.finish(meta=...)            # telemetry on_run_end + meta
+
+The loop also owns iteration telemetry (:meth:`emit`) so records carry a
+uniform shape — retries/recoveries/sim_time come from the loop's own
+stats and the backend clock, not from per-solver bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import NumericalFaultError, RankFailureError
+from repro.obs.telemetry import IterationRecord, TelemetryCallback
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.resilience import Checkpoint, NumericalGuard, RecoveryStats, RollbackRequested
+
+__all__ = ["ResilientLoop"]
+
+
+class ResilientLoop:
+    """Fault-tolerant execution driver shared by the distributed solvers.
+
+    Owns the numerical guard, the recovery statistics, the communication-
+    round counter, the most recent :class:`Checkpoint` and the telemetry
+    callback. The solver body stays purely algorithmic and calls back into
+    the loop for anything resilience- or observability-flavoured.
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        config: RuntimeConfig,
+        *,
+        solver: str,
+    ) -> None:
+        self.backend = backend
+        self.config = config
+        self.solver = solver
+        self.guard = NumericalGuard(config.on_nan)
+        self.stats = RecoveryStats()
+        self.telemetry: TelemetryCallback | None = config.telemetry
+        self.comm_rounds = 0
+        # Set by the solver once its γ is known; stamped into records.
+        self.step_size: float = 0.0
+        self._ck: Checkpoint | None = None
+
+    # ------------------------------------------------------------------ #
+    # screened collectives
+    # ------------------------------------------------------------------ #
+    def screened(self, producer: Callable[[], np.ndarray], what: str) -> np.ndarray:
+        """Run *producer* with NaN screening and recompute retries.
+
+        Each attempt counts as one communication round (the traffic was
+        spent whether or not the result was clean — same accounting the
+        hand-wired solvers used). Under ``on_nan="recompute"`` the
+        producer is re-issued up to ``max_recoveries`` times; persistent
+        corruption escalates to :class:`NumericalFaultError`. Rollback and
+        raise policies propagate out of :meth:`NumericalGuard.screen`.
+        """
+        attempts = self.config.max_recoveries + 1
+        for _attempt in range(attempts):
+            out = producer()
+            self.comm_rounds += 1
+            if not self.guard.screen(out, what, self.stats):
+                return out
+            self.stats.recomputes += 1
+        raise NumericalFaultError(
+            f"{what} stayed non-finite after {attempts} attempt(s) "
+            "(on_nan='recompute')"
+        )
+
+    def allreduce(self, contribs: Sequence[np.ndarray], label: str) -> np.ndarray:
+        """Screened allreduce: retries re-issue only the collective."""
+        return self.screened(
+            lambda: self.backend.allreduce(contribs, label=label), label
+        )
+
+    def screen_objective(self, obj: float) -> None:
+        """Guard a monitored objective; non-finite triggers the policy.
+
+        Under ``"recompute"`` a bad objective still rolls back — there is
+        no cheaper producer to re-issue than the rounds that made it.
+        """
+        if self.guard.enabled and self.guard.screen(obj, "monitored objective", self.stats):
+            raise RollbackRequested("monitored objective")
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+    def start(self, params: dict[str, Any]) -> None:
+        if self.telemetry is not None:
+            self.telemetry.on_run_start(self.solver, params)
+
+    def emit(
+        self,
+        *,
+        outer: int,
+        inner: int,
+        objective: float | None,
+        phase: str = "inner",
+    ) -> None:
+        """One uniform iteration record (out of band: never affects cost)."""
+        if self.telemetry is None:
+            return
+        self.telemetry.on_iteration(
+            IterationRecord(
+                outer=outer,
+                inner=inner,
+                objective=objective,
+                step_size=self.step_size,
+                comm_mode=self.config.comm,
+                comm_decision=self.backend.last_comm_decision,
+                retries=self.stats.recomputes,
+                recoveries=self.stats.rollbacks,
+                sim_time=self.backend.elapsed,
+                phase=phase,
+            )
+        )
+
+    def finish(self, meta: dict[str, Any]) -> dict[str, Any]:
+        """Close out telemetry; returns *meta* enriched with resilience stats."""
+        meta = dict(meta)
+        meta.setdefault("resilience", self.stats.as_meta())
+        if self.telemetry is not None:
+            self.telemetry.on_run_end(
+                cost=self.backend.cost_summary(),
+                trace=self.backend.trace,
+                meta={"solver": self.solver, **meta},
+            )
+        return meta
+
+    # ------------------------------------------------------------------ #
+    # checkpointing + the recovery loop
+    # ------------------------------------------------------------------ #
+    @property
+    def checkpoint(self) -> Checkpoint | None:
+        """The checkpoint a rollback would restore (None → restart from scratch)."""
+        return self._ck
+
+    def commit_checkpoint(self, ck: Checkpoint) -> None:
+        """Charge and promote *ck* to the active recovery point."""
+        self.backend.checkpoint(ck.words)
+        self._ck = ck
+        self.stats.checkpoints += 1
+
+    def seed_checkpoint(self, ck: Checkpoint) -> None:
+        """Install the free initial checkpoint (no traffic charged)."""
+        self._ck = ck
+
+    def run(
+        self,
+        body: Callable[[], Any],
+        *,
+        capture: Callable[[], Checkpoint] | None = None,
+        restore: Callable[[Checkpoint], None] | None = None,
+    ) -> Any:
+        """Execute *body* to completion, surviving faults via replay.
+
+        ``capture`` (called once, before the first attempt) provides the
+        free initial checkpoint; ``restore`` rewinds the solver's closure
+        state to a checkpoint before a replay. Solvers without host-side
+        state to rewind (the SPMD rank programs re-derive everything from
+        their own checkpoint dict) pass neither, getting a pure re-run.
+
+        Recovery actions, per exception:
+
+        * :class:`RankFailureError` — heal the failed ranks through the
+          backend's injector, charge recovery traffic for the active
+          checkpoint, restore, replay. Without an injector (or past
+          ``max_recoveries``) the failure propagates.
+        * :class:`RollbackRequested` — same restore/replay path minus the
+          healing; past ``max_recoveries`` it escalates to
+          :class:`NumericalFaultError`.
+        """
+        if capture is not None:
+            self._ck = capture()
+        recoveries = 0
+        while True:
+            try:
+                return body()
+            except RankFailureError:
+                injector = self.backend.injector
+                if injector is None:
+                    raise
+                recoveries += 1
+                if recoveries > self.config.max_recoveries:
+                    raise
+                healed = injector.heal_all()
+                self.stats.rank_failures_recovered += 1
+                self.stats.healed_ranks.extend(healed)
+                self.stats.rollbacks += 1
+                self._recover(restore)
+            except RollbackRequested as sig:
+                recoveries += 1
+                if recoveries > self.config.max_recoveries:
+                    raise NumericalFaultError(
+                        f"non-finite values in {sig.what} persisted after "
+                        f"{self.config.max_recoveries} rollback(s)"
+                    ) from None
+                self.stats.rollbacks += 1
+                self._recover(restore)
+
+    def _recover(self, restore: Callable[[Checkpoint], None] | None) -> None:
+        if self._ck is not None:
+            self.backend.recover(self._ck.words)
+            if restore is not None:
+                restore(self._ck)

@@ -28,6 +28,8 @@ from repro.distsim.trace import Trace
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
 FIXTURE = GOLDEN_DIR / "rc_sfista_p4_trace.json"
+PN_FIXTURE = GOLDEN_DIR / "prox_newton_p4_trace.json"
+SFISTA_FIXTURE = GOLDEN_DIR / "sfista_p4_trace.json"
 NRANKS = 4
 
 
@@ -81,6 +83,67 @@ def _canonical(obj: dict) -> dict:
     return json.loads(json.dumps(obj, sort_keys=True))
 
 
+def _harvest(cluster: BSPCluster, res) -> dict:
+    """Per-phase accounting of a traced run (same shape as :func:`_run`)."""
+    per_phase: dict[str, dict[str, float]] = {}
+    for e in cluster.trace.events:
+        rec = per_phase.setdefault(
+            e.label, {"events": 0, "flops": 0.0, "words": 0.0, "messages": 0.0}
+        )
+        rec["events"] += 1
+        rec["flops"] += e.flops
+        rec["words"] += e.words
+        rec["messages"] += e.messages
+    return {
+        "per_phase": per_phase,
+        "cost_summary": res.cost,
+        "n_comm_rounds": res.n_comm_rounds,
+        "n_iterations": res.n_iterations,
+        "trace_details": [e.detail for e in cluster.trace.events if e.detail],
+    }
+
+
+def _run_prox_newton(comm: str) -> dict:
+    """Fixed-seed distributed PN solve pinning the outer/inner schedule."""
+    from repro.core.prox_newton import proximal_newton_distributed
+
+    cluster = BSPCluster(NRANKS, "comet_paper", trace=Trace())
+    res = proximal_newton_distributed(
+        _problem(),
+        NRANKS,
+        inner="rc_sfista",
+        n_outer=2,
+        inner_iters=4,
+        k=2,
+        S=2,
+        b=0.1,
+        seed=0,
+        comm=comm,
+        cluster=cluster,
+    )
+    return _harvest(cluster, res)
+
+
+def _run_sfista(comm_mode: str) -> dict:
+    """Fixed-seed distributed SFISTA solve pinning both comm_mode paths."""
+    from repro.core.sfista_dist import sfista_distributed
+
+    cluster = BSPCluster(NRANKS, "comet_paper", trace=Trace())
+    res = sfista_distributed(
+        _problem(),
+        NRANKS,
+        b=0.1,
+        epochs=1,
+        iters_per_epoch=6,
+        estimator="svrg",
+        comm_mode=comm_mode,
+        seed=0,
+        monitor_every=3,
+        cluster=cluster,
+    )
+    return _harvest(cluster, res)
+
+
 def test_golden_trace_matches_fixture(update_golden):
     got = _canonical({"dense": _run("dense"), "sparse": _run("sparse")})
     if update_golden:
@@ -90,6 +153,40 @@ def test_golden_trace_matches_fixture(update_golden):
     assert got == expected, (
         "simulator cost accounting drifted from tests/golden/"
         f"{FIXTURE.name}; if the change is intentional rerun with --update-golden"
+    )
+
+
+def test_prox_newton_golden_trace_matches_fixture(update_golden):
+    """The distributed-PN schedule (Fig. 7 path) must not move either."""
+    got = _canonical(
+        {"dense": _run_prox_newton("dense"), "sparse": _run_prox_newton("sparse")}
+    )
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        PN_FIXTURE.write_text(
+            json.dumps(got, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    expected = json.loads(PN_FIXTURE.read_text(encoding="utf-8"))
+    assert got == expected, (
+        "proximal_newton_distributed accounting drifted from tests/golden/"
+        f"{PN_FIXTURE.name}; if the change is intentional rerun with --update-golden"
+    )
+
+
+def test_sfista_golden_trace_matches_fixture(update_golden):
+    """Both SFISTA comm_mode paths (hessian + gradient) stay pinned."""
+    got = _canonical(
+        {"hessian": _run_sfista("hessian"), "gradient": _run_sfista("gradient")}
+    )
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        SFISTA_FIXTURE.write_text(
+            json.dumps(got, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    expected = json.loads(SFISTA_FIXTURE.read_text(encoding="utf-8"))
+    assert got == expected, (
+        "sfista_distributed accounting drifted from tests/golden/"
+        f"{SFISTA_FIXTURE.name}; if the change is intentional rerun with --update-golden"
     )
 
 

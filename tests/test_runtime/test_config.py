@@ -1,0 +1,84 @@
+"""RuntimeConfig validation and the legacy-kwarg resolution path."""
+
+import warnings
+
+import pytest
+
+from repro.distsim.bsp import BSPCluster
+from repro.distsim.faults import FaultPlan, RetryPolicy
+from repro.exceptions import ValidationError
+from repro.obs import MetricsRegistry
+from repro.runtime import BACKENDS, RuntimeConfig, resolve_runtime
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = RuntimeConfig()
+        assert cfg.backend == "bsp"
+        assert cfg.comm == "dense"
+        assert cfg.on_nan is None
+
+    def test_backends_constant(self):
+        assert BACKENDS == ("bsp", "serial")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(backend="mpi"),
+            dict(comm="compressed"),
+            dict(on_nan="ignore"),
+            dict(checkpoint_every=-1),
+            dict(max_recoveries=-2),
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RuntimeConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            dict(faults=FaultPlan(collective_drop_rate=0.1)),
+            dict(retry=RetryPolicy()),
+            dict(recv_timeout=1.0),
+            dict(metrics=MetricsRegistry()),
+        ],
+    )
+    def test_prebuilt_cluster_excludes_runtime_knobs(self, extra):
+        cluster = BSPCluster(2, "comet_effective")
+        with pytest.raises(ValidationError):
+            RuntimeConfig(cluster=cluster, **extra)
+
+    def test_replace_revalidates(self):
+        cfg = RuntimeConfig(comm="sparse")
+        assert cfg.replace(comm="auto").comm == "auto"
+        assert cfg.comm == "sparse"  # frozen: original untouched
+        with pytest.raises(ValidationError):
+            cfg.replace(on_nan="nope")
+
+
+class TestResolveRuntime:
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(ValidationError, match="unknown runtime kwargs"):
+            resolve_runtime(None, machne="comet_effective")
+
+    def test_runtime_plus_moved_legacy_rejected(self):
+        with pytest.raises(ValidationError, match="not both"):
+            resolve_runtime(RuntimeConfig(), checkpoint_every=2)
+
+    def test_runtime_with_default_legacy_passes_through(self):
+        cfg = RuntimeConfig(comm="auto")
+        assert resolve_runtime(cfg, checkpoint_every=0, on_nan=None) is cfg
+
+    def test_deprecated_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="runtime=RuntimeConfig"):
+            cfg = resolve_runtime(None, on_nan="raise", checkpoint_every=3)
+        assert cfg.on_nan == "raise"
+        assert cfg.checkpoint_every == 3
+
+    def test_shape_kwargs_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cfg = resolve_runtime(None, machine="comet_paper", comm="sparse")
+        assert cfg.machine == "comet_paper"
+        assert cfg.comm == "sparse"

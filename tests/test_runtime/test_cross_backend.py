@@ -1,0 +1,89 @@
+"""Cross-backend equivalence matrix: iterates are backend-independent.
+
+The ISSUE-4 contract for the runtime refactor: for a fixed algorithm
+config, {serial, BSP, SPMD} × {dense, sparse, auto} all produce the same
+iterates — bit-identical where the reduction order matches (same rank
+count), allclose across different partitionings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.prox_newton import proximal_newton_distributed
+from repro.core.rc_sfista_dist import rc_sfista_distributed
+from repro.core.rc_sfista_spmd import rc_sfista_spmd
+from repro.core.sfista_dist import sfista_distributed
+from repro.runtime import RuntimeConfig
+
+SERIAL = RuntimeConfig(backend="serial")
+
+
+class TestBspVsSpmd:
+    @pytest.mark.parametrize("estimator", ["plain", "svrg"])
+    @pytest.mark.parametrize("comm", ["dense", "sparse", "auto"])
+    def test_rc_sfista_bit_identical(self, tiny_covtype_problem, estimator, comm):
+        """Same rank count → same reduction order → bit-identical iterates."""
+        kwargs = dict(k=2, b=0.2, seed=7, estimator=estimator)
+        bsp = rc_sfista_distributed(
+            tiny_covtype_problem, 4, epochs=1, iters_per_epoch=6,
+            monitor_every=6, runtime=RuntimeConfig(comm=comm), **kwargs,
+        )
+        spmd = rc_sfista_spmd(
+            tiny_covtype_problem, 4, n_iterations=6,
+            runtime=RuntimeConfig(comm=comm), **kwargs,
+        )
+        assert np.array_equal(bsp.w, spmd.w)
+
+
+class TestSerialVsBsp:
+    def test_rc_sfista_serial_backend(self, tiny_covtype_problem):
+        kwargs = dict(k=2, b=0.2, seed=7, epochs=1, iters_per_epoch=6)
+        bsp = rc_sfista_distributed(tiny_covtype_problem, 1, **kwargs)
+        ser = rc_sfista_distributed(tiny_covtype_problem, 1, runtime=SERIAL, **kwargs)
+        assert np.array_equal(bsp.w, ser.w)
+        assert bsp.cost is not None
+        assert ser.cost is None  # the serial backend charges nothing
+        assert ser.meta["machine"] == "serial"
+
+    def test_sfista_serial_backend(self, tiny_covtype_problem):
+        kwargs = dict(b=0.2, seed=3, epochs=1, iters_per_epoch=8)
+        bsp = sfista_distributed(tiny_covtype_problem, 1, **kwargs)
+        ser = sfista_distributed(tiny_covtype_problem, 1, runtime=SERIAL, **kwargs)
+        assert np.array_equal(bsp.w, ser.w)
+        assert ser.cost is None
+
+    def test_prox_newton_serial_backend(self, tiny_covtype_problem):
+        kwargs = dict(inner="rc_sfista", n_outer=2, inner_iters=10, k=2, b=0.2, seed=1)
+        bsp = proximal_newton_distributed(tiny_covtype_problem, 1, **kwargs)
+        ser = proximal_newton_distributed(
+            tiny_covtype_problem, 1, runtime=SERIAL, **kwargs
+        )
+        assert np.array_equal(bsp.w, ser.w)
+        assert ser.cost is None
+
+    def test_serial_vs_multirank_allclose(self, tiny_covtype_problem):
+        """Different partitioning only reorders the reduction sums."""
+        kwargs = dict(k=2, b=0.2, seed=7, epochs=1, iters_per_epoch=6)
+        ser = rc_sfista_distributed(tiny_covtype_problem, 1, runtime=SERIAL, **kwargs)
+        bsp4 = rc_sfista_distributed(tiny_covtype_problem, 4, **kwargs)
+        np.testing.assert_allclose(ser.w, bsp4.w, atol=1e-9)
+
+
+class TestCommModesBitIdentical:
+    @pytest.mark.parametrize(
+        "solver_kwargs",
+        [
+            dict(_solver="rc", k=2, b=0.2, seed=7, epochs=1, iters_per_epoch=6),
+            dict(_solver="sfista", b=0.2, seed=3, epochs=1, iters_per_epoch=8),
+        ],
+        ids=["rc_sfista_dist", "sfista_dist"],
+    )
+    def test_encoding_never_changes_iterates(self, tiny_covtype_problem, solver_kwargs):
+        kwargs = dict(solver_kwargs)
+        fn = {"rc": rc_sfista_distributed, "sfista": sfista_distributed}[kwargs.pop("_solver")]
+        runs = [
+            fn(tiny_covtype_problem, 4, runtime=RuntimeConfig(comm=comm), **kwargs)
+            for comm in ("dense", "sparse", "auto")
+        ]
+        for other in runs[1:]:
+            assert np.array_equal(runs[0].w, other.w)

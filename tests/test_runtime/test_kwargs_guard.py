@@ -1,0 +1,72 @@
+"""Kwargs-drift guard: solver signatures stay in lock-step with RuntimeConfig.
+
+The refactor's whole point is that the runtime surface lives in ONE
+place. This test fails when someone adds a resilience/observability kwarg
+to a solver without teaching RuntimeConfig about it, or lets a solver
+default drift away from the config default (which would make the
+``runtime=`` path and the legacy-kwarg path disagree).
+"""
+
+import dataclasses
+import inspect
+
+import pytest
+
+from repro.core.prox_newton import proximal_newton_distributed
+from repro.core.rc_sfista_dist import rc_sfista_distributed
+from repro.core.rc_sfista_spmd import rc_sfista_spmd
+from repro.core.sfista_dist import sfista_distributed
+from repro.runtime import RuntimeConfig
+from repro.runtime.config import _DEPRECATED_KWARGS
+
+RUNTIME_SOLVERS = [
+    rc_sfista_distributed,
+    sfista_distributed,
+    proximal_newton_distributed,
+    rc_sfista_spmd,
+]
+
+CONFIG_DEFAULTS = {f.name: f.default for f in dataclasses.fields(RuntimeConfig)}
+
+
+@pytest.mark.parametrize("solver", RUNTIME_SOLVERS, ids=lambda s: s.__name__)
+class TestSignatureLockstep:
+    def test_exposes_runtime_kwarg(self, solver):
+        params = inspect.signature(solver).parameters
+        assert "runtime" in params, f"{solver.__name__} lost its runtime= kwarg"
+        assert params["runtime"].default is None
+
+    def test_legacy_kwargs_are_known_to_config(self, solver):
+        """Every resilience/obs kwarg a solver exposes must be a config field."""
+        params = inspect.signature(solver).parameters
+        exposed = set(params) & (_DEPRECATED_KWARGS | {"comm", "machine"})
+        unknown = exposed - set(CONFIG_DEFAULTS)
+        assert not unknown, (
+            f"{solver.__name__} exposes runtime kwargs {sorted(unknown)} that "
+            "RuntimeConfig does not know — add them to the config or drop them"
+        )
+
+    def test_legacy_defaults_match_config(self, solver):
+        """A drifted default would make runtime= and legacy paths disagree."""
+        params = inspect.signature(solver).parameters
+        for name in set(params) & _DEPRECATED_KWARGS:
+            assert params[name].default == CONFIG_DEFAULTS[name], (
+                f"{solver.__name__}({name}={params[name].default!r}) drifted "
+                f"from RuntimeConfig.{name}={CONFIG_DEFAULTS[name]!r}"
+            )
+
+
+def test_deprecated_set_is_the_resilience_surface():
+    """The warned set tracks exactly the resilience/observability fields."""
+    assert _DEPRECATED_KWARGS == {
+        "faults",
+        "retry",
+        "recv_timeout",
+        "checkpoint_every",
+        "on_nan",
+        "max_recoveries",
+        "adaptive_restart",
+        "telemetry",
+        "metrics",
+    }
+    assert _DEPRECATED_KWARGS <= set(CONFIG_DEFAULTS)
