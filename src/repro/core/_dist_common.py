@@ -79,27 +79,52 @@ class RankData:
         return self.X_local.shape[1]
 
     def sampled_hessian_contribution(
-        self, global_idx: np.ndarray, mbar: int, d: int
+        self,
+        global_idx: np.ndarray,
+        mbar: int,
+        d: int,
+        *,
+        workspace=None,
+        out: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, float]:
         """Local contribution ``(1/m̄) X_p,S X_p,Sᵀ`` plus its flop cost.
 
         Returns ``(H_p, local_idx, flops)`` where summing ``H_p`` over
-        ranks gives the global sampled Hessian exactly.
+        ranks gives the global sampled Hessian exactly. ``workspace``/
+        ``out`` (see :func:`repro.sparse.ops.sampled_gram`) make the
+        computation allocation-free with bit-identical results.
         """
         local_idx = self._restrict(global_idx)
         if local_idx.size == 0:
-            return np.zeros((d, d)), local_idx, 0.0
-        H_p = sampled_gram(self.X_local, local_idx, scale=1.0 / mbar)
+            if out is None:
+                return np.zeros((d, d)), local_idx, 0.0
+            out.fill(0.0)
+            return out, local_idx, 0.0
+        H_p = sampled_gram(
+            self.X_local, local_idx, scale=1.0 / mbar, workspace=workspace, out=out
+        )
         flops = float(gram_flops(self.X_local, local_idx))
         return H_p, local_idx, flops
 
     def sampled_rhs_contribution(
-        self, local_idx: np.ndarray, mbar: int, d: int
+        self,
+        local_idx: np.ndarray,
+        mbar: int,
+        d: int,
+        *,
+        workspace=None,
+        out: np.ndarray | None = None,
     ) -> tuple[np.ndarray, float]:
         """Local contribution ``(1/m̄) X_p,S y_p,S`` plus its flop cost."""
         if local_idx.size == 0:
-            return np.zeros(d), 0.0
-        R_p = sampled_rhs(self.X_local, self.y_local, local_idx, scale=1.0 / mbar)
+            if out is None:
+                return np.zeros(d), 0.0
+            out.fill(0.0)
+            return out, 0.0
+        R_p = sampled_rhs(
+            self.X_local, self.y_local, local_idx, scale=1.0 / mbar,
+            workspace=workspace, out=out,
+        )
         return R_p, float(rhs_flops(self.X_local, local_idx))
 
     def full_gradient_contribution(self, w: np.ndarray, m: int) -> tuple[np.ndarray, float]:

@@ -49,7 +49,7 @@ from repro.exceptions import ValidationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TelemetryCallback
 from repro.runtime import Checkpoint, ResilientLoop, RuntimeConfig, build_host_backend, resolve_runtime
-from repro.sparse.ops import sampled_gram
+from repro.sparse.ops import GramWorkspace, sampled_gram
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_in_range, check_positive
 
@@ -100,6 +100,9 @@ def proximal_newton(
     if w.shape != (d,):
         raise ValidationError(f"w0 must have shape ({d},), got {w.shape}")
     mbar = minibatch_size(problem.m, b_hessian) if b_hessian < 1.0 else problem.m
+    # Scratch for the sampled-Hessian branch, reused across outer rounds
+    # (H itself is freshly allocated each time — the model keeps it).
+    gram_ws = GramWorkspace(d, mbar) if b_hessian < 1.0 else None
 
     history = History()
     prev_obj: float | None = None
@@ -116,7 +119,7 @@ def proximal_newton(
             H = problem.hessian
         else:
             idx = sample_indices(rng, problem.m, mbar)
-            H = sampled_gram(problem.X, idx)
+            H = sampled_gram(problem.X, idx, workspace=gram_ws)
         model = QuadraticModel.from_linearization(H, grad, w)
         if inner == "fista":
             L = model.lipschitz()
@@ -266,6 +269,15 @@ def proximal_newton_distributed(
     backend = build_host_backend(config, nranks)
     loop = ResilientLoop(backend, config, solver="proximal_newton_distributed")
     loop.step_size = gamma
+    # Reusable scratch for the sampled-block stages (bit-identical).
+    workspace = GramWorkspace(d, mbar) if config.gram_workspace else None
+    loop.workspace = workspace
+    max_block = k if inner == "rc_sfista" else 1
+    g_bufs = (
+        [np.empty(max_block * d * d) for _ in range(nranks)]
+        if workspace is not None
+        else None
+    )
     loop.start(
         {
             "nranks": nranks,
@@ -313,8 +325,20 @@ def proximal_newton_distributed(
 
     def sampled_blocks(count: int) -> np.ndarray:
         """Stages A–C for *count* fresh sampled Hessians: one allreduce."""
-        payload: list[list[np.ndarray]] = [[] for _ in range(nranks)]
         flops = np.zeros(nranks)
+        if g_bufs is not None:
+            packed = [buf[: count * d * d] for buf in g_bufs]
+            for j in range(count):
+                idx = sample_indices(rng, problem.m, mbar)
+                for p, rd in enumerate(data.ranks):
+                    H_out = packed[p][j * d * d : (j + 1) * d * d].reshape(d, d)
+                    _, _local, fl = rd.sampled_hessian_contribution(
+                        idx, mbar, d, workspace=workspace, out=H_out
+                    )
+                    flops[p] += fl
+            backend.compute(flops, label="hessian_blocks")
+            return loop.allreduce(packed, "allreduce_G")
+        payload: list[list[np.ndarray]] = [[] for _ in range(nranks)]
         for _ in range(count):
             idx = sample_indices(rng, problem.m, mbar)
             for p, rd in enumerate(data.ranks):

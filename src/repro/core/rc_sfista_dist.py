@@ -47,6 +47,7 @@ from repro.exceptions import ValidationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TelemetryCallback
 from repro.runtime import Checkpoint, ResilientLoop, RuntimeConfig, build_host_backend, resolve_runtime
+from repro.sparse.ops import GramWorkspace
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -160,6 +161,14 @@ def rc_sfista_distributed(
     backend = build_host_backend(config, nranks)
     loop = ResilientLoop(backend, config, solver="rc_sfista_distributed")
     loop.step_size = gamma
+    stride = d * d + d
+    # Reusable scratch: per-rank stage-C payload buffers plus the Gram
+    # workspace. Bit-identical to the allocating path (pinned by tests).
+    workspace = GramWorkspace(d, mbar) if config.gram_workspace else None
+    loop.workspace = workspace
+    packed_bufs = (
+        [np.empty(k * stride) for _ in range(nranks)] if workspace is not None else None
+    )
     loop.start(
         {
             "nranks": nranks,
@@ -256,27 +265,53 @@ def rc_sfista_distributed(
                 block = min(k, iters_per_epoch - rnd * k)
 
                 # ---- stages A+B: k local (H_p, R_p) blocks per rank ---- #
-                per_rank_payload: list[list[np.ndarray]] = [[] for _ in range(nranks)]
                 per_rank_flops = np.zeros(nranks)
-                for _j in range(block):
-                    idx = sample_indices(rng, problem.m, mbar)
-                    for p, rank_data in enumerate(data.ranks):
-                        H_p, local_idx, fl = rank_data.sampled_hessian_contribution(idx, mbar, d)
-                        if estimator is GradientEstimator.PLAIN:
-                            R_p, fl_r = rank_data.sampled_rhs_contribution(local_idx, mbar, d)
-                        else:
-                            R_p, fl_r = np.zeros(d), 0.0
-                        per_rank_payload[p].append(H_p.ravel())
-                        per_rank_payload[p].append(R_p)
-                        per_rank_flops[p] += fl + fl_r
+                if packed_bufs is not None:
+                    # Workspace path: build each block directly inside the
+                    # reused stage-C payload buffer — no per-iteration
+                    # allocation, bit-identical payload values.
+                    packed = [buf[: block * stride] for buf in packed_bufs]
+                    for j in range(block):
+                        idx = sample_indices(rng, problem.m, mbar)
+                        base = j * stride
+                        for p, rank_data in enumerate(data.ranks):
+                            H_out = packed[p][base : base + d * d].reshape(d, d)
+                            R_out = packed[p][base + d * d : base + stride]
+                            _, local_idx, fl = rank_data.sampled_hessian_contribution(
+                                idx, mbar, d, workspace=workspace, out=H_out
+                            )
+                            if estimator is GradientEstimator.PLAIN:
+                                _, fl_r = rank_data.sampled_rhs_contribution(
+                                    local_idx, mbar, d, workspace=workspace, out=R_out
+                                )
+                            else:
+                                R_out.fill(0.0)
+                                fl_r = 0.0
+                            per_rank_flops[p] += fl + fl_r
+                else:
+                    per_rank_payload: list[list[np.ndarray]] = [[] for _ in range(nranks)]
+                    for _j in range(block):
+                        idx = sample_indices(rng, problem.m, mbar)
+                        for p, rank_data in enumerate(data.ranks):
+                            H_p, local_idx, fl = rank_data.sampled_hessian_contribution(
+                                idx, mbar, d
+                            )
+                            if estimator is GradientEstimator.PLAIN:
+                                R_p, fl_r = rank_data.sampled_rhs_contribution(
+                                    local_idx, mbar, d
+                                )
+                            else:
+                                R_p, fl_r = np.zeros(d), 0.0
+                            per_rank_payload[p].append(H_p.ravel())
+                            per_rank_payload[p].append(R_p)
+                            per_rank_flops[p] += fl + fl_r
+                    packed = [np.concatenate(chunks) for chunks in per_rank_payload]
                 backend.compute(per_rank_flops, label="hessian_blocks")
 
                 # ---- stage C: ONE allreduce of k(d² + d) words --------- #
-                packed = [np.concatenate(chunks) for chunks in per_rank_payload]
                 combined = loop.allreduce(packed, label="allreduce_G")
 
                 # ---- stage D: k × S replicated local updates ----------- #
-                stride = d * d + d
                 stop_now = False
                 for j in range(block):
                     base = j * stride

@@ -47,6 +47,7 @@ from repro.runtime import (
     SPMDBackend,
     resolve_runtime,
 )
+from repro.sparse.ops import GramWorkspace
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -195,11 +196,25 @@ def rc_sfista_spmd(
             raise RollbackRequested(what)
         return True
 
+    stride = d * d + d
+    # Replicated-work cache: the stage-D update and the monitored objective
+    # are identical on every rank (same seed, same reduced inputs), so with
+    # dedup enabled rank 0 computes them once per collective epoch and the
+    # other ranks receive frozen views. Disabled (REPRO_NO_DEDUP=1 or
+    # dedup=False) every rank recomputes, bit-identically.
+    replicated = backend.replicated
+
     def program(ctx):
         rank_data = data.ranks[ctx.rank]
         # Every rank derives the same sampling stream from the shared seed
         # (paper §5.5) — no communication needed to agree on I_n.
         rng = as_generator(int(seed))
+        # Per-rank scratch: each rank's packed payload must stay intact
+        # until the collective completes, so buffers are program-local.
+        workspace = GramWorkspace(d, mbar) if config.gram_workspace else None
+        packed_buf = np.empty(k * stride) if workspace is not None else None
+        if workspace is not None and ctx.rank == 0:
+            loop.workspace = workspace
 
         w = np.zeros(d)
         w_prev = w.copy()
@@ -236,18 +251,39 @@ def rc_sfista_spmd(
         while done < n_iterations:
             block = min(k, n_iterations - done)
             # Stages A+B: local contributions for the whole block.
-            chunks = []
-            for _j in range(block):
-                idx = sample_indices(rng, problem.m, mbar)
-                H_p, local_idx, _fl = rank_data.sampled_hessian_contribution(idx, mbar, d)
-                if estimator is GradientEstimator.PLAIN:
-                    R_p, _flr = rank_data.sampled_rhs_contribution(local_idx, mbar, d)
-                else:
-                    R_p = np.zeros(d)
-                chunks.append(H_p.ravel())
-                chunks.append(R_p)
+            if workspace is not None:
+                packed = packed_buf[: block * stride]
+                for _j in range(block):
+                    base = _j * stride
+                    idx = sample_indices(rng, problem.m, mbar)
+                    H_out = packed[base : base + d * d].reshape(d, d)
+                    _, local_idx, _fl = rank_data.sampled_hessian_contribution(
+                        idx, mbar, d, workspace=workspace, out=H_out
+                    )
+                    R_out = packed[base + d * d : base + stride]
+                    if estimator is GradientEstimator.PLAIN:
+                        rank_data.sampled_rhs_contribution(
+                            local_idx, mbar, d, workspace=workspace, out=R_out
+                        )
+                    else:
+                        R_out.fill(0.0)
+            else:
+                chunks = []
+                for _j in range(block):
+                    idx = sample_indices(rng, problem.m, mbar)
+                    H_p, local_idx, _fl = rank_data.sampled_hessian_contribution(
+                        idx, mbar, d
+                    )
+                    if estimator is GradientEstimator.PLAIN:
+                        R_p, _flr = rank_data.sampled_rhs_contribution(
+                            local_idx, mbar, d
+                        )
+                    else:
+                        R_p = np.zeros(d)
+                    chunks.append(H_p.ravel())
+                    chunks.append(R_p)
+                packed = np.concatenate(chunks)
             # Stage C: one allreduce of k(d² + d) words.
-            packed = np.concatenate(chunks)
             for _attempt in range(config.max_recoveries + 1):
                 combined = yield ctx.allreduce(packed, comm=config.comm)
                 if not screen_replicated(ctx, combined, "stage-C allreduce"):
@@ -259,25 +295,35 @@ def rc_sfista_spmd(
                     f"stage-C allreduce stayed non-finite after "
                     f"{config.max_recoveries + 1} attempt(s) (on_nan='recompute')"
                 )
-            # Stage D: replicated updates.
-            stride = d * d + d
+            # Stage D: replicated updates. The engine resumes ranks in
+            # order after a collective, so rank 0 runs the whole stage
+            # first and fills the cache; ranks 1..P-1 hit.
+            epoch = backend.engine.coll_epoch
             for j in range(block):
                 base = j * stride
-                H = combined[base : base + d * d].reshape(d, d)
-                if estimator is GradientEstimator.PLAIN:
-                    R = combined[base + d * d : base + stride]
-                else:
-                    R = H @ anchor - full_grad
+                it_no = done + j + 1
                 t_cur = t_next(t_prev)
                 mu = momentum_mu(t_prev, t_cur)
-                v = w + mu * (w - w_prev)
-                w_new = hessian_reuse_update(H, R, v, gamma=gamma, thresh=thresh)
+
+                def compute_update(base=base, mu=mu, w=w, w_prev=w_prev):
+                    H = combined[base : base + d * d].reshape(d, d)
+                    if estimator is GradientEstimator.PLAIN:
+                        R = combined[base + d * d : base + stride]
+                    else:
+                        R = H @ anchor - full_grad
+                    v = w + mu * (w - w_prev)
+                    return hessian_reuse_update(H, R, v, gamma=gamma, thresh=thresh)
+
+                w_new = replicated.get(epoch, ("update", it_no), compute_update)
                 w_prev, w = w, w_new
                 t_prev = t_cur
 
                 iter_obj = None
                 if monitored:
-                    obj = problem.value(w)  # out of band, replicated
+                    # Out of band, replicated: computed once per epoch.
+                    obj = replicated.get(
+                        epoch, ("objective", it_no), lambda w=w: problem.value(w)
+                    )
                     if screen_replicated(ctx, obj, "monitored objective"):
                         # A diverged iterate cannot be fixed by
                         # re-communicating — recompute degrades to rollback.
@@ -331,7 +377,9 @@ def rc_sfista_spmd(
         }
     )
     return SolveResult(
-        w=per_rank_w[0],
+        # Private writable copy: with dedup the per-rank results are one
+        # shared frozen view.
+        w=np.array(per_rank_w[0]),
         converged=False,
         n_iterations=n_iterations,
         n_comm_rounds=-(-n_iterations // k)

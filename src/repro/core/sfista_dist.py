@@ -40,6 +40,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TelemetryCallback
 from repro.runtime import Checkpoint, ResilientLoop, RuntimeConfig, build_host_backend, resolve_runtime
 from repro.runtime.backend import ExecutionBackend
+from repro.sparse.ops import GramWorkspace, _select_columns_dense
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -157,6 +158,12 @@ def sfista_distributed(
     backend = build_host_backend(config, nranks)
     loop = ResilientLoop(backend, config, solver="sfista_distributed")
     loop.step_size = gamma
+    stride = d * d + d
+    # Reusable scratch (bit-identical to the allocating path): the Gram
+    # workspace plus one [H_p | R_p] payload buffer per rank.
+    workspace = GramWorkspace(d, mbar) if config.gram_workspace else None
+    loop.workspace = workspace
+    hr_bufs = [np.empty(stride) for _ in range(nranks)] if workspace is not None else None
     loop.start(
         {
             "nranks": nranks,
@@ -256,13 +263,33 @@ def sfista_distributed(
                     # Stages A+B: local sampled Gram blocks.
                     packed = []
                     flops = []
-                    for rank_data in data.ranks:
-                        H_p, local_idx, fl = rank_data.sampled_hessian_contribution(idx, mbar, d)
-                        if estimator is GradientEstimator.PLAIN:
-                            R_p, fl_r = rank_data.sampled_rhs_contribution(local_idx, mbar, d)
+                    for p, rank_data in enumerate(data.ranks):
+                        if hr_bufs is not None:
+                            buf = hr_bufs[p]
+                            H_out = buf[: d * d].reshape(d, d)
+                            R_out = buf[d * d :]
+                            _, local_idx, fl = rank_data.sampled_hessian_contribution(
+                                idx, mbar, d, workspace=workspace, out=H_out
+                            )
+                            if estimator is GradientEstimator.PLAIN:
+                                _, fl_r = rank_data.sampled_rhs_contribution(
+                                    local_idx, mbar, d, workspace=workspace, out=R_out
+                                )
+                            else:
+                                R_out.fill(0.0)
+                                fl_r = 0.0
+                            packed.append(buf)
                         else:
-                            R_p, fl_r = np.zeros(d), 0.0
-                        packed.append(np.concatenate([H_p.ravel(), R_p]))
+                            H_p, local_idx, fl = rank_data.sampled_hessian_contribution(
+                                idx, mbar, d
+                            )
+                            if estimator is GradientEstimator.PLAIN:
+                                R_p, fl_r = rank_data.sampled_rhs_contribution(
+                                    local_idx, mbar, d
+                                )
+                            else:
+                                R_p, fl_r = np.zeros(d), 0.0
+                            packed.append(np.concatenate([H_p.ravel(), R_p]))
                         flops.append(fl + fl_r)
                     backend.compute(flops, label="hessian_blocks")
                     # Stage C: one allreduce of d² + d words.
@@ -285,7 +312,9 @@ def sfista_distributed(
                             contribs.append(np.zeros(d))
                             flops.append(0.0)
                             continue
-                        if isinstance(rank_data.X_local, np.ndarray):
+                        if workspace is not None:
+                            A = _select_columns_dense(rank_data.X_local, local_idx, workspace)
+                        elif isinstance(rank_data.X_local, np.ndarray):
                             A = rank_data.X_local[:, local_idx]
                         else:
                             A = rank_data.X_local.select_columns(local_idx).to_dense()

@@ -28,6 +28,7 @@ from repro.distsim.cost import ClusterCost, CostCounter, PhaseKind
 from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injector
 from repro.distsim.machine import MachineSpec, get_machine
 from repro.distsim.trace import Trace, TraceEvent
+from repro.distsim.zerocopy import dedup_enabled, freeze
 from repro.utils.rng import RandomState, as_generator
 
 __all__ = ["BSPCluster"]
@@ -95,6 +96,7 @@ class BSPCluster:
         retry: RetryPolicy | None = None,
         collective_deadline: float | None = None,
         metrics=None,
+        dedup: bool | None = None,
     ) -> None:
         if nranks < 1:
             raise ValidationError(f"nranks must be >= 1, got {nranks}")
@@ -124,6 +126,10 @@ class BSPCluster:
         # (survives reset()) so one-shot scheduled faults never refire when
         # a resilient solver rolls back and replays.
         self._coll_index = 0
+        # Zero-copy fan-out: with dedup on, replicated collective outputs
+        # (allgather/bcast/gather/scatter) are read-only views instead of
+        # per-rank deep copies. Charged costs are unchanged either way.
+        self.dedup = dedup_enabled(dedup)
         self._pending_fault = None
         # Encoding the most recent allreduce-family collective actually used
         # ("dense"/"sparse"); solver telemetry reads it per stage-C round.
@@ -469,6 +475,16 @@ class BSPCluster:
             )
         return [np.asarray(v, dtype=np.float64) for v in values]
 
+    def _fanout(self, arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Return the per-rank result list for a replicating collective.
+
+        With dedup on this is a list of read-only views (no host copies);
+        otherwise the historical per-rank deep copies.
+        """
+        if self.dedup:
+            return [freeze(a) for a in arrays]
+        return [a.copy() for a in arrays]
+
     def allreduce(
         self,
         values: Sequence[np.ndarray],
@@ -633,7 +649,7 @@ class BSPCluster:
         words_local = max(_words_of(a) for a in arrays)
         cost = coll.allgather_cost(self.machine, self.nranks, words_local)
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
-        return [a.copy() for a in arrays]
+        return self._fanout(arrays)
 
     def bcast(self, value: np.ndarray, root: int = 0, label: str = "bcast") -> np.ndarray:
         """Broadcast *value* from *root* to all ranks."""
@@ -642,7 +658,7 @@ class BSPCluster:
         start = self._sync_start(label)
         cost = coll.bcast_cost(self.machine, self.nranks, _words_of(arr))
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
-        return arr.copy()
+        return freeze(arr) if self.dedup else arr.copy()
 
     def reduce(
         self,
@@ -669,7 +685,7 @@ class BSPCluster:
         words_local = max(_words_of(a) for a in arrays)
         cost = coll.gather_cost(self.machine, self.nranks, words_local)
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
-        return [a.copy() for a in arrays]
+        return self._fanout(arrays)
 
     def scatter(self, chunks: Sequence[np.ndarray], root: int = 0, label: str = "scatter") -> list[np.ndarray]:
         """Scatter *chunks* (one per rank) from *root*; returns the rank views."""
@@ -679,7 +695,7 @@ class BSPCluster:
         words_local = max(_words_of(a) for a in arrays)
         cost = coll.scatter_cost(self.machine, self.nranks, words_local)
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
-        return [a.copy() for a in arrays]
+        return self._fanout(arrays)
 
     def barrier(self, label: str = "barrier") -> None:
         """Synchronize all ranks."""

@@ -106,6 +106,13 @@ def allreduce_values(
     The pairwise (tournament) order mirrors what tree-structured MPI
     reductions compute, and keeps the result independent of rank count
     quirks like Python's ``sum`` left-fold.
+
+    Ufunc combiners (the built-in ``sum``/``max``/``min``/``prod`` ops)
+    take a buffer-reusing path: each tournament level reduces in place
+    into accumulation buffers allocated at the first level, so a P-rank
+    reduction allocates ⌊P/2⌋ arrays instead of copying all P per level.
+    Caller inputs are never mutated and the result never aliases one —
+    both guarded by tests — so callers may reuse their input buffers.
     """
     if len(values) == 0:
         raise CommunicatorError("allreduce over zero ranks")
@@ -117,14 +124,44 @@ def allreduce_values(
                 f"allreduce buffer shape mismatch: rank 0 has {shape}, rank {i} has {a.shape}"
             )
     combine = resolve_reduce_op(op)
-    level = [a.copy() for a in arrays]
+    if len(arrays) == 1:
+        return arrays[0].copy()
+    if not isinstance(combine, np.ufunc):
+        # Custom combiners may mutate or return their operands: keep the
+        # historical copy-first tournament for them.
+        level = [a.copy() for a in arrays]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(combine(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+    # Ownership-tracked tournament: caller arrays (possibly aliased by
+    # np.asarray) are never written; pairings that include an owned
+    # accumulation buffer reduce into it with out=.
+    level = list(arrays)
+    owned = [False] * len(level)
     while len(level) > 1:
-        nxt = []
+        nxt: list[np.ndarray] = []
+        nxt_owned: list[bool] = []
         for i in range(0, len(level) - 1, 2):
-            nxt.append(combine(level[i], level[i + 1]))
+            a, b = level[i], level[i + 1]
+            if owned[i]:
+                combine(a, b, out=a)
+                nxt.append(a)
+            elif owned[i + 1]:
+                combine(a, b, out=b)
+                nxt.append(b)
+            else:
+                nxt.append(combine(a, b))
+            nxt_owned.append(True)
         if len(level) % 2:
             nxt.append(level[-1])
-        level = nxt
+            nxt_owned.append(owned[-1])
+        level, owned = nxt, nxt_owned
+    # len(values) >= 2 ⇒ the champion came out of a combine, hence owned.
     return level[0]
 
 

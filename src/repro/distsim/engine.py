@@ -50,6 +50,7 @@ from repro.distsim.cost import ClusterCost, CostCounter, PhaseKind
 from repro.distsim.faults import FaultInjector, RetryPolicy
 from repro.distsim.machine import MachineSpec, get_machine
 from repro.distsim.trace import Trace, TraceEvent
+from repro.distsim.zerocopy import dedup_enabled, freeze
 
 __all__ = ["RankContext", "RecvRequest", "SPMDEngine", "run_spmd", "ANY_SOURCE", "ANY_TAG"]
 
@@ -235,6 +236,7 @@ class SPMDEngine:
         recv_timeout: float | None = None,
         retry: RetryPolicy | None = None,
         metrics=None,
+        dedup: bool | None = None,
     ) -> None:
         if nranks < 1:
             raise ValidationError(f"nranks must be >= 1, got {nranks}")
@@ -259,6 +261,13 @@ class SPMDEngine:
         # scheduled one-shot events never refire on a resumed/replayed run.
         self._fault_ops = [0] * nranks
         self._coll_index = 0
+        # Zero-copy fan-out: replicated collective results are handed to
+        # ranks as read-only views instead of P deep copies. coll_epoch
+        # increments once per completed collective (unconditionally,
+        # unlike _coll_index which only advances when an injector is
+        # attached) and keys the ReplicatedCache in the runtime layer.
+        self.dedup = dedup_enabled(dedup)
+        self.coll_epoch = 0
         # Encoding the most recent allreduce actually used ("dense"/"sparse");
         # solver telemetry reads it per collective round.
         self.last_comm_decision: str | None = None
@@ -298,6 +307,17 @@ class SPMDEngine:
             self._m_clock = metrics.gauge(
                 "distsim_sim_time_seconds", help="current simulated wall-clock"
             )
+
+    def _fanout(self, reduced: np.ndarray) -> list[np.ndarray]:
+        """Replicate a collective result to every rank.
+
+        With dedup on, each rank receives a read-only view of the single
+        reduced buffer (zero host copies); otherwise the historical
+        per-rank deep copy. Charged costs are identical either way.
+        """
+        if self.dedup:
+            return [freeze(reduced) for _ in range(self.nranks)]
+        return [reduced.copy() for _ in range(self.nranks)]
 
     def _note_decision(self, decision: str) -> None:
         self.last_comm_decision = decision
@@ -703,7 +723,7 @@ class SPMDEngine:
                 cost = coll.allreduce_cost(
                     self.machine, self.nranks, _words_of(values[0]), self.allreduce_algorithm
                 )
-                results = [reduced.copy() for _ in range(self.nranks)]
+                results = self._fanout(reduced)
                 self._note_decision("dense")
             else:
                 vectors = [sc.as_sparse_vector(v) for v in values]
@@ -733,7 +753,7 @@ class SPMDEngine:
                     detail = f"auto->dense nnz={nnz}/{n}"
                 self._note_decision(resolved)
                 reduced = reduced_sv.to_dense()
-                results = [reduced.copy() for _ in range(self.nranks)]
+                results = self._fanout(reduced)
         elif kind == "reduce":
             reduced = coll.allreduce_values([np.asarray(v, dtype=np.float64) for v in values], ops[0].op)
             cost = coll.reduce_cost(self.machine, self.nranks, _words_of(values[0]))
@@ -848,6 +868,7 @@ class SPMDEngine:
             if saved_words:
                 self._m_saved_words.inc(saved_words * self.nranks)
             self._m_clock.set(self.elapsed)
+        self.coll_epoch += 1
         for rank, state in enumerate(states):
             state.blocked_on = None
             state.to_inject, state.has_injection = results[rank], True

@@ -17,6 +17,14 @@ path from a fresh report and flags relative deviations beyond the
 tolerance; :func:`update_baseline` rewrites the baseline values from the
 report, keeping keys and tolerance. The CI gate fails on any violation and
 prints the offending metrics.
+
+A baseline value may also be a one-sided *spec* — ``{"min": v}``,
+``{"max": v}`` or both — for metrics where only one direction is a
+regression (wall-clock speedup ratios must not drop; an improvement is
+welcome and does not go stale). The tolerance widens the bound:
+``measured >= min * (1 - tol)`` / ``measured <= max * (1 + tol)``.
+``update_baseline`` keeps spec entries verbatim: they pin a floor or
+ceiling, not a measurement.
 """
 
 from __future__ import annotations
@@ -42,12 +50,13 @@ DEFAULT_TOLERANCE = 0.05
 
 @dataclass(frozen=True)
 class Violation:
-    """One metric outside its allowed band."""
+    """One metric outside its allowed band (or one-sided bound)."""
 
     metric: str
     baseline: float
     measured: float
     tolerance: float
+    kind: str = "band"  # "band" | "min" | "max"
 
     @property
     def rel_change(self) -> float:
@@ -56,10 +65,33 @@ class Violation:
         return (self.measured - self.baseline) / abs(self.baseline)
 
     def describe(self) -> str:
+        if self.kind == "min":
+            return (
+                f"{self.metric}: measured {self.measured:.6g} below floor "
+                f"{self.baseline:.6g} (tolerance -{self.tolerance:.0%})"
+            )
+        if self.kind == "max":
+            return (
+                f"{self.metric}: measured {self.measured:.6g} above ceiling "
+                f"{self.baseline:.6g} (tolerance +{self.tolerance:.0%})"
+            )
         return (
             f"{self.metric}: baseline {self.baseline:.6g} -> measured "
             f"{self.measured:.6g} ({self.rel_change:+.2%}, tolerance ±{self.tolerance:.0%})"
         )
+
+
+def _check_spec(metric: str, spec: dict[str, Any]) -> None:
+    bad = set(spec) - {"min", "max"}
+    if bad or not spec:
+        raise FormatError(
+            f"baseline metric {metric!r}: spec keys must be 'min'/'max', got {sorted(spec)}"
+        )
+    for key, value in spec.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise FormatError(
+                f"baseline metric {metric!r}: spec {key!r} is not numeric: {value!r}"
+            )
 
 
 def extract(payload: Any, path: str) -> float:
@@ -114,8 +146,31 @@ def compare(
         raise ValidationError(f"tolerance must be in (0, 1), got {tol}")
     violations = []
     for metric, expected in sorted(baseline["metrics"].items()):
-        expected = float(expected)
         measured = extract(report, metric)
+        if isinstance(expected, dict):
+            _check_spec(metric, expected)
+            if "min" in expected and measured < float(expected["min"]) * (1 - tol):
+                violations.append(
+                    Violation(
+                        metric=metric,
+                        baseline=float(expected["min"]),
+                        measured=measured,
+                        tolerance=tol,
+                        kind="min",
+                    )
+                )
+            if "max" in expected and measured > float(expected["max"]) * (1 + tol):
+                violations.append(
+                    Violation(
+                        metric=metric,
+                        baseline=float(expected["max"]),
+                        measured=measured,
+                        tolerance=tol,
+                        kind="max",
+                    )
+                )
+            continue
+        expected = float(expected)
         if expected == 0:
             ok = measured == 0
         else:
@@ -150,10 +205,21 @@ def update_baseline(
         raise ValidationError(
             "new baseline needs at least one --metric dotted path to pin"
         )
+    old_metrics = (existing or {}).get("metrics", {})
+
+    def _pin(key: str) -> Any:
+        # One-sided specs are contracts, not measurements — keep verbatim.
+        spec = old_metrics.get(key)
+        if isinstance(spec, dict):
+            _check_spec(key, spec)
+            extract(report, key)  # the path must still resolve
+            return spec
+        return extract(report, key)
+
     payload = {
         "benchmark": benchmark or (existing or {}).get("benchmark", baseline_path.stem),
         "tolerance": (existing or {}).get("tolerance", tolerance) if existing else tolerance,
-        "metrics": {k: extract(report, k) for k in keys},
+        "metrics": {k: _pin(k) for k in keys},
     }
     baseline_path.parent.mkdir(parents=True, exist_ok=True)
     baseline_path.write_text(

@@ -27,6 +27,7 @@ from repro.runtime.backend import (
     build_host_backend,
 )
 from repro.runtime.config import BACKENDS, RuntimeConfig, resolve_runtime
+from repro.runtime.dedup import ReplicatedCache
 from repro.runtime.driver import ResilientLoop
 from repro.runtime.resilience import (
     ON_NAN_POLICIES,
@@ -44,6 +45,7 @@ __all__ = [
     "NumericalGuard",
     "ON_NAN_POLICIES",
     "RecoveryStats",
+    "ReplicatedCache",
     "ResilientLoop",
     "RollbackRequested",
     "RuntimeConfig",

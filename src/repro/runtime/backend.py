@@ -32,8 +32,10 @@ from repro.distsim.bsp import BSPCluster
 from repro.distsim.engine import SPMDEngine
 from repro.distsim.faults import FaultInjector, as_injector
 from repro.distsim.trace import Trace
+from repro.distsim.zerocopy import writable
 from repro.exceptions import ValidationError
 from repro.runtime.config import RuntimeConfig
+from repro.runtime.dedup import ReplicatedCache
 
 __all__ = [
     "ExecutionBackend",
@@ -56,6 +58,11 @@ class ExecutionBackend(Protocol):
     """
 
     nranks: int
+    # Epoch-keyed cache for post-collective work that is bit-identical
+    # across ranks (see repro.runtime.dedup). Host-view backends disable
+    # it (they compute shared work once by construction); the SPMD
+    # backend enables it per the engine's dedup setting.
+    replicated: ReplicatedCache
 
     # -- collectives --------------------------------------------------- #
     def allreduce(self, contribs: Sequence[np.ndarray], label: str = "allreduce") -> np.ndarray: ...
@@ -113,6 +120,7 @@ class SerialBackend:
         self.comm = comm
         self._allreduce_algorithm = allreduce_algorithm
         self._last_decision: str | None = None
+        self.replicated = ReplicatedCache(enabled=False)
 
     def _single(self, contribs: Sequence[np.ndarray], what: str) -> np.ndarray:
         if len(contribs) != 1:
@@ -191,6 +199,9 @@ class BSPBackend:
         self.cluster = cluster
         self.comm = comm
         self.nranks = cluster.nranks
+        # Host-view bodies compute shared post-collective work once by
+        # construction, so there is nothing to deduplicate.
+        self.replicated = ReplicatedCache(enabled=False)
 
     @classmethod
     def from_config(cls, config: RuntimeConfig, nranks: int) -> "BSPBackend":
@@ -215,6 +226,7 @@ class BSPBackend:
             retry=config.retry,
             collective_deadline=config.recv_timeout,
             metrics=config.metrics,
+            dedup=config.dedup,
         )
         return cls(cluster, comm=config.comm)
 
@@ -293,6 +305,7 @@ class SPMDBackend:
         self.engine = engine
         self.comm = comm
         self.nranks = engine.nranks
+        self.replicated = ReplicatedCache(enabled=engine.dedup)
 
     @classmethod
     def from_config(cls, config: RuntimeConfig, nranks: int) -> "SPMDBackend":
@@ -311,6 +324,7 @@ class SPMDBackend:
             # The engine's trace is off by default; telemetry wants a timeline.
             trace=Trace() if config.telemetry is not None else None,
             metrics=config.metrics,
+            dedup=config.dedup,
         )
         return cls(engine, comm=config.comm)
 
@@ -325,7 +339,9 @@ class SPMDBackend:
             out = yield ctx.allreduce(contribs[ctx.rank], comm=comm)
             return out
 
-        return self.engine.run(prog)[0]
+        # With dedup on the engine fans out frozen views; the protocol
+        # contract is a mutable host-side result, so take one copy here.
+        return writable(self.engine.run(prog)[0])
 
     def reduce(self, contribs: Sequence[np.ndarray], root: int = 0, label: str = "reduce") -> np.ndarray:
         def prog(ctx):

@@ -112,6 +112,21 @@ class RuntimeConfig:
     metrics:
         A :class:`~repro.obs.metrics.MetricsRegistry` the substrate
         publishes into (mutually exclusive with a prebuilt ``cluster``).
+
+    Host performance (simulation-invisible)
+    ---------------------------------------
+    dedup:
+        Zero-copy collective fan-out and replicated-work deduplication
+        (see docs/PERFORMANCE.md). ``None`` (default) defers to the
+        ``REPRO_NO_DEDUP`` environment escape hatch; ``True``/``False``
+        force it. Iterates, golden traces and charged α-β-γ costs are
+        bit-identical either way — only host wall-clock changes.
+        Mutually exclusive with a prebuilt ``cluster`` (configure
+        ``dedup=`` on the cluster instead).
+    gram_workspace:
+        Reuse preallocated :class:`~repro.sparse.ops.GramWorkspace`
+        buffers in solver inner loops instead of allocating per
+        iteration. Bit-identical results; on by default.
     """
 
     backend: str = "bsp"
@@ -129,6 +144,8 @@ class RuntimeConfig:
     adaptive_restart: bool = False
     telemetry: TelemetryCallback | None = None
     metrics: MetricsRegistry | None = None
+    dedup: bool | None = None
+    gram_workspace: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -165,6 +182,10 @@ class RuntimeConfig:
                 raise ValidationError(
                     "attach the metrics registry to the supplied cluster, "
                     "not through the solver"
+                )
+            if self.dedup is not None:
+                raise ValidationError(
+                    "configure dedup= on the supplied cluster, not through the solver"
                 )
 
     def replace(self, **changes) -> "RuntimeConfig":

@@ -1,0 +1,80 @@
+"""Replicated-work deduplication for simulated SPMD execution.
+
+After an allreduce, every simulated rank holds bit-identical inputs and
+performs the *same* dense update (Gram solve, prox step, momentum,
+objective evaluation). On a real machine that work is parallel; in the
+simulator it serializes on the host, so P ranks pay P× wall-clock for
+one rank's math. :class:`ReplicatedCache` computes the shared value once
+per collective epoch and fans out read-only views to the remaining
+ranks — host wall-clock becomes O(1) in P while simulated flop charges
+(applied per rank by the engine, not here) are untouched.
+
+Correctness rests on determinism: the cached value is only reused within
+one collective epoch (all ranks provably hold the same inputs between
+two collectives) and the escape hatch ``REPRO_NO_DEDUP=1`` (or
+``RuntimeConfig(dedup=False)``) disables reuse entirely for A/B
+bisection. Bit-identity of dedup on/off is pinned by the cross-backend
+test matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.distsim.zerocopy import dedup_enabled, freeze
+
+__all__ = ["ReplicatedCache"]
+
+
+def _freeze_value(value: Any) -> Any:
+    """Freeze ndarrays (including inside tuples) so shared values are safe."""
+    if isinstance(value, np.ndarray):
+        return freeze(value)
+    if isinstance(value, tuple):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+class ReplicatedCache:
+    """Epoch-keyed memo for work that is bit-identical across ranks.
+
+    ``get(epoch, tag, compute)`` returns the cached value for ``tag`` if
+    one was stored in the same ``epoch`` (typically the engine's
+    ``coll_epoch``), else calls ``compute()`` once and stores the result.
+    ndarray results are frozen read-only: every rank shares one buffer,
+    and a rank that needs a private mutable copy must take one explicitly
+    (:func:`repro.distsim.zerocopy.writable`).
+
+    ``hits``/``misses`` feed the ``runtime_dedup_hits``/``_misses``
+    counters surfaced in run metadata and ``repro.obs`` metrics.
+    """
+
+    def __init__(self, enabled: bool | None = None) -> None:
+        self.enabled = dedup_enabled(enabled)
+        self._epoch: Hashable = None
+        self._values: dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, epoch: Hashable, tag: Hashable, compute: Callable[[], Any]) -> Any:
+        if not self.enabled:
+            return compute()
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._values.clear()
+        if tag in self._values:
+            self.hits += 1
+            return self._values[tag]
+        value = _freeze_value(compute())
+        self._values[tag] = value
+        self.misses += 1
+        return value
+
+    def reset(self) -> None:
+        """Drop all cached values and zero the counters."""
+        self._epoch = None
+        self._values.clear()
+        self.hits = 0
+        self.misses = 0

@@ -64,6 +64,9 @@ class ResilientLoop:
         # Set by the solver once its γ is known; stamped into records.
         self.step_size: float = 0.0
         self._ck: Checkpoint | None = None
+        # Optional GramWorkspace the solver installs; finish() reports its
+        # reuse counter alongside the backend's dedup hit/miss counts.
+        self.workspace = None
 
     # ------------------------------------------------------------------ #
     # screened collectives
@@ -139,9 +142,16 @@ class ResilientLoop:
         )
 
     def finish(self, meta: dict[str, Any]) -> dict[str, Any]:
-        """Close out telemetry; returns *meta* enriched with resilience stats."""
+        """Close out telemetry; returns *meta* enriched with resilience stats.
+
+        Also publishes the host-performance counters (``runtime_dedup_*``,
+        ``gram_workspace_reuses``) under ``meta["perf"]`` and into the
+        configured metrics registry — how much replicated work the run
+        elided. Observational only: values never feed back into costs.
+        """
         meta = dict(meta)
         meta.setdefault("resilience", self.stats.as_meta())
+        meta.setdefault("perf", self._perf_meta())
         if self.telemetry is not None:
             self.telemetry.on_run_end(
                 cost=self.backend.cost_summary(),
@@ -149,6 +159,24 @@ class ResilientLoop:
                 meta={"solver": self.solver, **meta},
             )
         return meta
+
+    def _perf_meta(self) -> dict[str, int]:
+        cache = getattr(self.backend, "replicated", None)
+        perf = {
+            "runtime_dedup_hits": int(cache.hits) if cache is not None else 0,
+            "runtime_dedup_misses": int(cache.misses) if cache is not None else 0,
+            "gram_workspace_reuses": (
+                int(self.workspace.reuses) if self.workspace is not None else 0
+            ),
+        }
+        registry = self.config.metrics
+        if registry is not None:
+            for name, value in perf.items():
+                if value:
+                    registry.counter(
+                        name, help="host-side replicated work elided (see docs/PERFORMANCE.md)"
+                    ).inc(value)
+        return perf
 
     # ------------------------------------------------------------------ #
     # checkpointing + the recovery loop

@@ -14,6 +14,7 @@ independent oracle in the test-suite.
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix, CSCMatrix
 from repro.sparse.ops import (
+    GramWorkspace,
     sampled_gram,
     sampled_rhs,
     gram_flops,
@@ -28,6 +29,7 @@ __all__ = [
     "COOMatrix",
     "CSRMatrix",
     "CSCMatrix",
+    "GramWorkspace",
     "sampled_gram",
     "sampled_rhs",
     "gram_flops",

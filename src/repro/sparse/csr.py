@@ -86,6 +86,9 @@ class CSRMatrix:
         object.__setattr__(self, "indices", indices)
         object.__setattr__(self, "data", data)
         object.__setattr__(self, "shape", (int(n), int(m)))
+        # Memoized column-major twin: the matrix is immutable, so the
+        # first to_csc() result can be cached for the instance's lifetime.
+        object.__setattr__(self, "_csc_cache", None)
 
     # ------------------------------------------------------------------ #
     # constructors / conversions
@@ -115,9 +118,17 @@ class CSRMatrix:
         return COOMatrix(_row_ids(self.indptr), self.indices, self.data, self.shape)
 
     def to_csc(self) -> "CSCMatrix":
-        """Convert to column-major storage (counting sort on columns)."""
-        coo = self.to_coo()
-        return coo.to_csc()
+        """Convert to column-major storage (counting sort on columns).
+
+        The result is memoized on the instance — repeated calls (e.g.
+        ``sampled_gram`` in a solver inner loop) pay the counting sort
+        once. Safe because both formats are immutable.
+        """
+        cached = self._csc_cache
+        if cached is None:
+            cached = self.to_coo().to_csc()
+            object.__setattr__(self, "_csc_cache", cached)
+        return cached
 
     def transpose(self) -> "CSRMatrix":
         """Return the transpose as a CSR matrix."""
@@ -192,6 +203,31 @@ class CSRMatrix:
         return CSRMatrix(
             new_indptr, self.indices[positions], self.data[positions], (rows.size, self.shape[1])
         )
+
+    def gather_rows_dense(self, rows: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Densify ``A[rows, :]`` directly, skipping the CSR intermediate.
+
+        Bit-identical to ``select_rows(rows).to_dense()`` (same scatter
+        order, so duplicate rows resolve identically) without building the
+        intermediate compressed matrix. ``out``, when given, must be a
+        ``(len(rows), m)`` float64 array and is overwritten in place.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ShapeError("row selection must be one-dimensional")
+        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise ValidationError("row selection out of range")
+        shape = (rows.size, self.shape[1])
+        if out is None:
+            out = np.zeros(shape, dtype=np.float64)
+        else:
+            if out.shape != shape or out.dtype != np.float64:
+                raise ShapeError(f"out must be float64 of shape {shape}")
+            out.fill(0.0)
+        positions, new_indptr = _gather_segments(self.indptr, rows)
+        if positions.size:
+            out[_row_ids(new_indptr), self.indices[positions]] = self.data[positions]
+        return out
 
     def row_norms_sq(self) -> np.ndarray:
         """Squared euclidean norm of every row."""
@@ -276,6 +312,33 @@ class CSCMatrix:
         return CSCMatrix(
             new_indptr, self.indices[positions], self.data[positions], (self.shape[0], cols.size)
         )
+
+    def gather_columns_dense(self, cols: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Densify ``A[:, cols]`` directly, skipping the CSC intermediate.
+
+        Bit-identical to ``select_columns(cols).to_dense()`` (same scatter
+        order, so duplicate columns resolve identically) without building
+        the intermediate compressed matrix. ``out``, when given, must be a
+        ``(n, len(cols))`` float64 array and is overwritten in place —
+        pair with :class:`~repro.sparse.ops.GramWorkspace` to make the
+        inner-loop column densification allocation-free.
+        """
+        cols = np.asarray(cols, dtype=np.int64)
+        if cols.ndim != 1:
+            raise ShapeError("column selection must be one-dimensional")
+        if cols.size and (cols.min() < 0 or cols.max() >= self.shape[1]):
+            raise ValidationError("column selection out of range")
+        shape = (self.shape[0], cols.size)
+        if out is None:
+            out = np.zeros(shape, dtype=np.float64)
+        else:
+            if out.shape != shape or out.dtype != np.float64:
+                raise ShapeError(f"out must be float64 of shape {shape}")
+            out.fill(0.0)
+        positions, new_indptr = _gather_segments(self.indptr, cols)
+        if positions.size:
+            out[self.indices[positions], _row_ids(new_indptr)] = self.data[positions]
+        return out
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """``A @ x`` via scatter-add over columns."""

@@ -22,6 +22,7 @@ from repro.exceptions import ShapeError
 from repro.sparse.csr import CSCMatrix, CSRMatrix
 
 __all__ = [
+    "GramWorkspace",
     "sampled_gram",
     "sampled_rhs",
     "gram_flops",
@@ -34,18 +35,87 @@ __all__ = [
 Matrix = np.ndarray | CSRMatrix | CSCMatrix
 
 
-def _select_columns_dense(X: Matrix, cols: np.ndarray) -> np.ndarray:
+class GramWorkspace:
+    """Reusable scratch buffers for :func:`sampled_gram`/:func:`sampled_rhs`.
+
+    Solvers build the sampled Gram matrix every inner iteration with the
+    same ``d`` and (typically) the same sample count ``m̄``, so the dense
+    column block and the pre-symmetrization Gram scratch can be allocated
+    once and reused. Construct one per solver run and pass it to the
+    kernels; results are bit-identical to the allocating path.
+
+    ``reuses`` counts borrows served without growing the pool — it feeds
+    the ``gram_workspace_reuses`` runtime counter (see docs/PERFORMANCE.md).
+    """
+
+    def __init__(self, d: int, max_cols: int = 0) -> None:
+        d = int(d)
+        if d < 1:
+            raise ShapeError(f"GramWorkspace needs d >= 1, got {d}")
+        self._pool = np.empty(d * int(max_cols), dtype=np.float64)
+        self._scratch = np.empty((d, d), dtype=np.float64)
+        self.reuses = 0
+
+    def dense_block(self, rows: int, ncols: int, order: str = "C") -> np.ndarray:
+        """Borrow a contiguous ``(rows, ncols)`` float64 block.
+
+        The block is a reshaped view of a flat pool (grown on demand), so
+        its memory layout matches a freshly allocated array of the given
+        ``order`` — this matters for bit-identical BLAS results: dense
+        fancy indexing ``X[:, cols]`` yields an F-ordered array, sparse
+        ``to_dense()`` a C-ordered one, and dgemm summation order follows
+        the layout.
+        """
+        rows, ncols = int(rows), int(ncols)
+        need = rows * ncols
+        if need > self._pool.size:
+            self._pool = np.empty(need, dtype=np.float64)
+        else:
+            self.reuses += 1
+        flat = self._pool[:need]
+        if order == "F":
+            return flat.reshape(ncols, rows).T
+        return flat.reshape(rows, ncols)
+
+    def gram_scratch(self, d: int) -> np.ndarray:
+        """Borrow the ``(d, d)`` pre-symmetrization scratch."""
+        if self._scratch.shape != (d, d):
+            self._scratch = np.empty((d, d), dtype=np.float64)
+        else:
+            self.reuses += 1
+        return self._scratch
+
+
+def _select_columns_dense(
+    X: Matrix, cols: np.ndarray, workspace: GramWorkspace | None = None
+) -> np.ndarray:
     """Materialize ``X[:, cols]`` densely for Gram formation."""
     if isinstance(X, np.ndarray):
         if X.ndim != 2:
             raise ShapeError(f"X must be 2-D, got shape {X.shape}")
+        if workspace is not None:
+            # F-ordered to match the layout (hence BLAS summation order)
+            # of the fancy-indexing path below.
+            block = workspace.dense_block(X.shape[0], len(cols), order="F")
+            np.take(X, cols, axis=1, out=block)
+            return block
         return X[:, cols]
     if isinstance(X, CSRMatrix):
-        X = X.to_csc()
-    return X.select_columns(np.asarray(cols, dtype=np.int64)).to_dense()
+        X = X.to_csc()  # memoized on the CSR instance
+    cols = np.asarray(cols, dtype=np.int64)
+    if workspace is not None:
+        return X.gather_columns_dense(cols, out=workspace.dense_block(X.shape[0], cols.size))
+    return X.select_columns(cols).to_dense()
 
 
-def sampled_gram(X: Matrix, cols: np.ndarray, *, scale: float | None = None) -> np.ndarray:
+def sampled_gram(
+    X: Matrix,
+    cols: np.ndarray,
+    *,
+    scale: float | None = None,
+    workspace: GramWorkspace | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Dense sampled Gram matrix ``(1/m̄) X_S X_Sᵀ`` with ``S = cols``.
 
     Parameters
@@ -56,6 +126,12 @@ def sampled_gram(X: Matrix, cols: np.ndarray, *, scale: float | None = None) -> 
         Sampled column (sample) indices, duplicates allowed.
     scale:
         Override for the ``1/m̄`` normalization (``None`` → ``1/len(cols)``).
+    workspace:
+        Optional :class:`GramWorkspace`; when given, the dense column
+        block and the pre-symmetrization scratch are borrowed instead of
+        allocated. Results are bit-identical to the allocating path.
+    out:
+        Optional ``(d, d)`` float64 output buffer, written in place.
 
     Returns
     -------
@@ -64,28 +140,64 @@ def sampled_gram(X: Matrix, cols: np.ndarray, *, scale: float | None = None) -> 
     cols = np.asarray(cols, dtype=np.int64)
     if cols.size == 0:
         raise ShapeError("sampled_gram requires at least one sampled column")
-    A = _select_columns_dense(X, cols)
+    A = _select_columns_dense(X, cols, workspace)
     s = (1.0 / cols.size) if scale is None else float(scale)
-    H = A @ A.T
-    H *= s
-    # Enforce exact symmetry: A @ A.T is symmetric in exact arithmetic but
-    # BLAS may leave last-ulp asymmetry that breaks downstream invariants.
-    return 0.5 * (H + H.T)
+    if workspace is None:
+        H = A @ A.T
+        H *= s
+        # Enforce exact symmetry: A @ A.T is symmetric in exact arithmetic
+        # but BLAS may leave last-ulp asymmetry that breaks downstream
+        # invariants.
+        H = 0.5 * (H + H.T)
+        if out is None:
+            return H
+        np.copyto(out, H)
+        return out
+    d = A.shape[0]
+    scratch = workspace.gram_scratch(d)
+    np.matmul(A, A.T, out=scratch)
+    scratch *= s
+    if out is None:
+        out = np.empty((d, d), dtype=np.float64)
+    elif out.shape != (d, d) or out.dtype != np.float64:
+        raise ShapeError(f"out must be float64 of shape {(d, d)}")
+    np.add(scratch, scratch.T, out=out)
+    out *= 0.5
+    return out
 
 
 def sampled_rhs(
-    X: Matrix, y: np.ndarray, cols: np.ndarray, *, scale: float | None = None
+    X: Matrix,
+    y: np.ndarray,
+    cols: np.ndarray,
+    *,
+    scale: float | None = None,
+    workspace: GramWorkspace | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Sampled right-hand side ``(1/m̄) X_S y_S``."""
+    """Sampled right-hand side ``(1/m̄) X_S y_S``.
+
+    ``workspace``/``out`` mirror :func:`sampled_gram`: borrow the dense
+    column block and write the result in place, bit-identically.
+    """
     cols = np.asarray(cols, dtype=np.int64)
     if cols.size == 0:
         raise ShapeError("sampled_rhs requires at least one sampled column")
     y = np.asarray(y, dtype=np.float64)
-    A = _select_columns_dense(X, cols)
+    A = _select_columns_dense(X, cols, workspace)
     if y.ndim != 1 or A.shape[1] != cols.size:
         raise ShapeError("y must be 1-D and consistent with X")
     s = (1.0 / cols.size) if scale is None else float(scale)
-    return s * (A @ y[cols])
+    if workspace is None and out is None:
+        return s * (A @ y[cols])
+    d = A.shape[0]
+    if out is None:
+        out = np.empty(d, dtype=np.float64)
+    elif out.shape != (d,) or out.dtype != np.float64:
+        raise ShapeError(f"out must be float64 of shape {(d,)}")
+    np.matmul(A, y[cols], out=out)
+    out *= s
+    return out
 
 
 # ---------------------------------------------------------------------- #

@@ -152,3 +152,77 @@ class TestGateScript:
         payload = load_baseline("benchmarks/baselines/smoke.json")
         assert payload["tolerance"] == 0.05
         assert "runs.dense.totals.elapsed" in payload["metrics"]
+
+    def test_committed_kernels_baseline_is_wellformed(self):
+        payload = load_baseline("benchmarks/baselines/kernels.json")
+        assert payload["tolerance"] == 0.25
+        spec = payload["metrics"]["speedups.spmd_smoke_dedup_p16"]
+        assert spec == {"min": 3.0}
+
+
+class TestOneSidedSpecs:
+    """``{"min": v}`` / ``{"max": v}`` baseline entries (speedup floors)."""
+
+    def test_min_floor_passes_and_fails(self, tmp_path):
+        base = load_baseline(
+            _baseline(tmp_path, {"runs.dense.totals.elapsed": {"min": 0.9}}, 0.1)
+        )
+        assert compare(REPORT, base) == []  # 1.0 >= 0.9*(1-0.1)
+        base["metrics"]["runs.dense.totals.elapsed"] = {"min": 1.5}
+        violations = compare(REPORT, base)
+        assert len(violations) == 1
+        assert violations[0].kind == "min"
+        assert "below floor" in violations[0].describe()
+
+    def test_tolerance_widens_the_floor(self, tmp_path):
+        base = load_baseline(
+            _baseline(tmp_path, {"runs.dense.totals.elapsed": {"min": 1.1}}, 0.25)
+        )
+        assert compare(REPORT, base) == []  # 1.0 >= 1.1*0.75
+
+    def test_max_ceiling(self, tmp_path):
+        base = load_baseline(
+            _baseline(tmp_path, {"runs.sparse.totals.elapsed": {"max": 0.5}}, 0.05)
+        )
+        violations = compare(REPORT, base)
+        assert len(violations) == 1
+        assert violations[0].kind == "max"
+
+    def test_improvement_never_flagged(self, tmp_path):
+        """Unlike two-sided bands, beating a floor by 100x is fine."""
+        base = load_baseline(
+            _baseline(tmp_path, {"runs.dense.totals.words_total": {"min": 10.0}})
+        )
+        assert compare(REPORT, base) == []
+
+    def test_band_and_spec_mix(self, tmp_path):
+        base = load_baseline(
+            _baseline(
+                tmp_path,
+                {
+                    "runs.dense.totals.elapsed": 1.0,
+                    "runs.sparse.totals.elapsed": {"min": 0.5},
+                },
+            )
+        )
+        assert compare(REPORT, base) == []
+
+    def test_bad_spec_keys_rejected(self, tmp_path):
+        base = load_baseline(
+            _baseline(tmp_path, {"runs.dense.totals.elapsed": {"floor": 1.0}})
+        )
+        with pytest.raises(FormatError):
+            compare(REPORT, base)
+
+    def test_update_baseline_keeps_specs_verbatim(self, tmp_path):
+        path = _baseline(
+            tmp_path,
+            {
+                "runs.dense.totals.elapsed": 999.0,
+                "runs.sparse.totals.elapsed": {"min": 0.5},
+            },
+        )
+        payload = update_baseline(REPORT, path)
+        # The measurement is refreshed; the contract spec is untouched.
+        assert payload["metrics"]["runs.dense.totals.elapsed"] == 1.0
+        assert payload["metrics"]["runs.sparse.totals.elapsed"] == {"min": 0.5}

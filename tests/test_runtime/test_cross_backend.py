@@ -19,18 +19,26 @@ SERIAL = RuntimeConfig(backend="serial")
 
 
 class TestBspVsSpmd:
+    @pytest.mark.parametrize("dedup", [True, False], ids=["dedup", "no-dedup"])
     @pytest.mark.parametrize("estimator", ["plain", "svrg"])
     @pytest.mark.parametrize("comm", ["dense", "sparse", "auto"])
-    def test_rc_sfista_bit_identical(self, tiny_covtype_problem, estimator, comm):
-        """Same rank count → same reduction order → bit-identical iterates."""
+    def test_rc_sfista_bit_identical(
+        self, tiny_covtype_problem, estimator, comm, dedup
+    ):
+        """Same rank count → same reduction order → bit-identical iterates.
+
+        The dedup fast path (zero-copy fan-out + replicated-work cache,
+        docs/PERFORMANCE.md) must never move a bit of the iterates in
+        either backend.
+        """
         kwargs = dict(k=2, b=0.2, seed=7, estimator=estimator)
         bsp = rc_sfista_distributed(
             tiny_covtype_problem, 4, epochs=1, iters_per_epoch=6,
-            monitor_every=6, runtime=RuntimeConfig(comm=comm), **kwargs,
+            monitor_every=6, runtime=RuntimeConfig(comm=comm, dedup=dedup), **kwargs,
         )
         spmd = rc_sfista_spmd(
             tiny_covtype_problem, 4, n_iterations=6,
-            runtime=RuntimeConfig(comm=comm), **kwargs,
+            runtime=RuntimeConfig(comm=comm, dedup=dedup), **kwargs,
         )
         assert np.array_equal(bsp.w, spmd.w)
 
