@@ -81,6 +81,28 @@ def test_allreduce_values_64_ranks(benchmark):
     np.testing.assert_allclose(out, np.sum(buffers, axis=0), atol=1e-9)
 
 
+@pytest.mark.mp
+def test_mp_shm_allreduce_4_ranks(benchmark):
+    """Shared-memory tournament round-trip: the mp backend's data plane.
+
+    Measured wall-clock of one P=4 allreduce through
+    ``multiprocessing.shared_memory`` (scatter, worker reduction levels,
+    gather) — the real-hardware counterpart of the simulated collective
+    above. See bench_wallclock.py for the CI-gated ratio.
+    """
+    from repro.runtime.mpbackend import MultiprocessingBackend, live_segment_names
+
+    gen = np.random.default_rng(3)
+    buffers = [gen.standard_normal(50_000) for _ in range(4)]
+    be = MultiprocessingBackend(4, timeout=120.0)
+    try:
+        out = benchmark(be.allreduce, buffers)
+        assert np.array_equal(out, allreduce_values(buffers))
+    finally:
+        be.close()
+    assert live_segment_names() == frozenset()
+
+
 def test_csr_to_csc_conversion(benchmark, csr):
     out = benchmark(csr.to_csc)
     assert isinstance(out, CSCMatrix)

@@ -51,7 +51,7 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.perf.report import format_table
-from repro.runtime import ON_NAN_POLICIES, RuntimeConfig
+from repro.runtime import BACKENDS, ON_NAN_POLICIES, RuntimeConfig, parse_backend_spec
 from repro.sparse.io import load_libsvm
 from repro.utils.serialization import save_result
 
@@ -104,6 +104,7 @@ def _build_runtime(
     """One RuntimeConfig from the CLI's machine/comm/fault/resilience knobs."""
     plan = _build_fault_plan(args)
     return RuntimeConfig(
+        backend=args.backend,
         machine=args.machine,
         comm=args.comm,
         faults=plan,
@@ -118,6 +119,10 @@ def _build_runtime(
 
 
 def _solve(args: argparse.Namespace) -> int:
+    # "--backend mp:8" is shorthand for "--backend mp --nranks 8".
+    args.backend, backend_ranks = parse_backend_spec(args.backend)
+    if backend_ranks is not None:
+        args.nranks = backend_ranks
     problem = _load_problem(args)
     wants_obs = bool(args.report or args.trace_export)
     if wants_obs and args.solver not in RUNTIME_SOLVERS:
@@ -311,6 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--tol", type=float, default=None,
                        help="relative objective tolerance (computes a reference)")
     solve.add_argument("--nranks", type=int, default=16, help="simulated ranks")
+    solve.add_argument("--backend", default="bsp", metavar="NAME[:P]",
+                       help="execution substrate for the runtime solvers: "
+                       f"{'|'.join(BACKENDS)}, optionally with a rank count "
+                       "suffix overriding --nranks (e.g. mp:4)")
     solve.add_argument("--machine", choices=sorted(MACHINES), default="comet_effective")
     solve.add_argument("--comm", choices=COMM_MODES, default="dense",
                        help="allreduce payload encoding for distributed solvers")

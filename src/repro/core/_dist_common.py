@@ -19,16 +19,49 @@ from repro.core.objectives import L1LeastSquares
 from repro.core.proximal import soft_threshold
 from repro.exceptions import ValidationError
 from repro.sparse.csr import CSCMatrix, CSRMatrix
-from repro.sparse.ops import gram_flops, rhs_flops, sampled_gram, sampled_rhs
+from repro.sparse.ops import GramWorkspace, gram_flops, rhs_flops, sampled_gram, sampled_rhs
 from repro.sparse.partition import ColumnPartition, partition_columns
 
 __all__ = [
     "RankData",
+    "RankWorkspaces",
     "DistributedData",
     "distribute_problem",
     "hessian_reuse_update",
     "UPDATE_FLOPS",
 ]
+
+
+class RankWorkspaces:
+    """Gram scratch for the per-rank stages, safe under ``map_ranks``.
+
+    :class:`~repro.sparse.ops.GramWorkspace` is shared mutable scratch —
+    correct when ranks run one after another, corrupt when a backend with
+    ``parallel_ranks`` runs the per-rank closures concurrently. This
+    wrapper hands rank ``p`` the right instance either way: one shared
+    workspace on serial-map backends (the historical allocation profile),
+    a private workspace per rank under parallel maps. Results are
+    bit-identical in both layouts; only buffer reuse differs.
+
+    Exposes the summed ``reuses`` counter so
+    :class:`~repro.runtime.driver.ResilientLoop` can keep reporting the
+    ``gram_workspace_reuses`` perf stat unchanged.
+    """
+
+    def __init__(self, nranks: int, d: int, mbar: int, *, parallel: bool) -> None:
+        if parallel:
+            self._workspaces = [GramWorkspace(d, mbar) for _ in range(nranks)]
+        else:
+            shared = GramWorkspace(d, mbar)
+            self._workspaces = [shared] * nranks
+
+    def __getitem__(self, rank: int) -> GramWorkspace:
+        return self._workspaces[rank]
+
+    @property
+    def reuses(self) -> int:
+        distinct = {id(ws): ws for ws in self._workspaces}
+        return sum(ws.reuses for ws in distinct.values())
 
 
 def hessian_reuse_update(

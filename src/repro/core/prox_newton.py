@@ -35,7 +35,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core._dist_common import UPDATE_FLOPS, distribute_problem, hessian_reuse_update
+from repro.core._dist_common import (
+    UPDATE_FLOPS,
+    RankWorkspaces,
+    distribute_problem,
+    hessian_reuse_update,
+)
 from repro.core.cd import coordinate_descent_quadratic
 from repro.core.fista import fista, momentum_mu, t_next
 from repro.core.objectives import L1LeastSquares, QuadraticModel
@@ -269,13 +274,18 @@ def proximal_newton_distributed(
     backend = build_host_backend(config, nranks)
     loop = ResilientLoop(backend, config, solver="proximal_newton_distributed")
     loop.step_size = gamma
-    # Reusable scratch for the sampled-block stages (bit-identical).
-    workspace = GramWorkspace(d, mbar) if config.gram_workspace else None
-    loop.workspace = workspace
+    # Reusable scratch for the sampled-block stages (bit-identical): one
+    # shared workspace, or one per rank under a parallel map_ranks.
+    workspaces = (
+        RankWorkspaces(nranks, d, mbar, parallel=backend.parallel_ranks)
+        if config.gram_workspace
+        else None
+    )
+    loop.workspace = workspaces
     max_block = k if inner == "rc_sfista" else 1
     g_bufs = (
         [np.empty(max_block * d * d) for _ in range(nranks)]
-        if workspace is not None
+        if workspaces is not None
         else None
     )
     loop.start(
@@ -297,58 +307,76 @@ def proximal_newton_distributed(
     )
 
     def dist_full_gradient(point: np.ndarray) -> np.ndarray:
-        contribs, flops = [], []
-        for rd in data.ranks:
-            g_p, fl = rd.full_gradient_contribution(point, problem.m)
-            contribs.append(g_p)
-            flops.append(fl)
-        backend.compute(flops, label="full_gradient")
-        return loop.allreduce(contribs, "allreduce_grad")
+        results = backend.map_ranks(
+            lambda p: data.ranks[p].full_gradient_contribution(point, problem.m),
+            nranks,
+        )
+        backend.compute([fl for _g, fl in results], label="full_gradient")
+        return loop.allreduce([g for g, _fl in results], "allreduce_grad")
 
     def dist_hessian_apply(vec: np.ndarray) -> np.ndarray:
         """Exact Hessian-vector product through the distributed data."""
-        contribs, flops = [], []
-        for rd in data.ranks:
+
+        def apply_rank(p: int) -> tuple[np.ndarray, float]:
+            rd = data.ranks[p]
             if rd.m_local == 0:
-                contribs.append(np.zeros(d))
-                flops.append(0.0)
-                continue
+                return np.zeros(d), 0.0
             if isinstance(rd.X_local, np.ndarray):
                 hv = rd.X_local @ (rd.X_local.T @ vec) / problem.m
-                flops.append(float(4 * rd.X_local.shape[0] * rd.m_local))
-            else:
-                hv = rd.X_local.matvec(rd.X_local.rmatvec(vec)) / problem.m
-                flops.append(float(4 * rd.X_local.nnz))
-            contribs.append(hv)
-        backend.compute(flops, label="hessian_apply")
-        return loop.allreduce(contribs, "allreduce_Hv")
+                return hv, float(4 * rd.X_local.shape[0] * rd.m_local)
+            hv = rd.X_local.matvec(rd.X_local.rmatvec(vec)) / problem.m
+            return hv, float(4 * rd.X_local.nnz)
+
+        results = backend.map_ranks(apply_rank, nranks)
+        backend.compute([fl for _hv, fl in results], label="hessian_apply")
+        return loop.allreduce([hv for hv, _fl in results], "allreduce_Hv")
 
     def sampled_blocks(count: int) -> np.ndarray:
-        """Stages A–C for *count* fresh sampled Hessians: one allreduce."""
-        flops = np.zeros(nranks)
+        """Stages A–C for *count* fresh sampled Hessians: one allreduce.
+
+        Sample sets are drawn up front so the rng stream is independent of
+        how the per-rank map executes (serial or parallel).
+        """
+        idx_sets = [sample_indices(rng, problem.m, mbar) for _ in range(count)]
         if g_bufs is not None:
             packed = [buf[: count * d * d] for buf in g_bufs]
-            for j in range(count):
-                idx = sample_indices(rng, problem.m, mbar)
-                for p, rd in enumerate(data.ranks):
-                    H_out = packed[p][j * d * d : (j + 1) * d * d].reshape(d, d)
+
+            def build_rank(p: int) -> float:
+                rd = data.ranks[p]
+                ws = workspaces[p]
+                buf = packed[p]
+                fl_sum = 0.0
+                for j, idx in enumerate(idx_sets):
+                    H_out = buf[j * d * d : (j + 1) * d * d].reshape(d, d)
                     _, _local, fl = rd.sampled_hessian_contribution(
-                        idx, mbar, d, workspace=workspace, out=H_out
+                        idx, mbar, d, workspace=ws, out=H_out
                     )
-                    flops[p] += fl
-            backend.compute(flops, label="hessian_blocks")
+                    fl_sum += fl
+                return fl_sum
+
+            backend.compute(
+                np.asarray(backend.map_ranks(build_rank, nranks)),
+                label="hessian_blocks",
+            )
             return loop.allreduce(packed, "allreduce_G")
-        payload: list[list[np.ndarray]] = [[] for _ in range(nranks)]
-        for _ in range(count):
-            idx = sample_indices(rng, problem.m, mbar)
-            for p, rd in enumerate(data.ranks):
+
+        packed = [np.empty(0)] * nranks
+
+        def build_rank(p: int) -> float:
+            rd = data.ranks[p]
+            chunks: list[np.ndarray] = []
+            fl_sum = 0.0
+            for idx in idx_sets:
                 H_p, _local, fl = rd.sampled_hessian_contribution(idx, mbar, d)
-                payload[p].append(H_p.ravel())
-                flops[p] += fl
-        backend.compute(flops, label="hessian_blocks")
-        return loop.allreduce(
-            [np.concatenate(chunks) for chunks in payload], "allreduce_G"
+                chunks.append(H_p.ravel())
+                fl_sum += fl
+            packed[p] = np.concatenate(chunks)
+            return fl_sum
+
+        backend.compute(
+            np.asarray(backend.map_ranks(build_rank, nranks)), label="hessian_blocks"
         )
+        return loop.allreduce(packed, "allreduce_G")
 
     w = np.zeros(d)
     history = History()
@@ -446,7 +474,13 @@ def proximal_newton_distributed(
 
     # The free initial checkpoint (capture=) means recovery without
     # periodic checkpoints restarts from scratch.
-    loop.run(main_loop, capture=lambda: capture(1), restore=restore)
+    try:
+        loop.run(main_loop, capture=lambda: capture(1), restore=restore)
+    finally:
+        # Real-parallelism backends hold worker processes / thread pools;
+        # their cost ledgers survive close, so cost_summary() below and
+        # the trace remain valid.
+        backend.close()
 
     loop.finish(
         {

@@ -33,7 +33,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core._dist_common import UPDATE_FLOPS, distribute_problem, hessian_reuse_update
+from repro.core._dist_common import (
+    UPDATE_FLOPS,
+    RankWorkspaces,
+    distribute_problem,
+    hessian_reuse_update,
+)
 from repro.core.fista import momentum_mu, t_next
 from repro.core.objectives import L1LeastSquares
 from repro.core.results import History, SolveResult
@@ -47,7 +52,6 @@ from repro.exceptions import ValidationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TelemetryCallback
 from repro.runtime import Checkpoint, ResilientLoop, RuntimeConfig, build_host_backend, resolve_runtime
-from repro.sparse.ops import GramWorkspace
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -163,11 +167,16 @@ def rc_sfista_distributed(
     loop.step_size = gamma
     stride = d * d + d
     # Reusable scratch: per-rank stage-C payload buffers plus the Gram
-    # workspace. Bit-identical to the allocating path (pinned by tests).
-    workspace = GramWorkspace(d, mbar) if config.gram_workspace else None
-    loop.workspace = workspace
+    # workspaces (one shared, or one per rank when the backend maps ranks
+    # in parallel). Bit-identical to the allocating path (pinned by tests).
+    workspaces = (
+        RankWorkspaces(nranks, d, mbar, parallel=backend.parallel_ranks)
+        if config.gram_workspace
+        else None
+    )
+    loop.workspace = workspaces
     packed_bufs = (
-        [np.empty(k * stride) for _ in range(nranks)] if workspace is not None else None
+        [np.empty(k * stride) for _ in range(nranks)] if workspaces is not None else None
     )
     loop.start(
         {
@@ -265,34 +274,46 @@ def rc_sfista_distributed(
                 block = min(k, iters_per_epoch - rnd * k)
 
                 # ---- stages A+B: k local (H_p, R_p) blocks per rank ---- #
-                per_rank_flops = np.zeros(nranks)
+                # All sample sets are drawn before the per-rank map so the
+                # rng stream is identical whether the ranks run serially or
+                # in parallel (the map closures never touch the generator).
+                idx_sets = [sample_indices(rng, problem.m, mbar) for _ in range(block)]
                 if packed_bufs is not None:
                     # Workspace path: build each block directly inside the
                     # reused stage-C payload buffer — no per-iteration
                     # allocation, bit-identical payload values.
                     packed = [buf[: block * stride] for buf in packed_bufs]
-                    for j in range(block):
-                        idx = sample_indices(rng, problem.m, mbar)
-                        base = j * stride
-                        for p, rank_data in enumerate(data.ranks):
-                            H_out = packed[p][base : base + d * d].reshape(d, d)
-                            R_out = packed[p][base + d * d : base + stride]
+
+                    def build_rank(p: int) -> float:
+                        rank_data = data.ranks[p]
+                        ws = workspaces[p]
+                        buf = packed[p]
+                        flops = 0.0
+                        for j, idx in enumerate(idx_sets):
+                            base = j * stride
+                            H_out = buf[base : base + d * d].reshape(d, d)
+                            R_out = buf[base + d * d : base + stride]
                             _, local_idx, fl = rank_data.sampled_hessian_contribution(
-                                idx, mbar, d, workspace=workspace, out=H_out
+                                idx, mbar, d, workspace=ws, out=H_out
                             )
                             if estimator is GradientEstimator.PLAIN:
                                 _, fl_r = rank_data.sampled_rhs_contribution(
-                                    local_idx, mbar, d, workspace=workspace, out=R_out
+                                    local_idx, mbar, d, workspace=ws, out=R_out
                                 )
                             else:
                                 R_out.fill(0.0)
                                 fl_r = 0.0
-                            per_rank_flops[p] += fl + fl_r
+                            flops += fl + fl_r
+                        return flops
+
                 else:
-                    per_rank_payload: list[list[np.ndarray]] = [[] for _ in range(nranks)]
-                    for _j in range(block):
-                        idx = sample_indices(rng, problem.m, mbar)
-                        for p, rank_data in enumerate(data.ranks):
+                    packed = [np.empty(0)] * nranks
+
+                    def build_rank(p: int) -> float:
+                        rank_data = data.ranks[p]
+                        chunks: list[np.ndarray] = []
+                        flops = 0.0
+                        for idx in idx_sets:
                             H_p, local_idx, fl = rank_data.sampled_hessian_contribution(
                                 idx, mbar, d
                             )
@@ -302,10 +323,13 @@ def rc_sfista_distributed(
                                 )
                             else:
                                 R_p, fl_r = np.zeros(d), 0.0
-                            per_rank_payload[p].append(H_p.ravel())
-                            per_rank_payload[p].append(R_p)
-                            per_rank_flops[p] += fl + fl_r
-                    packed = [np.concatenate(chunks) for chunks in per_rank_payload]
+                            chunks.append(H_p.ravel())
+                            chunks.append(R_p)
+                            flops += fl + fl_r
+                        packed[p] = np.concatenate(chunks)
+                        return flops
+
+                per_rank_flops = np.asarray(backend.map_ranks(build_rank, nranks))
                 backend.compute(per_rank_flops, label="hessian_blocks")
 
                 # ---- stage C: ONE allreduce of k(d² + d) words --------- #
@@ -375,7 +399,13 @@ def rc_sfista_distributed(
     # The free initial checkpoint (capture=) means recovery without
     # periodic checkpoints restarts from scratch — nothing has moved,
     # nothing is charged.
-    loop.run(main_loop, capture=lambda: capture(0, 0, mid_epoch=False), restore=restore)
+    try:
+        loop.run(main_loop, capture=lambda: capture(0, 0, mid_epoch=False), restore=restore)
+    finally:
+        # Real-parallelism backends hold worker processes / thread pools;
+        # their cost ledgers survive close, so cost_summary() below and
+        # the trace remain valid.
+        backend.close()
 
     loop.finish(
         {

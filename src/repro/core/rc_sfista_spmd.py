@@ -127,6 +127,12 @@ def rc_sfista_spmd(
     )
     if estimator is GradientEstimator.EXACT:
         raise ValidationError("SPMD RC-SFISTA requires a sampled estimator")
+    if config.backend in ("mp", "threads"):
+        raise ValidationError(
+            "rc_sfista_spmd always runs its rank programs on the SPMD engine; "
+            f"backend={config.backend!r} selects a host-view substrate — use "
+            "rc_sfista_distributed for real-parallelism backends"
+        )
     if k < 1 or n_iterations < 1:
         raise ValidationError("k and n_iterations must be >= 1")
     mbar = minibatch_size(problem.m, b)

@@ -25,7 +25,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core._dist_common import UPDATE_FLOPS, distribute_problem, hessian_reuse_update
+from repro.core._dist_common import (
+    UPDATE_FLOPS,
+    RankWorkspaces,
+    distribute_problem,
+    hessian_reuse_update,
+)
 from repro.core.fista import momentum_mu, t_next
 from repro.core.objectives import L1LeastSquares
 from repro.core.proximal import soft_threshold
@@ -40,7 +45,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TelemetryCallback
 from repro.runtime import Checkpoint, ResilientLoop, RuntimeConfig, build_host_backend, resolve_runtime
 from repro.runtime.backend import ExecutionBackend
-from repro.sparse.ops import GramWorkspace, _select_columns_dense
+from repro.sparse.ops import _select_columns_dense
 from repro.utils.rng import RandomState, as_generator, minibatch_size, sample_indices
 from repro.utils.validation import check_positive
 
@@ -50,15 +55,18 @@ __all__ = ["sfista_distributed"]
 def _epoch_anchor_gradient(
     backend: ExecutionBackend, data, w: np.ndarray, m: int
 ) -> np.ndarray:
-    """SVRG anchor gradient: local contributions + one d-word allreduce."""
-    contribs = []
-    flops = []
-    for rank_data in data.ranks:
-        g_p, fl = rank_data.full_gradient_contribution(w, m)
-        contribs.append(g_p)
-        flops.append(fl)
-    backend.compute(flops, label="anchor_gradient")
-    return backend.allreduce(contribs, label="allreduce_anchor_grad")
+    """SVRG anchor gradient: local contributions + one d-word allreduce.
+
+    The per-rank contributions go through ``backend.map_ranks`` so a
+    real-parallelism backend computes them concurrently; each closure
+    touches only its own rank's data, keeping results bit-identical to
+    the serial sweep.
+    """
+    results = backend.map_ranks(
+        lambda p: data.ranks[p].full_gradient_contribution(w, m), data.nranks
+    )
+    backend.compute([fl for _g, fl in results], label="anchor_gradient")
+    return backend.allreduce([g for g, _fl in results], label="allreduce_anchor_grad")
 
 
 def sfista_distributed(
@@ -160,10 +168,15 @@ def sfista_distributed(
     loop.step_size = gamma
     stride = d * d + d
     # Reusable scratch (bit-identical to the allocating path): the Gram
-    # workspace plus one [H_p | R_p] payload buffer per rank.
-    workspace = GramWorkspace(d, mbar) if config.gram_workspace else None
-    loop.workspace = workspace
-    hr_bufs = [np.empty(stride) for _ in range(nranks)] if workspace is not None else None
+    # workspaces (shared, or one per rank under a parallel map) plus one
+    # [H_p | R_p] payload buffer per rank.
+    workspaces = (
+        RankWorkspaces(nranks, d, mbar, parallel=backend.parallel_ranks)
+        if config.gram_workspace
+        else None
+    )
+    loop.workspace = workspaces
+    hr_bufs = [np.empty(stride) for _ in range(nranks)] if workspaces is not None else None
     loop.start(
         {
             "nranks": nranks,
@@ -260,38 +273,41 @@ def sfista_distributed(
                 v = w + mu * (w - w_prev)
 
                 if comm_mode == "hessian":
-                    # Stages A+B: local sampled Gram blocks.
-                    packed = []
-                    flops = []
-                    for p, rank_data in enumerate(data.ranks):
+                    # Stages A+B: local sampled Gram blocks, one closure
+                    # per rank (parallel on backends that map ranks for
+                    # real; each touches only its own buffers/workspace).
+                    def build_rank(p: int) -> tuple[np.ndarray, float]:
+                        rank_data = data.ranks[p]
                         if hr_bufs is not None:
                             buf = hr_bufs[p]
+                            ws = workspaces[p]
                             H_out = buf[: d * d].reshape(d, d)
                             R_out = buf[d * d :]
                             _, local_idx, fl = rank_data.sampled_hessian_contribution(
-                                idx, mbar, d, workspace=workspace, out=H_out
+                                idx, mbar, d, workspace=ws, out=H_out
                             )
                             if estimator is GradientEstimator.PLAIN:
                                 _, fl_r = rank_data.sampled_rhs_contribution(
-                                    local_idx, mbar, d, workspace=workspace, out=R_out
+                                    local_idx, mbar, d, workspace=ws, out=R_out
                                 )
                             else:
                                 R_out.fill(0.0)
                                 fl_r = 0.0
-                            packed.append(buf)
-                        else:
-                            H_p, local_idx, fl = rank_data.sampled_hessian_contribution(
-                                idx, mbar, d
+                            return buf, fl + fl_r
+                        H_p, local_idx, fl = rank_data.sampled_hessian_contribution(
+                            idx, mbar, d
+                        )
+                        if estimator is GradientEstimator.PLAIN:
+                            R_p, fl_r = rank_data.sampled_rhs_contribution(
+                                local_idx, mbar, d
                             )
-                            if estimator is GradientEstimator.PLAIN:
-                                R_p, fl_r = rank_data.sampled_rhs_contribution(
-                                    local_idx, mbar, d
-                                )
-                            else:
-                                R_p, fl_r = np.zeros(d), 0.0
-                            packed.append(np.concatenate([H_p.ravel(), R_p]))
-                        flops.append(fl + fl_r)
-                    backend.compute(flops, label="hessian_blocks")
+                        else:
+                            R_p, fl_r = np.zeros(d), 0.0
+                        return np.concatenate([H_p.ravel(), R_p]), fl + fl_r
+
+                    results = backend.map_ranks(build_rank, nranks)
+                    packed = [buf for buf, _fl in results]
+                    backend.compute([fl for _buf, fl in results], label="hessian_blocks")
                     # Stage C: one allreduce of d² + d words.
                     combined = loop.allreduce(packed, label="allreduce_HR")
                     H = combined[: d * d].reshape(d, d)
@@ -304,16 +320,15 @@ def sfista_distributed(
                     backend.compute(UPDATE_FLOPS(d), label="update")
                 else:
                     # Gradient mode: local sampled-gradient contributions.
-                    contribs = []
-                    flops = []
-                    for rank_data in data.ranks:
+                    def gradient_rank(p: int) -> tuple[np.ndarray, float]:
+                        rank_data = data.ranks[p]
                         local_idx = rank_data._restrict(idx)
                         if local_idx.size == 0:
-                            contribs.append(np.zeros(d))
-                            flops.append(0.0)
-                            continue
-                        if workspace is not None:
-                            A = _select_columns_dense(rank_data.X_local, local_idx, workspace)
+                            return np.zeros(d), 0.0
+                        if workspaces is not None:
+                            A = _select_columns_dense(
+                                rank_data.X_local, local_idx, workspaces[p]
+                            )
                         elif isinstance(rank_data.X_local, np.ndarray):
                             A = rank_data.X_local[:, local_idx]
                         else:
@@ -322,10 +337,11 @@ def sfista_distributed(
                             g_p = A @ (A.T @ v - rank_data.y_local[local_idx]) / mbar
                         else:
                             g_p = A @ (A.T @ (v - anchor)) / mbar
-                        contribs.append(g_p)
-                        flops.append(float(4 * A.shape[0] * A.shape[1]))
-                    backend.compute(flops, label="gradient_blocks")
-                    g = loop.allreduce(contribs, label="allreduce_grad")
+                        return g_p, float(4 * A.shape[0] * A.shape[1])
+
+                    results = backend.map_ranks(gradient_rank, nranks)
+                    backend.compute([fl for _g, fl in results], label="gradient_blocks")
+                    g = loop.allreduce([g_p for g_p, _fl in results], label="allreduce_grad")
                     if estimator is GradientEstimator.SVRG:
                         g = g + full_grad  # type: ignore[operator]
                     backend.compute(8.0 * d, label="update")
@@ -367,7 +383,13 @@ def sfista_distributed(
             if converged or diverged:
                 return
 
-    loop.run(main_loop, capture=lambda: capture(0, 0, mid_epoch=False), restore=restore)
+    try:
+        loop.run(main_loop, capture=lambda: capture(0, 0, mid_epoch=False), restore=restore)
+    finally:
+        # Real-parallelism backends hold worker processes / thread pools;
+        # their cost ledgers survive close, so cost_summary() below and
+        # the trace remain valid.
+        backend.close()
 
     loop.finish(
         {

@@ -640,6 +640,43 @@ class BSPCluster:
         )
         return result
 
+    def charge_allreduce_comm(
+        self,
+        n: float,
+        nnz_union: float,
+        *,
+        mode: str = "dense",
+        label: str = "allreduce",
+    ) -> None:
+        """Charge :meth:`allreduce_comm` without moving data.
+
+        Same decision procedure, clock effects, trace details and counters
+        as the data-moving dispatch for contributions of length *n* whose
+        support union has *nnz_union* nonzeros. Used by backends that
+        reduce the payload elsewhere (real processes, dry-run replays) but
+        must charge exactly what a BSP run of the schedule charges.
+        """
+        if mode not in sc.COMM_MODES:
+            raise ValidationError(f"unknown comm mode {mode!r}; choose from {sc.COMM_MODES}")
+        if mode == "dense":
+            self.charge_allreduce(float(n), label=label)
+            return
+        density = nnz_union / n if n else 0.0
+        resolved = sc.resolve_comm_mode(mode, union_density=density)
+        if resolved == "sparse":
+            self.charge_sparse_allreduce(n, nnz_union, label=label)
+            return
+        self._note_decision("dense")
+        start = self._sync_start(label)
+        cost = coll.allreduce_cost(self.machine, self.nranks, float(n), self.allreduce_algorithm)
+        self._finish_collective(
+            label,
+            start,
+            cost,
+            PhaseKind.COLLECTIVE,
+            detail=f"auto->dense nnz={int(nnz_union)}/{int(n)}",
+        )
+
     def allgather(
         self, values: Sequence[np.ndarray], label: str = "allgather"
     ) -> list[np.ndarray]:
@@ -660,6 +697,14 @@ class BSPCluster:
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
         return freeze(arr) if self.dedup else arr.copy()
 
+    def charge_bcast(self, words: float, label: str = "bcast") -> None:
+        """Charge a broadcast of *words* words without moving data."""
+        if words < 0:
+            raise ValidationError(f"words must be >= 0, got {words}")
+        start = self._sync_start(label)
+        cost = coll.bcast_cost(self.machine, self.nranks, float(words))
+        self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
+
     def reduce(
         self,
         values: Sequence[np.ndarray],
@@ -676,6 +721,14 @@ class BSPCluster:
         cost = coll.reduce_cost(self.machine, self.nranks, _words_of(arrays[0]))
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
         return result
+
+    def charge_reduce(self, words: float, label: str = "reduce") -> None:
+        """Charge a rooted reduction of *words* words without moving data."""
+        if words < 0:
+            raise ValidationError(f"words must be >= 0, got {words}")
+        start = self._sync_start(label)
+        cost = coll.reduce_cost(self.machine, self.nranks, float(words))
+        self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
 
     def gather(self, values: Sequence[np.ndarray], root: int = 0, label: str = "gather") -> list[np.ndarray]:
         """Gather per-rank buffers to *root*."""

@@ -31,6 +31,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "diff_snapshots",
+    "merge_rank_counts",
     "DEFAULT_BUCKETS",
 ]
 
@@ -212,6 +213,27 @@ class MetricsRegistry:
             name: {"type": inst.kind, "values": inst._snapshot()}
             for name, inst in sorted(self._instruments.items())
         }
+
+
+def merge_rank_counts(
+    registry: MetricsRegistry,
+    name: str,
+    counts: "list[float] | tuple[float, ...]",
+    help: str = "",
+) -> None:
+    """Fold per-rank counts into *registry* as one ``rank=<r>``-labelled counter.
+
+    Real-parallelism backends accumulate data-plane statistics outside the
+    registry (worker processes cannot share its dicts) and publish them in
+    one deterministic pass at teardown: rank order is the label order, so
+    two identical runs snapshot identically. Zero counts are skipped —
+    a rank that did nothing contributes no series, mirroring how the
+    simulator's instruments only materialise series that were touched.
+    """
+    counter = registry.counter(name, help=help)
+    for rank, count in enumerate(counts):
+        if count:
+            counter.inc(float(count), rank=rank)
 
 
 def _diff_values(kind: str, before: Any, after: Any) -> Any:

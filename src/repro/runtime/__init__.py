@@ -10,7 +10,12 @@ cross-cutting machinery from:
 * :class:`~repro.runtime.backend.ExecutionBackend` — the collective
   protocol with :class:`~repro.runtime.backend.SerialBackend`,
   :class:`~repro.runtime.backend.BSPBackend` and
-  :class:`~repro.runtime.backend.SPMDBackend` implementations.
+  :class:`~repro.runtime.backend.SPMDBackend` implementations, plus the
+  real-parallelism substrates
+  :class:`~repro.runtime.mpbackend.MultiprocessingBackend` (shared-memory
+  worker processes) and
+  :class:`~repro.runtime.mpbackend.ThreadPoolBackend` (parallel per-rank
+  Gram stages).
 * :class:`~repro.runtime.driver.ResilientLoop` — the single
   checkpoint/rollback/bit-exact-replay driver.
 * :mod:`~repro.runtime.resilience` — checkpoints, NaN guards and
@@ -26,9 +31,15 @@ from repro.runtime.backend import (
     SPMDBackend,
     build_host_backend,
 )
-from repro.runtime.config import BACKENDS, RuntimeConfig, resolve_runtime
+from repro.runtime.config import (
+    BACKENDS,
+    RuntimeConfig,
+    parse_backend_spec,
+    resolve_runtime,
+)
 from repro.runtime.dedup import ReplicatedCache
 from repro.runtime.driver import ResilientLoop
+from repro.runtime.mpbackend import MultiprocessingBackend, ThreadPoolBackend
 from repro.runtime.resilience import (
     ON_NAN_POLICIES,
     Checkpoint,
@@ -42,6 +53,7 @@ __all__ = [
     "BSPBackend",
     "Checkpoint",
     "ExecutionBackend",
+    "MultiprocessingBackend",
     "NumericalGuard",
     "ON_NAN_POLICIES",
     "RecoveryStats",
@@ -51,6 +63,8 @@ __all__ = [
     "RuntimeConfig",
     "SPMDBackend",
     "SerialBackend",
+    "ThreadPoolBackend",
     "build_host_backend",
+    "parse_backend_spec",
     "resolve_runtime",
 ]

@@ -63,6 +63,10 @@ class ExecutionBackend(Protocol):
     # it (they compute shared work once by construction); the SPMD
     # backend enables it per the engine's dedup setting.
     replicated: ReplicatedCache
+    # Whether map_ranks may run its closures concurrently. Solver bodies
+    # consult this to give each rank private scratch (e.g. one
+    # GramWorkspace per rank) instead of sharing mutable buffers.
+    parallel_ranks: bool
 
     # -- collectives --------------------------------------------------- #
     def allreduce(self, contribs: Sequence[np.ndarray], label: str = "allreduce") -> np.ndarray: ...
@@ -79,6 +83,11 @@ class ExecutionBackend(Protocol):
     def checkpoint(self, words: float) -> None: ...
 
     def recover(self, words: float) -> None: ...
+
+    # -- per-rank execution -------------------------------------------- #
+    def map_ranks(self, fn: Callable[[int], Any], count: int) -> list: ...
+
+    def close(self) -> None: ...
 
     # -- cost + clock accessors ---------------------------------------- #
     @property
@@ -113,6 +122,7 @@ class SerialBackend:
     """
 
     nranks = 1
+    parallel_ranks = False
 
     def __init__(self, comm: str = "dense", allreduce_algorithm: str = "recursive_doubling") -> None:
         if comm not in sc.COMM_MODES:
@@ -157,6 +167,12 @@ class SerialBackend:
     def recover(self, words: float) -> None:
         pass
 
+    def map_ranks(self, fn: Callable[[int], Any], count: int) -> list:
+        return [fn(p) for p in range(count)]
+
+    def close(self) -> None:
+        pass
+
     @property
     def elapsed(self) -> float:
         return 0.0
@@ -192,6 +208,8 @@ class BSPBackend:
     it, preserving labels, clock effects and trace events exactly as the
     pre-runtime solvers produced them.
     """
+
+    parallel_ranks = False
 
     def __init__(self, cluster: BSPCluster, comm: str = "dense") -> None:
         if comm not in sc.COMM_MODES:
@@ -251,6 +269,12 @@ class BSPBackend:
     def recover(self, words: float) -> None:
         self.cluster.recover(words)
 
+    def map_ranks(self, fn: Callable[[int], Any], count: int) -> list:
+        return [fn(p) for p in range(count)]
+
+    def close(self) -> None:
+        pass
+
     @property
     def elapsed(self) -> float:
         return self.cluster.elapsed
@@ -298,6 +322,8 @@ class SPMDBackend:
     themselves, and recovery is a rerun whose collectives are genuinely
     re-charged — there is no out-of-band state transfer to bill.
     """
+
+    parallel_ranks = False
 
     def __init__(self, engine: SPMDEngine, comm: str = "dense") -> None:
         if comm not in sc.COMM_MODES:
@@ -372,6 +398,12 @@ class SPMDBackend:
     def recover(self, words: float) -> None:
         pass
 
+    def map_ranks(self, fn: Callable[[int], Any], count: int) -> list:
+        return [fn(p) for p in range(count)]
+
+    def close(self) -> None:
+        pass
+
     @property
     def elapsed(self) -> float:
         return self.engine.elapsed
@@ -400,7 +432,7 @@ class SPMDBackend:
         return self.engine.cost.summary()
 
 
-def build_host_backend(config: RuntimeConfig, nranks: int) -> "SerialBackend | BSPBackend":
+def build_host_backend(config: RuntimeConfig, nranks: int) -> ExecutionBackend:
     """The host-view backend a config selects for lock-step solver bodies."""
     if config.backend == "serial":
         if nranks != 1:
@@ -411,4 +443,11 @@ def build_host_backend(config: RuntimeConfig, nranks: int) -> "SerialBackend | B
         if config.cluster is not None:
             raise ValidationError("the serial backend does not take a prebuilt cluster")
         return SerialBackend(comm=config.comm, allreduce_algorithm=config.allreduce_algorithm)
+    if config.backend in ("mp", "threads"):
+        # Imported here: mpbackend subclasses BSPBackend from this module.
+        from repro.runtime.mpbackend import MultiprocessingBackend, ThreadPoolBackend
+
+        if config.backend == "mp":
+            return MultiprocessingBackend.from_config(config, nranks)
+        return ThreadPoolBackend.from_config(config, nranks)
     return BSPBackend.from_config(config, nranks)

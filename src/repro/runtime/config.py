@@ -39,29 +39,29 @@ from repro.utils.rng import RandomState
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.distsim.bsp import BSPCluster
 
-__all__ = ["BACKENDS", "RuntimeConfig", "resolve_runtime"]
+__all__ = ["BACKENDS", "RuntimeConfig", "parse_backend_spec", "resolve_runtime"]
 
 # Host-driven execution substrates build_host_backend can produce. The SPMD
 # engine is not selected through this knob: rank-program solvers construct
 # an SPMDBackend directly (the program structure is part of the algorithm).
-BACKENDS = ("bsp", "serial")
+# "mp" and "threads" are the real-parallelism substrates of
+# repro.runtime.mpbackend: worker processes over shared memory, and a BSP
+# cluster whose per-rank compute closures run on a thread pool.
+BACKENDS = ("bsp", "serial", "mp", "threads")
 
-# Legacy kwargs that warrant a deprecation nudge: the resilience and
-# observability surface. The simulation-shape knobs (machine, comm, ...)
-# stay warning-free — they are equally valid through either path.
-_DEPRECATED_KWARGS = frozenset(
-    {
-        "faults",
-        "retry",
-        "recv_timeout",
-        "checkpoint_every",
-        "on_nan",
-        "max_recoveries",
-        "adaptive_restart",
-        "telemetry",
-        "metrics",
-    }
-)
+
+def _knob(default, surface: str):
+    """A config field tagged with the surface it belongs to.
+
+    The tag is load-bearing: ``_DEPRECATED_KWARGS`` (the legacy kwargs
+    that warrant a deprecation nudge) is *derived* from the
+    ``resilience``/``observability`` tags below, and the kwargs-drift
+    guard test regenerates its expectations from the same metadata — a
+    new field cannot silently land in the wrong surface.
+    """
+    if surface not in ("shape", "resilience", "observability", "perf"):
+        raise ValueError(f"unknown config surface {surface!r}")
+    return dataclasses.field(default=default, metadata={"surface": surface})
 
 
 @dataclass(frozen=True)
@@ -71,9 +71,19 @@ class RuntimeConfig:
     Simulation shape
     ----------------
     backend:
-        ``"bsp"`` (simulated cluster, the default) or ``"serial"`` (the
+        ``"bsp"`` (simulated cluster, the default), ``"serial"`` (the
         degenerate single-rank backend: no cluster, zero cost, bit-
-        identical iterates to a 1-rank BSP run).
+        identical iterates to a 1-rank BSP run), ``"mp"`` (persistent
+        worker processes over ``multiprocessing.shared_memory``) or
+        ``"threads"`` (BSP collectives plus a thread pool for the
+        GIL-releasing per-rank Gram stages). The real-parallelism
+        backends keep iterates and charged costs bit-identical to BSP;
+        only measured wall-clock changes (docs/RUNTIME.md).
+    mp_timeout:
+        Deadline in seconds for any single worker round-trip on the
+        ``"mp"`` backend; a crashed or hung worker surfaces as
+        :class:`~repro.exceptions.ConvergenceError` instead of a
+        deadlock. Ignored by the other backends.
     machine / allreduce_algorithm / jitter_seed:
         The α-β-γ machine model, collective algorithm and per-rank compute
         jitter of the simulated cluster.
@@ -129,23 +139,24 @@ class RuntimeConfig:
         iteration. Bit-identical results; on by default.
     """
 
-    backend: str = "bsp"
-    machine: str | MachineSpec = "comet_effective"
-    allreduce_algorithm: str = "recursive_doubling"
-    comm: str = "dense"
-    jitter_seed: RandomState = None
-    cluster: "BSPCluster | None" = None
-    faults: FaultPlan | FaultInjector | None = None
-    retry: RetryPolicy | None = None
-    recv_timeout: float | None = None
-    checkpoint_every: int = 0
-    on_nan: str | None = None
-    max_recoveries: int = 3
-    adaptive_restart: bool = False
-    telemetry: TelemetryCallback | None = None
-    metrics: MetricsRegistry | None = None
-    dedup: bool | None = None
-    gram_workspace: bool = True
+    backend: str = _knob("bsp", "shape")
+    machine: str | MachineSpec = _knob("comet_effective", "shape")
+    allreduce_algorithm: str = _knob("recursive_doubling", "shape")
+    comm: str = _knob("dense", "shape")
+    jitter_seed: RandomState = _knob(None, "shape")
+    cluster: "BSPCluster | None" = _knob(None, "shape")
+    mp_timeout: float = _knob(120.0, "shape")
+    faults: FaultPlan | FaultInjector | None = _knob(None, "resilience")
+    retry: RetryPolicy | None = _knob(None, "resilience")
+    recv_timeout: float | None = _knob(None, "resilience")
+    checkpoint_every: int = _knob(0, "resilience")
+    on_nan: str | None = _knob(None, "resilience")
+    max_recoveries: int = _knob(3, "resilience")
+    adaptive_restart: bool = _knob(False, "resilience")
+    telemetry: TelemetryCallback | None = _knob(None, "observability")
+    metrics: MetricsRegistry | None = _knob(None, "observability")
+    dedup: bool | None = _knob(None, "perf")
+    gram_workspace: bool = _knob(True, "perf")
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -168,6 +179,22 @@ class RuntimeConfig:
             raise ValidationError(
                 f"max_recoveries must be >= 0, got {self.max_recoveries}"
             )
+        if not (self.mp_timeout > 0 and self.mp_timeout != float("inf")):
+            raise ValidationError(
+                f"mp_timeout must be finite and > 0, got {self.mp_timeout}"
+            )
+        if self.backend == "mp":
+            if self.faults is not None or self.retry is not None:
+                raise ValidationError(
+                    "fault injection and retry policies are simulation "
+                    "features; the mp backend runs real worker processes "
+                    "(use backend='bsp' to inject faults)"
+                )
+            if self.cluster is not None:
+                raise ValidationError(
+                    "the mp backend builds its own workers; a prebuilt BSP "
+                    "cluster cannot be supplied"
+                )
         if self.cluster is not None:
             if (
                 self.faults is not None
@@ -194,6 +221,44 @@ class RuntimeConfig:
 
 
 _FIELD_DEFAULTS = {f.name: f.default for f in dataclasses.fields(RuntimeConfig)}
+
+# Legacy kwargs that warrant a deprecation nudge — derived from the field
+# surface tags, never hand-listed: exactly the resilience and observability
+# knobs. The simulation-shape and host-perf knobs stay warning-free — they
+# are equally valid through either path.
+_DEPRECATED_KWARGS = frozenset(
+    f.name
+    for f in dataclasses.fields(RuntimeConfig)
+    if f.metadata.get("surface") in ("resilience", "observability")
+)
+
+
+def parse_backend_spec(spec: str) -> tuple[str, int | None]:
+    """Split a CLI backend spec ``"name"`` or ``"name:P"`` into its parts.
+
+    ``"mp:4"`` → ``("mp", 4)``; ``"bsp"`` → ``("bsp", None)``. The rank
+    suffix overrides ``--nranks`` at the call site; the bare name leaves
+    the rank count alone. Unknown names and malformed suffixes are
+    rejected here so the CLI error points at the flag, not the solver.
+    """
+    name, sep, suffix = spec.partition(":")
+    if name not in BACKENDS:
+        raise ValidationError(
+            f"unknown backend {name!r}; choose from {BACKENDS} "
+            "(optionally suffixed ':<nranks>', e.g. 'mp:4')"
+        )
+    if not sep:
+        return name, None
+    try:
+        nranks = int(suffix)
+    except ValueError:
+        nranks = 0
+    if nranks < 1:
+        raise ValidationError(
+            f"backend spec {spec!r}: the rank suffix must be a positive "
+            "integer, e.g. 'mp:4'"
+        )
+    return name, nranks
 
 
 def resolve_runtime(

@@ -1,0 +1,632 @@
+"""Real-parallelism execution backends: worker processes and BLAS threads.
+
+Every backend in :mod:`repro.runtime.backend` *simulates* its ranks inside
+one process — the α-β-γ charges are exact, but the host wall-clock only
+benefits from the fast path of docs/PERFORMANCE.md, never from actual
+hardware parallelism. This module adds the two backends that run ranks for
+real while keeping the simulated cost model as the source of truth:
+
+* :class:`MultiprocessingBackend` (``backend="mp"``) — one persistent
+  worker **process** per rank. Collective payloads move through
+  ``multiprocessing.shared_memory`` segments (one per rank, zero-copy
+  between processes) and are reduced by the workers themselves in the
+  exact pairwise-tournament order of
+  :func:`repro.distsim.collectives.allreduce_values`, so results are
+  **bit-identical** to every simulated backend. Charged costs come from an
+  internal ledger :class:`~repro.distsim.bsp.BSPCluster` driven through
+  its charge-only methods — byte-identical cost summaries to a BSP run of
+  the same schedule.
+* :class:`ThreadPoolBackend` (``backend="threads"``) — a
+  :class:`~repro.runtime.backend.BSPBackend` whose :meth:`map_ranks` runs
+  the per-rank compute closures on a thread pool. The Gram-dominated
+  stages (A+B of Fig. 1) spend their time inside BLAS ``dgemm``/``dsyrk``
+  which release the GIL, so on a multi-core host the dominant compute
+  phase genuinely runs ``P``-way parallel. Collectives stay on the
+  cluster: same numerics, same charges, same fault injection as BSP.
+
+Division of labour (why two backends): Python closures cannot cross a
+process boundary, so the mp backend parallelizes the *collectives* (its
+``map_ranks`` is the serial fallback), while the threads backend
+parallelizes the *per-rank compute* — together they cover both halves of
+the paper's compute/communicate loop with real hardware.
+
+Determinism contract
+--------------------
+``MultiprocessingBackend.allreduce`` reduces with the tournament pairing
+``(i, i + s)`` for ``i ≡ 0 (mod 2s)``, ``s = 1, 2, 4, …`` — provably the
+same pairing (hence the same floating-point sums) as
+``allreduce_values``; the cross-backend conformance matrix in
+``tests/test_runtime/test_cross_backend.py`` pins this bit-for-bit.
+
+Robustness contract
+-------------------
+Every worker round-trip is guarded by a deadline
+(:attr:`RuntimeConfig.mp_timeout`): a worker that crashed or hangs
+mid-collective surfaces as :class:`~repro.exceptions.ConvergenceError`
+(with ``.partial`` for graceful degradation) instead of deadlocking the
+host, and the backend tears down its processes and **unlinks every
+shared-memory segment** on both the success and the failure path (the
+lifecycle tests assert ``/dev/shm`` stays clean).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import time
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing import resource_tracker as _resource_tracker
+from multiprocessing import shared_memory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.distsim import sparse_collectives as sc
+from repro.distsim.bsp import BSPCluster
+from repro.distsim.faults import FaultInjector
+from repro.distsim.trace import Trace
+from repro.exceptions import CommunicatorError, ConvergenceError, ValidationError
+from repro.runtime.backend import BSPBackend
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.dedup import ReplicatedCache
+
+__all__ = [
+    "MultiprocessingBackend",
+    "ThreadPoolBackend",
+    "tournament_levels",
+    "live_segment_names",
+]
+
+_SEGMENT_PREFIX = "repro_mp"
+
+# Names of every shared-memory segment this process has created and not yet
+# unlinked — the leak-test surface and the atexit safety net.
+_LIVE_SEGMENTS: set[str] = set()
+
+
+def live_segment_names() -> frozenset[str]:
+    """Shared-memory segments currently owned (and not yet unlinked)."""
+    return frozenset(_LIVE_SEGMENTS)
+
+
+def _cleanup_leaked_segments() -> None:  # pragma: no cover - exit hook
+    for name in list(_LIVE_SEGMENTS):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+        _LIVE_SEGMENTS.discard(name)
+
+
+atexit.register(_cleanup_leaked_segments)
+
+
+def tournament_levels(nranks: int) -> list[tuple[int, list[tuple[int, int]]]]:
+    """The deterministic pairwise-reduction schedule for *nranks* buffers.
+
+    Returns ``[(stride, [(dst, src), ...]), ...]``: at each level the rank
+    ``dst`` accumulates ``src = dst + stride`` in place, for every ``dst``
+    divisible by ``2·stride``. Survivors of level ``s`` are exactly the
+    multiples of ``2s``, which is the compacted adjacent pairing of
+    :func:`~repro.distsim.collectives.allreduce_values` — same pairs, same
+    left/right operand order, hence bit-identical floating-point sums.
+    The champion lands at rank 0.
+    """
+    if nranks < 1:
+        raise ValidationError(f"nranks must be >= 1, got {nranks}")
+    levels = []
+    stride = 1
+    while stride < nranks:
+        pairs = [
+            (dst, dst + stride)
+            for dst in range(0, nranks, 2 * stride)
+            if dst + stride < nranks
+        ]
+        levels.append((stride, pairs))
+        stride *= 2
+    return levels
+
+
+def _attach(name: str, unregister: bool) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without double-registering it.
+
+    On POSIX Pythons < 3.13 attaching also registers the segment with the
+    attaching process's resource tracker. Under ``spawn`` each worker has
+    its *own* tracker, which would unlink the segment out from under the
+    owner when the worker exits (bpo-39959) — those workers unregister
+    immediately. Under ``fork`` the tracker process is shared with the
+    host; the duplicate registration is an idempotent set-add there, and
+    unregistering would strip the *host's* registration instead.
+    """
+    seg = shared_memory.SharedMemory(name=name)
+    if unregister:
+        try:
+            _resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+    return seg
+
+
+def _worker_main(rank: int, nranks: int, conn, unregister_shm: bool) -> None:
+    """Persistent worker loop: attach segments, execute collective steps.
+
+    Data never travels over the pipe — commands and acks only. Buffers are
+    float64 views over the shared segments; a ``reduce_level`` command
+    makes this worker accumulate its pair partner in place. Each ack
+    carries the number of elements the worker touched so the host can
+    merge per-rank data-plane metrics.
+    """
+    segments: list[shared_memory.SharedMemory] = []
+    views: list[np.ndarray] = []
+    try:
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            try:
+                if op == "attach":
+                    _, names = cmd
+                    views = []  # views must die before their segments close
+                    for seg in segments:
+                        seg.close()
+                    segments = [_attach(n, unregister_shm) for n in names]
+                    views = [
+                        np.frombuffer(seg.buf, dtype=np.float64) for seg in segments
+                    ]
+                    conn.send(("ok", 0))
+                elif op == "reduce_level":
+                    _, stride, count = cmd
+                    touched = 0
+                    if rank % (2 * stride) == 0 and rank + stride < nranks:
+                        # No named slice views: a surviving local would keep
+                        # the buffer exported and block segment close.
+                        np.add(
+                            views[rank][:count],
+                            views[rank + stride][:count],
+                            out=views[rank][:count],
+                        )
+                        touched = count
+                    conn.send(("ok", touched))
+                elif op == "bcast":
+                    _, root, count = cmd
+                    touched = 0
+                    if rank != root:
+                        np.copyto(views[rank][:count], views[root][:count])
+                        touched = count
+                    conn.send(("ok", touched))
+                elif op == "barrier":
+                    conn.send(("ok", 0))
+                elif op == "sleep":  # test hook: a hung worker
+                    time.sleep(cmd[1])
+                    conn.send(("ok", 0))
+                elif op == "crash":  # test hook: a dying worker
+                    os._exit(13)
+                elif op == "exit":
+                    conn.send(("ok", 0))
+                    return
+                else:
+                    conn.send(("err", f"unknown command {op!r}"))
+            except Exception as exc:  # surface, don't die silently
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):
+        pass
+    finally:
+        views = []  # release the exported buffers before closing
+        for seg in segments:
+            try:
+                seg.close()
+            except Exception:
+                pass
+
+
+class MultiprocessingBackend:
+    """``ExecutionBackend`` over persistent shared-memory worker processes.
+
+    Numerics are computed by the workers (real parallel data movement and
+    reduction through ``multiprocessing.shared_memory``); the α-β-γ costs,
+    clocks, trace and comm decisions are charged to an internal ledger
+    :class:`BSPCluster` through its charge-only methods, so
+    ``cost_summary()`` is byte-identical to a BSP run of the same
+    schedule. Fault injection is rejected — these are real processes, and
+    real failures surface as :class:`ConvergenceError` via the timeout
+    guard instead of simulated verdicts.
+    """
+
+    parallel_ranks = False  # map_ranks is serial: closures don't cross exec
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        machine: str = "comet_effective",
+        allreduce_algorithm: str = "recursive_doubling",
+        comm: str = "dense",
+        jitter_seed=None,
+        metrics=None,
+        timeout: float = 120.0,
+        min_segment_bytes: int = 1 << 13,
+    ) -> None:
+        if comm not in sc.COMM_MODES:
+            raise ValidationError(f"comm must be one of {sc.COMM_MODES}, got {comm!r}")
+        if not (np.isfinite(timeout) and timeout > 0):
+            raise ValidationError(f"mp timeout must be finite and > 0, got {timeout}")
+        self.comm = comm
+        self.nranks = int(nranks)
+        self.timeout = float(timeout)
+        self.replicated = ReplicatedCache(enabled=False)
+        # The cost ledger: a fault-free BSP cluster driven only through its
+        # charge-only methods — never sees payloads, charges exactly what a
+        # BSPBackend run of the same schedule charges.
+        self._ledger = BSPCluster(
+            nranks,
+            machine,
+            allreduce_algorithm=allreduce_algorithm,
+            jitter_seed=jitter_seed,
+            metrics=metrics,
+        )
+        self._metrics = metrics
+        self.worker_stats = [
+            {"commands": 0, "elements": 0} for _ in range(self.nranks)
+        ]
+        self._closed = False
+        self._broken: str | None = None
+        self._capacity = 0
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._views: list[np.ndarray] = []
+        methods = get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = get_context(start_method)
+        if start_method == "fork":
+            # Start the host's resource tracker *before* forking so every
+            # worker inherits it: one tracker, idempotent duplicate
+            # registrations, no per-child tracker warning about segments
+            # the host already unlinked.
+            _resource_tracker.ensure_running()
+        self._conns = []
+        self._procs = []
+        for rank in range(self.nranks):
+            host_conn, worker_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(rank, self.nranks, worker_conn, start_method != "fork"),
+                daemon=True,
+                name=f"repro-mp-worker-{rank}",
+            )
+            proc.start()
+            worker_conn.close()
+            self._conns.append(host_conn)
+            self._procs.append(proc)
+        self._levels = tournament_levels(self.nranks)
+        self._ensure_capacity(max(1, min_segment_bytes // 8))
+
+    @classmethod
+    def from_config(cls, config: RuntimeConfig, nranks: int) -> "MultiprocessingBackend":
+        """Build the backend a config describes (real processes: no faults)."""
+        if config.cluster is not None:
+            raise ValidationError(
+                "the mp backend builds its own workers; a prebuilt BSP cluster "
+                "cannot be supplied"
+            )
+        if config.faults is not None or config.retry is not None:
+            raise ValidationError(
+                "fault injection and retry policies are simulation features; "
+                "the mp backend runs real processes (use backend='bsp' to "
+                "inject faults, or rely on the mp timeout guard for real ones)"
+            )
+        return cls(
+            nranks,
+            machine=config.machine,
+            allreduce_algorithm=config.allreduce_algorithm,
+            comm=config.comm,
+            jitter_seed=config.jitter_seed,
+            metrics=config.metrics,
+            timeout=config.mp_timeout,
+        )
+
+    # ------------------------------------------------------------------ #
+    # worker coordination
+    # ------------------------------------------------------------------ #
+    def _check_open(self) -> None:
+        if self._broken:
+            raise ConvergenceError(
+                f"mp backend is unusable after a worker failure ({self._broken})",
+                partial=None,
+            )
+        if self._closed:
+            raise CommunicatorError("mp backend has been closed")
+
+    def _fail(self, why: str) -> ConvergenceError:
+        """Tear down after a worker fault; segments must not leak."""
+        self._broken = why
+        self._teardown(graceful=False)
+        return ConvergenceError(
+            f"mp backend worker failure: {why} — worker processes terminated, "
+            "shared memory unlinked; rerun on backend='bsp' to reproduce the "
+            "schedule in simulation",
+            partial=None,
+        )
+
+    def _roundtrip(self, targets: Sequence[int], cmd: tuple, label: str) -> None:
+        """Send *cmd* to *targets* and await every ack under the deadline."""
+        for r in targets:
+            try:
+                self._conns[r].send(cmd)
+            except (BrokenPipeError, OSError):
+                raise self._fail(f"worker {r} pipe broken during {label}") from None
+        deadline = time.monotonic() + self.timeout
+        for r in targets:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self._conns[r].poll(remaining):
+                alive = self._procs[r].is_alive()
+                raise self._fail(
+                    f"worker {r} {'hung' if alive else 'died'} in {label!r} "
+                    f"(deadline {self.timeout:g}s)"
+                )
+            try:
+                status, payload = self._conns[r].recv()
+            except (EOFError, OSError):
+                raise self._fail(f"worker {r} died mid-{label}") from None
+            if status != "ok":
+                raise self._fail(f"worker {r} errored in {label!r}: {payload}")
+            self.worker_stats[r]["commands"] += 1
+            self.worker_stats[r]["elements"] += int(payload)
+
+    def _ensure_capacity(self, n_elements: int) -> None:
+        """Grow the per-rank segments to hold *n_elements* float64 each."""
+        if n_elements <= self._capacity and self._segments:
+            return
+        nbytes = max(int(n_elements), 1) * 8
+        old = self._segments
+        self._segments = []
+        self._views = []
+        names = []
+        for rank in range(self.nranks):
+            name = f"{_SEGMENT_PREFIX}_{os.getpid()}_{rank}_{secrets.token_hex(4)}"
+            seg = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+            _LIVE_SEGMENTS.add(seg.name)
+            self._segments.append(seg)
+            self._views.append(np.frombuffer(seg.buf, dtype=np.float64))
+            names.append(seg.name)
+        self._roundtrip(range(self.nranks), ("attach", names), "attach")
+        for seg in old:
+            self._unlink(seg)
+        self._capacity = nbytes // 8
+
+    @staticmethod
+    def _unlink(seg: shared_memory.SharedMemory) -> None:
+        try:
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        _LIVE_SEGMENTS.discard(seg.name)
+
+    def _teardown(self, graceful: bool) -> None:
+        if graceful:
+            for r, conn in enumerate(self._conns):
+                try:
+                    conn.send(("exit",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=1.0 if graceful else 0.2)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        # Views must die before the segments: SharedMemory.close refuses
+        # to tear down a buffer that still has exported numpy views.
+        self._views = []
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            self._unlink(seg)
+        self._capacity = 0
+        self._publish_worker_metrics()
+
+    def _publish_worker_metrics(self) -> None:
+        if self._metrics is None:
+            return
+        from repro.obs.metrics import merge_rank_counts
+
+        merge_rank_counts(
+            self._metrics,
+            "mpbackend_commands",
+            [s["commands"] for s in self.worker_stats],
+            help="collective commands executed per mp worker",
+        )
+        merge_rank_counts(
+            self._metrics,
+            "mpbackend_elements",
+            [s["elements"] for s in self.worker_stats],
+            help="float64 elements reduced/copied per mp worker",
+        )
+
+    def close(self) -> None:
+        """Shut workers down and unlink every segment (idempotent).
+
+        The cost ledger survives: ``cost_summary()``, ``elapsed`` and the
+        trace remain readable after close — solvers close the backend in a
+        ``finally`` and assemble their ``SolveResult`` afterwards.
+        """
+        if self._closed or self._broken:
+            return
+        self._closed = True
+        self._teardown(graceful=True)
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # shared-memory numerics
+    # ------------------------------------------------------------------ #
+    def _load(self, contribs: Sequence[np.ndarray], what: str) -> tuple[int, tuple]:
+        """Validate and scatter host contributions into the rank segments."""
+        self._check_open()
+        if len(contribs) != self.nranks:
+            raise CommunicatorError(
+                f"{what} needs one buffer per rank ({self.nranks}), got {len(contribs)}"
+            )
+        arrays = [np.asarray(v, dtype=np.float64) for v in contribs]
+        shape = arrays[0].shape
+        for i, a in enumerate(arrays):
+            if a.shape != shape:
+                raise CommunicatorError(
+                    f"{what} buffer shape mismatch: rank 0 has {shape}, "
+                    f"rank {i} has {a.shape}"
+                )
+        n = int(arrays[0].size)
+        self._ensure_capacity(n)
+        for rank, a in enumerate(arrays):
+            np.copyto(self._views[rank][:n], a.reshape(-1))
+        return n, shape
+
+    def _run_tournament(self, n: int) -> None:
+        """Execute the pairwise reduction levels on the workers."""
+        for stride, pairs in self._levels:
+            self._roundtrip(
+                [dst for dst, _src in pairs], ("reduce_level", stride, n), "allreduce"
+            )
+
+    def _result(self, n: int, shape: tuple, root: int = 0) -> np.ndarray:
+        return np.array(self._views[root][:n], copy=True).reshape(shape)
+
+    # ------------------------------------------------------------------ #
+    # ExecutionBackend protocol
+    # ------------------------------------------------------------------ #
+    def allreduce(self, contribs: Sequence[np.ndarray], label: str = "allreduce") -> np.ndarray:
+        n, shape = self._load(contribs, "allreduce")
+        if self.comm == "dense":
+            self._ledger.charge_allreduce(float(n), label=label)
+        else:
+            # The sparse/auto charge needs the union support size — the
+            # same quantity BSP reads off its SparseVector union. Counted
+            # on the 1-D host views before the workers densify anything.
+            if len(shape) != 1:
+                raise CommunicatorError(
+                    f"sparse-encoded allreduce needs 1-D buffers, got shape {shape}"
+                )
+            union = np.zeros(n, dtype=bool)
+            for rank in range(self.nranks):
+                union |= self._views[rank][:n] != 0.0
+            self._ledger.charge_allreduce_comm(
+                n, int(np.count_nonzero(union)), mode=self.comm, label=label
+            )
+        self._run_tournament(n)
+        return self._result(n, shape)
+
+    def reduce(self, contribs: Sequence[np.ndarray], root: int = 0, label: str = "reduce") -> np.ndarray:
+        if not (0 <= root < self.nranks):
+            raise CommunicatorError(f"root {root} out of range [0, {self.nranks})")
+        n, shape = self._load(contribs, "reduce")
+        self._ledger.charge_reduce(float(n), label=label)
+        self._run_tournament(n)
+        # The tournament champion lives at rank 0; the host-view protocol
+        # hands the root's result back to the caller either way.
+        return self._result(n, shape)
+
+    def broadcast(self, value: np.ndarray, root: int = 0, label: str = "bcast") -> np.ndarray:
+        if not (0 <= root < self.nranks):
+            raise CommunicatorError(f"root {root} out of range [0, {self.nranks})")
+        self._check_open()
+        arr = np.asarray(value, dtype=np.float64)
+        n = int(arr.size)
+        self._ensure_capacity(n)
+        np.copyto(self._views[root][:n], arr.reshape(-1))
+        self._ledger.charge_bcast(float(n), label=label)
+        self._roundtrip(range(self.nranks), ("bcast", root, n), "bcast")
+        return self._result(n, arr.shape, root=root)
+
+    def barrier(self, label: str = "barrier") -> None:
+        self._check_open()
+        self._ledger.barrier(label=label)  # charge-only: no payload exists
+        self._roundtrip(range(self.nranks), ("barrier",), "barrier")
+
+    def compute(self, flops, label: str = "compute") -> None:
+        self._ledger.compute(flops, label=label)
+
+    def checkpoint(self, words: float) -> None:
+        self._ledger.checkpoint(words)
+
+    def recover(self, words: float) -> None:
+        self._ledger.recover(words)
+
+    def map_ranks(self, fn: Callable[[int], Any], count: int) -> list:
+        """Serial fallback: solver closures cannot cross a process boundary."""
+        return [fn(p) for p in range(count)]
+
+    @property
+    def elapsed(self) -> float:
+        return self._ledger.elapsed
+
+    @property
+    def last_comm_decision(self) -> str | None:
+        return self._ledger.last_comm_decision
+
+    @property
+    def trace(self) -> Trace | None:
+        return self._ledger.trace
+
+    @property
+    def injector(self) -> FaultInjector | None:
+        return None
+
+    @property
+    def machine_name(self) -> str:
+        return self._ledger.machine.name
+
+    @property
+    def allreduce_algorithm(self) -> str:
+        return self._ledger.allreduce_algorithm
+
+    def cost_summary(self) -> dict | None:
+        return self._ledger.cost.summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = self._broken or ("closed" if self._closed else "live")
+        return (
+            f"MultiprocessingBackend(nranks={self.nranks}, "
+            f"machine={self.machine_name!r}, {state})"
+        )
+
+
+class ThreadPoolBackend(BSPBackend):
+    """BSP semantics with genuinely parallel per-rank compute closures.
+
+    Inherits every collective, charge and fault behaviour from
+    :class:`BSPBackend` (numerics on the cluster, bit-identical); only
+    :meth:`map_ranks` changes — per-rank closures run on a pool of
+    ``nranks`` threads. The solvers' Gram stages call into BLAS, which
+    releases the GIL, so the dominant compute phase scales with cores
+    (docs/PERFORMANCE.md has the measured-wall-clock methodology and the
+    single-core caveats).
+    """
+
+    parallel_ranks = True
+
+    def __init__(self, cluster: BSPCluster, comm: str = "dense") -> None:
+        super().__init__(cluster, comm=comm)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map_ranks(self, fn: Callable[[int], Any], count: int) -> list:
+        if count <= 1:
+            return [fn(p) for p in range(count)]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.nranks, thread_name_prefix="repro-rank"
+            )
+        return list(self._pool.map(fn, range(count)))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -8,7 +8,7 @@ from repro.distsim.bsp import BSPCluster
 from repro.distsim.faults import FaultPlan, RetryPolicy
 from repro.exceptions import ValidationError
 from repro.obs import MetricsRegistry
-from repro.runtime import BACKENDS, RuntimeConfig, resolve_runtime
+from repro.runtime import BACKENDS, RuntimeConfig, parse_backend_spec, resolve_runtime
 
 
 class TestValidation:
@@ -19,7 +19,7 @@ class TestValidation:
         assert cfg.on_nan is None
 
     def test_backends_constant(self):
-        assert BACKENDS == ("bsp", "serial")
+        assert BACKENDS == ("bsp", "serial", "mp", "threads")
 
     @pytest.mark.parametrize(
         "kwargs",
@@ -29,11 +29,33 @@ class TestValidation:
             dict(on_nan="ignore"),
             dict(checkpoint_every=-1),
             dict(max_recoveries=-2),
+            dict(mp_timeout=0.0),
+            dict(mp_timeout=-5.0),
+            dict(mp_timeout=float("inf")),
         ],
     )
     def test_bad_values_rejected(self, kwargs):
         with pytest.raises(ValidationError):
             RuntimeConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            dict(faults=FaultPlan(collective_drop_rate=0.1)),
+            dict(retry=RetryPolicy()),
+            dict(cluster=BSPCluster(2, "comet_effective")),
+        ],
+    )
+    def test_mp_backend_excludes_simulation_knobs(self, extra):
+        """Real processes: simulated faults/clusters make no sense under mp."""
+        with pytest.raises(ValidationError):
+            RuntimeConfig(backend="mp", **extra)
+
+    def test_threads_backend_keeps_simulation_knobs(self):
+        """threads runs its collectives on the BSP cluster — faults stay legal."""
+        cfg = RuntimeConfig(backend="threads", faults=FaultPlan(collective_drop_rate=0.1),
+                            retry=RetryPolicy())
+        assert cfg.backend == "threads"
 
     @pytest.mark.parametrize(
         "extra",
@@ -82,3 +104,25 @@ class TestResolveRuntime:
             cfg = resolve_runtime(None, machine="comet_paper", comm="sparse")
         assert cfg.machine == "comet_paper"
         assert cfg.comm == "sparse"
+
+
+class TestParseBackendSpec:
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            ("bsp", ("bsp", None)),
+            ("serial", ("serial", None)),
+            ("mp", ("mp", None)),
+            ("mp:4", ("mp", 4)),
+            ("threads:16", ("threads", 16)),
+        ],
+    )
+    def test_valid_specs(self, spec, expected):
+        assert parse_backend_spec(spec) == expected
+
+    @pytest.mark.parametrize(
+        "spec", ["mpi", "mp:0", "mp:-2", "mp:four", "mp:4:2", "", ":4"]
+    )
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ValidationError):
+            parse_backend_spec(spec)

@@ -1,9 +1,17 @@
-"""Cross-backend equivalence matrix: iterates are backend-independent.
+"""Cross-backend conformance matrix: iterates are backend-independent.
 
-The ISSUE-4 contract for the runtime refactor: for a fixed algorithm
-config, {serial, BSP, SPMD} × {dense, sparse, auto} all produce the same
-iterates — bit-identical where the reduction order matches (same rank
-count), allclose across different partitionings.
+The contract for the runtime layer: for a fixed algorithm config,
+{serial, BSP, SPMD, mp, threads} × {dense, sparse, auto} all produce the
+same iterates — bit-identical where the reduction order matches (same
+rank count), allclose across different partitionings — and every
+cost-charging backend produces the *identical* charged α-β-γ summary.
+
+The BSP reference is itself pinned bit-for-bit to checked-in golden
+traces (``tests/test_distsim/test_golden_trace.py``), so equality with
+BSP here transitively pins every backend in the matrix to the golden
+accounting. ``rc_sfista_spmd`` participates through its own row: it is
+bit-identical to BSP (``TestBspVsSpmd``) and rejects the real-parallelism
+substrates, which run host-view solvers only.
 """
 
 import numpy as np
@@ -13,9 +21,38 @@ from repro.core.prox_newton import proximal_newton_distributed
 from repro.core.rc_sfista_dist import rc_sfista_distributed
 from repro.core.rc_sfista_spmd import rc_sfista_spmd
 from repro.core.sfista_dist import sfista_distributed
+from repro.exceptions import ValidationError
 from repro.runtime import RuntimeConfig
 
 SERIAL = RuntimeConfig(backend="serial")
+
+#: One fixed-budget run per host-view solver, small enough that the full
+#: matrix stays cheap but long enough to exercise sampling, momentum and
+#: (for prox-newton) outer refreshes.
+SOLVER_RUNS = {
+    "rc_sfista_dist": lambda prob, rt: rc_sfista_distributed(
+        prob, 4, k=2, b=0.2, seed=7, epochs=1, iters_per_epoch=6,
+        monitor_every=6, runtime=rt,
+    ),
+    "sfista_dist": lambda prob, rt: sfista_distributed(
+        prob, 4, b=0.2, seed=3, epochs=1, iters_per_epoch=8, runtime=rt,
+    ),
+    "prox_newton": lambda prob, rt: proximal_newton_distributed(
+        prob, 4, inner="rc_sfista", n_outer=2, inner_iters=8, k=2, b=0.2,
+        seed=1, runtime=rt,
+    ),
+}
+
+# BSP reference runs, cached per (solver, comm): every real-parallelism
+# case compares against the same reference object.
+_BSP_REFERENCE: dict = {}
+
+
+def _bsp_reference(problem, solver, comm):
+    key = (solver, comm)
+    if key not in _BSP_REFERENCE:
+        _BSP_REFERENCE[key] = SOLVER_RUNS[solver](problem, RuntimeConfig(comm=comm))
+    return _BSP_REFERENCE[key]
 
 
 class TestBspVsSpmd:
@@ -75,6 +112,67 @@ class TestSerialVsBsp:
         ser = rc_sfista_distributed(tiny_covtype_problem, 1, runtime=SERIAL, **kwargs)
         bsp4 = rc_sfista_distributed(tiny_covtype_problem, 4, **kwargs)
         np.testing.assert_allclose(ser.w, bsp4.w, atol=1e-9)
+
+
+class TestRealParallelismConformance:
+    """{mp, threads} × {dense, sparse, auto} × every host-view solver.
+
+    The strongest pin in the matrix: both the iterates *and* the charged
+    cost summary must be identical to BSP — the real backends execute
+    genuinely parallel data movement, yet nothing observable may move.
+    """
+
+    @pytest.mark.parametrize(
+        "backend",
+        [pytest.param("mp", marks=pytest.mark.mp), "threads"],
+    )
+    @pytest.mark.parametrize("comm", ["dense", "sparse", "auto"])
+    @pytest.mark.parametrize("solver", sorted(SOLVER_RUNS))
+    def test_bit_identical_iterates_and_charges(
+        self, tiny_covtype_problem, solver, comm, backend
+    ):
+        ref = _bsp_reference(tiny_covtype_problem, solver, comm)
+        res = SOLVER_RUNS[solver](
+            tiny_covtype_problem, RuntimeConfig(backend=backend, comm=comm)
+        )
+        assert np.array_equal(ref.w, res.w)
+        assert res.cost == ref.cost  # byte-identical charged α-β-γ summary
+        assert res.n_comm_rounds == ref.n_comm_rounds
+
+    @pytest.mark.parametrize(
+        "backend",
+        [pytest.param("mp", marks=pytest.mark.mp), "threads"],
+    )
+    def test_gradient_comm_mode(self, tiny_covtype_problem, backend):
+        """The per-iteration-gradient variant exercises map_ranks + allreduce."""
+        kwargs = dict(b=0.2, seed=3, epochs=1, iters_per_epoch=8, comm_mode="gradient")
+        ref = sfista_distributed(tiny_covtype_problem, 4, **kwargs)
+        res = sfista_distributed(
+            tiny_covtype_problem, 4, runtime=RuntimeConfig(backend=backend), **kwargs
+        )
+        assert np.array_equal(ref.w, res.w)
+        assert res.cost == ref.cost
+
+    @pytest.mark.parametrize("backend", ["mp", "threads"])
+    def test_spmd_solver_rejects_host_view_substrates(
+        self, tiny_covtype_problem, backend
+    ):
+        with pytest.raises(ValidationError, match="SPMD engine"):
+            rc_sfista_spmd(
+                tiny_covtype_problem, 4, k=2, b=0.2, seed=7, n_iterations=6,
+                runtime=RuntimeConfig(backend=backend),
+            )
+
+    @pytest.mark.mp
+    def test_single_rank_matches_serial(self, tiny_covtype_problem):
+        """P=1 closes the matrix corner: mp ≡ serial iterates (no reduction)."""
+        kwargs = dict(k=2, b=0.2, seed=7, epochs=1, iters_per_epoch=6)
+        ser = rc_sfista_distributed(tiny_covtype_problem, 1, runtime=SERIAL, **kwargs)
+        mp1 = rc_sfista_distributed(
+            tiny_covtype_problem, 1, runtime=RuntimeConfig(backend="mp"), **kwargs
+        )
+        assert np.array_equal(ser.w, mp1.w)
+        assert mp1.cost is not None  # mp still charges; serial does not
 
 
 class TestCommModesBitIdentical:

@@ -56,17 +56,45 @@ class TestSignatureLockstep:
             )
 
 
+SURFACES = ("shape", "resilience", "observability", "perf")
+
+
+def test_every_config_field_declares_a_surface():
+    """A new knob without a surface tag would silently escape the guard.
+
+    The deprecated-kwarg set is *generated* from the field metadata, so
+    the only way a new field can drift is by not being tagged at all —
+    which this test turns into a hard failure.
+    """
+    untagged = [
+        f.name
+        for f in dataclasses.fields(RuntimeConfig)
+        if f.metadata.get("surface") not in SURFACES
+    ]
+    assert not untagged, (
+        f"RuntimeConfig fields {untagged} carry no surface tag — declare "
+        f"them with _knob(default, surface) so the kwargs guard sees them"
+    )
+
+
 def test_deprecated_set_is_the_resilience_surface():
     """The warned set tracks exactly the resilience/observability fields."""
-    assert _DEPRECATED_KWARGS == {
-        "faults",
-        "retry",
-        "recv_timeout",
-        "checkpoint_every",
-        "on_nan",
-        "max_recoveries",
-        "adaptive_restart",
-        "telemetry",
-        "metrics",
+    expected = {
+        f.name
+        for f in dataclasses.fields(RuntimeConfig)
+        if f.metadata.get("surface") in ("resilience", "observability")
     }
+    assert _DEPRECATED_KWARGS == expected
     assert _DEPRECATED_KWARGS <= set(CONFIG_DEFAULTS)
+
+
+def test_shape_knobs_are_never_deprecated():
+    """Execution-shape keys (backend="mp", mp_timeout, …) are first-class:
+    they must never fall into the legacy-kwarg warning path."""
+    shape = {
+        f.name
+        for f in dataclasses.fields(RuntimeConfig)
+        if f.metadata.get("surface") == "shape"
+    }
+    assert {"backend", "machine", "comm", "mp_timeout", "cluster"} <= shape
+    assert _DEPRECATED_KWARGS.isdisjoint(shape)
