@@ -51,7 +51,13 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.perf.report import format_table
-from repro.runtime import BACKENDS, ON_NAN_POLICIES, RuntimeConfig, parse_backend_spec
+from repro.runtime import (
+    BACKENDS,
+    FAILURE_POLICIES,
+    ON_NAN_POLICIES,
+    RuntimeConfig,
+    parse_backend_spec,
+)
 from repro.sparse.io import load_libsvm
 from repro.utils.serialization import save_result
 
@@ -80,11 +86,19 @@ def _build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
     """Fault plan from the CLI knobs (None when everything is off)."""
     crashes: tuple[RankCrash, ...] = ()
     if args.crash_rank is not None:
-        if args.crash_at_time is None:
-            raise SystemExit("--crash-rank needs --crash-at-time")
-        crashes = (RankCrash(rank=args.crash_rank, at_time=args.crash_at_time),)
-    elif args.crash_at_time is not None:
-        raise SystemExit("--crash-at-time needs --crash-rank")
+        if (args.crash_at_time is None) == (args.crash_at_op is None):
+            raise SystemExit(
+                "--crash-rank needs exactly one of --crash-at-time / --crash-at-op"
+            )
+        crashes = (
+            RankCrash(
+                rank=args.crash_rank,
+                at_time=args.crash_at_time,
+                at_op=args.crash_at_op,
+            ),
+        )
+    elif args.crash_at_time is not None or args.crash_at_op is not None:
+        raise SystemExit("--crash-at-time/--crash-at-op need --crash-rank")
     plan = FaultPlan(
         seed=args.faults_seed,
         collective_drop_rate=args.drop_rate,
@@ -110,6 +124,8 @@ def _build_runtime(
         faults=plan,
         retry=RetryPolicy() if plan is not None and plan.collective_drop_rate > 0 else None,
         recv_timeout=args.recv_timeout,
+        mp_timeout=args.mp_timeout,
+        mp_failure_policy=args.mp_failure_policy,
         checkpoint_every=args.checkpoint_every,
         on_nan=args.on_nan,
         max_recoveries=args.max_recoveries,
@@ -203,6 +219,11 @@ def _solve(args: argparse.Namespace) -> int:
     if resilience and (resilience["rollbacks"] or resilience["rank_failures_recovered"]):
         rows.append(["rollbacks", resilience["rollbacks"]])
         rows.append(["ranks healed", str(resilience["healed_ranks"])])
+        if resilience.get("respawns"):
+            rows.append(["worker respawns", resilience["respawns"]])
+        if resilience.get("shrinks"):
+            rows.append(["pool shrinks", f"{resilience['shrinks']} "
+                         f"(final P = {resilience['final_nranks']})"])
     print(format_table(["field", "value"], rows))
     if args.output:
         save_result(args.output, result)
@@ -352,6 +373,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rank to crash permanently (needs --crash-at-time)")
     solve.add_argument("--crash-at-time", type=float, default=None,
                        help="simulated clock at which --crash-rank dies")
+    solve.add_argument("--crash-at-op", type=int, default=None,
+                       help="collective index at which --crash-rank dies "
+                       "(on the mp backend: a real SIGKILL)")
+    # real-process resilience (mp backend, docs/RESILIENCE.md) ----------- #
+    solve.add_argument("--mp-failure-policy", choices=FAILURE_POLICIES,
+                       default="fail_fast",
+                       help="mp backend reaction to a dead/hung worker: "
+                       "fail fast, respawn the rank, or shrink the pool")
+    solve.add_argument("--mp-timeout", type=float, default=120.0,
+                       help="mp backend per-collective worker ack deadline "
+                       "(seconds of real time)")
 
     sub.add_parser("datasets", help="list the Table 2 dataset registry")
     sub.add_parser("machines", help="list the machine-model presets")

@@ -394,6 +394,26 @@ def proximal_newton_distributed(
             history_len=len(history),
         )
 
+    def repartition(new_nranks: int, lost_ranks) -> float:
+        """Shrink to *new_nranks* after an elastic pool loss (see driver).
+
+        Returns the lost ranks' row-block words (rows of X plus y) that
+        must travel to their new owners, charged as recovery traffic.
+        """
+        nonlocal nranks, data, workspaces, g_bufs
+        moved = float(
+            (d + 1) * sum(data.partition.local_size(r) for r in lost_ranks)
+        )
+        nranks = new_nranks
+        data = distribute_problem(problem, new_nranks)
+        if workspaces is not None:
+            workspaces = RankWorkspaces(
+                new_nranks, d, mbar, parallel=backend.parallel_ranks
+            )
+            loop.workspace = workspaces
+            g_bufs = [np.empty(max_block * d * d) for _ in range(new_nranks)]
+        return moved
+
     def restore(ck: Checkpoint) -> None:
         nonlocal w, prev_obj, outer_done, start_n, converged
         w = ck.array("w")
@@ -475,7 +495,9 @@ def proximal_newton_distributed(
     # The free initial checkpoint (capture=) means recovery without
     # periodic checkpoints restarts from scratch.
     try:
-        loop.run(main_loop, capture=lambda: capture(1), restore=restore)
+        loop.run(
+            main_loop, capture=lambda: capture(1), restore=restore, repartition=repartition
+        )
     finally:
         # Real-parallelism backends hold worker processes / thread pools;
         # their cost ledgers survive close, so cost_summary() below and

@@ -227,6 +227,28 @@ def rc_sfista_distributed(
             history_len=len(history),
         )
 
+    def repartition(new_nranks: int, lost_ranks) -> float:
+        """Shrink to *new_nranks*: re-scatter rows, rebuild rank-sized state.
+
+        Returns the words that must move to new owners — the lost ranks'
+        row blocks (``local_size`` rows of X plus y) — charged by the loop
+        as recovery traffic. Deterministic: ``partition_columns`` depends
+        only on (m, P′), so every replay shrinks identically.
+        """
+        nonlocal nranks, data, workspaces, packed_bufs
+        moved = float(
+            (d + 1) * sum(data.partition.local_size(r) for r in lost_ranks)
+        )
+        nranks = new_nranks
+        data = distribute_problem(problem, new_nranks)
+        if workspaces is not None:
+            workspaces = RankWorkspaces(
+                new_nranks, d, mbar, parallel=backend.parallel_ranks
+            )
+            loop.workspace = workspaces
+            packed_bufs = [np.empty(k * stride) for _ in range(new_nranks)]
+        return moved
+
     def restore(ck: Checkpoint) -> None:
         nonlocal w, w_prev, t_prev, prev_obj, sampled_iter, anchor, full_grad
         nonlocal rounds_done, start_epoch, start_rnd, in_epoch, converged, diverged
@@ -400,7 +422,12 @@ def rc_sfista_distributed(
     # periodic checkpoints restarts from scratch — nothing has moved,
     # nothing is charged.
     try:
-        loop.run(main_loop, capture=lambda: capture(0, 0, mid_epoch=False), restore=restore)
+        loop.run(
+            main_loop,
+            capture=lambda: capture(0, 0, mid_epoch=False),
+            restore=restore,
+            repartition=repartition,
+        )
     finally:
         # Real-parallelism backends hold worker processes / thread pools;
         # their cost ledgers survive close, so cost_summary() below and

@@ -225,6 +225,26 @@ def sfista_distributed(
             history_len=len(history),
         )
 
+    def repartition(new_nranks: int, lost_ranks) -> float:
+        """Shrink to *new_nranks* after an elastic pool loss (see driver).
+
+        Returns the lost ranks' row-block words (rows of X plus y) that
+        must travel to their new owners, charged as recovery traffic.
+        """
+        nonlocal nranks, data, workspaces, hr_bufs
+        moved = float(
+            (d + 1) * sum(data.partition.local_size(r) for r in lost_ranks)
+        )
+        nranks = new_nranks
+        data = distribute_problem(problem, new_nranks)
+        if workspaces is not None:
+            workspaces = RankWorkspaces(
+                new_nranks, d, mbar, parallel=backend.parallel_ranks
+            )
+            loop.workspace = workspaces
+            hr_bufs = [np.empty(stride) for _ in range(new_nranks)]
+        return moved
+
     def restore(ck: Checkpoint) -> None:
         nonlocal w, w_prev, t_prev, prev_obj, total_iter, anchor, full_grad
         nonlocal rounds_done, start_epoch, start_n, in_epoch, converged, diverged
@@ -384,7 +404,12 @@ def sfista_distributed(
                 return
 
     try:
-        loop.run(main_loop, capture=lambda: capture(0, 0, mid_epoch=False), restore=restore)
+        loop.run(
+            main_loop,
+            capture=lambda: capture(0, 0, mid_epoch=False),
+            restore=restore,
+            repartition=repartition,
+        )
     finally:
         # Real-parallelism backends hold worker processes / thread pools;
         # their cost ledgers survive close, so cost_summary() below and

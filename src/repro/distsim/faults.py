@@ -23,12 +23,21 @@ Design rules
   re-trigger them; triggered crashes are cleared by :meth:`FaultInjector.heal_all`
   when the runtime "respawns" the rank.
 
-Two substrates consume the injector:
+Three substrates consume the injector:
 
 * :class:`~repro.distsim.engine.SPMDEngine` — per-rank op indices count
   the communication operations each rank initiates (sends, collectives).
 * :class:`~repro.distsim.bsp.BSPCluster` — the op index is the global
   collective index (the cluster has no per-rank programs).
+* :class:`~repro.runtime.mpbackend.MultiprocessingBackend` — the same
+  global collective index, but the verdicts act on **real processes**:
+  a due :class:`RankCrash` SIGKILLs the rank's worker, a
+  :class:`RankStall` makes the worker really ``sleep`` (a slow rank /
+  hang, depending on the deadline), and a :class:`PayloadCorruption`
+  flips the rank's shared-memory contribution before the reduction.
+  Determinism is unchanged — the schedule depends only on the plan and
+  the collective index — which is what makes real-process chaos testing
+  replayable (docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
@@ -364,6 +373,21 @@ class FaultInjector:
                 self._dead.add(rank)
                 return True
         return False
+
+    def due_crashes(self, nranks: int, *, time: float, op_index: int) -> tuple[int, ...]:
+        """Ranks that are dead as of (*time*, *op_index*), latched, sorted.
+
+        Convenience sweep over :meth:`crash_due` for substrates that probe
+        the whole pool at once (the mp backend asks before every
+        collective, SIGKILLing any rank whose scheduled crash is due).
+        """
+        if nranks < 1:
+            raise ValidationError(f"nranks must be >= 1, got {nranks}")
+        return tuple(
+            rank
+            for rank in range(int(nranks))
+            if self.crash_due(rank, time=time, op_index=op_index)
+        )
 
     def heal_all(self) -> tuple[int, ...]:
         """Respawn every dead rank; their triggered crash specs never refire.

@@ -20,6 +20,7 @@ __all__ = [
     "FormatError",
     "FaultError",
     "RankFailureError",
+    "WorkerFailureError",
     "CommTimeoutError",
     "NumericalFaultError",
 ]
@@ -82,6 +83,34 @@ class FaultError(ReproError, RuntimeError):
 
 class RankFailureError(FaultError):
     """A simulated rank crashed (permanently) and the run could not proceed."""
+
+
+class WorkerFailureError(RankFailureError):
+    """A *real* worker process died or hung, and the backend already healed it.
+
+    Raised by :class:`~repro.runtime.mpbackend.MultiprocessingBackend`
+    after it has physically recovered the pool (respawned the dead ranks,
+    or shrunk it to the survivors) so that
+    :class:`~repro.runtime.driver.ResilientLoop` only has to rewind solver
+    state and replay — no simulated-injector healing applies.
+
+    ``ranks`` names the failed ranks; ``action`` is ``"respawn"`` or
+    ``"shrink"``; ``new_nranks`` is the post-shrink pool size (``None``
+    when the pool size is unchanged, i.e. under respawn).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        ranks: tuple[int, ...] = (),
+        action: str = "respawn",
+        new_nranks: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+        self.action = action
+        self.new_nranks = new_nranks
 
 
 class CommTimeoutError(FaultError):

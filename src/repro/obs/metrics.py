@@ -32,6 +32,7 @@ __all__ = [
     "MetricsRegistry",
     "diff_snapshots",
     "merge_rank_counts",
+    "record_recovery",
     "DEFAULT_BUCKETS",
 ]
 
@@ -234,6 +235,46 @@ def merge_rank_counts(
     for rank, count in enumerate(counts):
         if count:
             counter.inc(float(count), rank=rank)
+
+
+def record_recovery(
+    registry: "MetricsRegistry | None",
+    *,
+    respawns: int = 0,
+    shrinks: int = 0,
+    ranks_lost: int = 0,
+    retry_waits: int = 0,
+) -> None:
+    """Count one recovery action of the elastic mp backend.
+
+    Publishes the ``recovery_*`` counter family (docs/RESILIENCE.md):
+    supervised worker respawns, pool shrinks, total ranks lost to
+    crashes/hangs, and deadline extensions granted under a
+    :class:`~repro.distsim.faults.RetryPolicy` backoff. No-op when the
+    caller has no registry — the recovery path must not require one.
+    """
+    if registry is None:
+        return
+    if respawns:
+        registry.counter(
+            "recovery_respawns_total",
+            help="worker processes respawned after a crash or hang",
+        ).inc(float(respawns))
+    if shrinks:
+        registry.counter(
+            "recovery_shrinks_total",
+            help="pool shrinks (P -> P') after unrecoverable rank loss",
+        ).inc(float(shrinks))
+    if ranks_lost:
+        registry.counter(
+            "recovery_ranks_lost_total",
+            help="worker ranks lost to crashes or hangs",
+        ).inc(float(ranks_lost))
+    if retry_waits:
+        registry.counter(
+            "recovery_retry_waits_total",
+            help="collective ack deadlines extended by RetryPolicy backoff",
+        ).inc(float(retry_waits))
 
 
 def _diff_values(kind: str, before: Any, after: Any) -> Any:

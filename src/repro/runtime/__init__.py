@@ -33,6 +33,7 @@ from repro.runtime.backend import (
 )
 from repro.runtime.config import (
     BACKENDS,
+    FAILURE_POLICIES,
     RuntimeConfig,
     parse_backend_spec,
     resolve_runtime,
@@ -40,6 +41,7 @@ from repro.runtime.config import (
 from repro.runtime.dedup import ReplicatedCache
 from repro.runtime.driver import ResilientLoop
 from repro.runtime.mpbackend import MultiprocessingBackend, ThreadPoolBackend
+from repro.runtime.supervisor import WorkerStatus, WorkerSupervisor
 from repro.runtime.resilience import (
     ON_NAN_POLICIES,
     Checkpoint,
@@ -53,6 +55,7 @@ __all__ = [
     "BSPBackend",
     "Checkpoint",
     "ExecutionBackend",
+    "FAILURE_POLICIES",
     "MultiprocessingBackend",
     "NumericalGuard",
     "ON_NAN_POLICIES",
@@ -64,6 +67,8 @@ __all__ = [
     "SPMDBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "WorkerStatus",
+    "WorkerSupervisor",
     "build_host_backend",
     "parse_backend_spec",
     "resolve_runtime",

@@ -39,7 +39,13 @@ from repro.utils.rng import RandomState
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.distsim.bsp import BSPCluster
 
-__all__ = ["BACKENDS", "RuntimeConfig", "parse_backend_spec", "resolve_runtime"]
+__all__ = [
+    "BACKENDS",
+    "FAILURE_POLICIES",
+    "RuntimeConfig",
+    "parse_backend_spec",
+    "resolve_runtime",
+]
 
 # Host-driven execution substrates build_host_backend can produce. The SPMD
 # engine is not selected through this knob: rank-program solvers construct
@@ -48,6 +54,13 @@ __all__ = ["BACKENDS", "RuntimeConfig", "parse_backend_spec", "resolve_runtime"]
 # repro.runtime.mpbackend: worker processes over shared memory, and a BSP
 # cluster whose per-rank compute closures run on a thread pool.
 BACKENDS = ("bsp", "serial", "mp", "threads")
+
+# What the mp backend does when a real worker process dies or hangs:
+# "fail_fast" tears down and raises ConvergenceError (with .partial),
+# "respawn" restarts the dead rank and replays from the last checkpoint
+# (bit-identical final iterate), "shrink" drops the dead rank, repartitions
+# the columns over the survivors and resumes from the checkpoint at P′ < P.
+FAILURE_POLICIES = ("fail_fast", "respawn", "shrink")
 
 
 def _knob(default, surface: str):
@@ -81,9 +94,18 @@ class RuntimeConfig:
         only measured wall-clock changes (docs/RUNTIME.md).
     mp_timeout:
         Deadline in seconds for any single worker round-trip on the
-        ``"mp"`` backend; a crashed or hung worker surfaces as
-        :class:`~repro.exceptions.ConvergenceError` instead of a
-        deadlock. Ignored by the other backends.
+        ``"mp"`` backend; a crashed or hung worker is detected within
+        this deadline (plus any ``retry`` backoff grace) and handled per
+        ``mp_failure_policy``. Ignored by the other backends.
+    mp_failure_policy:
+        What the ``"mp"`` backend does when a real worker dies or hangs:
+        ``"fail_fast"`` (default) tears down and raises
+        :class:`~repro.exceptions.ConvergenceError` with ``.partial``
+        carrying the last checkpointed state; ``"respawn"`` restarts the
+        dead rank, restores the last checkpoint and replays
+        (bit-identical final iterate); ``"shrink"`` drops the dead rank,
+        deterministically repartitions the columns over the P′ survivors
+        and resumes from the checkpoint. See docs/RESILIENCE.md.
     machine / allreduce_algorithm / jitter_seed:
         The α-β-γ machine model, collective algorithm and per-rank compute
         jitter of the simulated cluster.
@@ -146,6 +168,7 @@ class RuntimeConfig:
     jitter_seed: RandomState = _knob(None, "shape")
     cluster: "BSPCluster | None" = _knob(None, "shape")
     mp_timeout: float = _knob(120.0, "shape")
+    mp_failure_policy: str = _knob("fail_fast", "resilience")
     faults: FaultPlan | FaultInjector | None = _knob(None, "resilience")
     retry: RetryPolicy | None = _knob(None, "resilience")
     recv_timeout: float | None = _knob(None, "resilience")
@@ -183,17 +206,34 @@ class RuntimeConfig:
             raise ValidationError(
                 f"mp_timeout must be finite and > 0, got {self.mp_timeout}"
             )
+        if self.mp_failure_policy not in FAILURE_POLICIES:
+            raise ValidationError(
+                f"mp_failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {self.mp_failure_policy!r}"
+            )
         if self.backend == "mp":
-            if self.faults is not None or self.retry is not None:
-                raise ValidationError(
-                    "fault injection and retry policies are simulation "
-                    "features; the mp backend runs real worker processes "
-                    "(use backend='bsp' to inject faults)"
-                )
             if self.cluster is not None:
                 raise ValidationError(
                     "the mp backend builds its own workers; a prebuilt BSP "
                     "cluster cannot be supplied"
+                )
+            if self.recv_timeout is not None:
+                raise ValidationError(
+                    "recv_timeout is a simulated-clock deadline; the mp "
+                    "backend guards real round-trips with mp_timeout instead"
+                )
+            if isinstance(self.faults, FaultPlan) and (
+                self.faults.drop_rate
+                or self.faults.delay_rate
+                or self.faults.collective_drop_rate
+                or self.faults.drops
+                or self.faults.delays
+            ):
+                raise ValidationError(
+                    "p2p message drops/delays and torn collectives are "
+                    "simulation-engine faults; the mp backend runs collectives "
+                    "on real processes and supports crashes, stalls and "
+                    "payload corruption only"
                 )
         if self.cluster is not None:
             if (

@@ -29,7 +29,12 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.exceptions import NumericalFaultError, RankFailureError
+from repro.exceptions import (
+    ConvergenceError,
+    NumericalFaultError,
+    RankFailureError,
+    WorkerFailureError,
+)
 from repro.obs.telemetry import IterationRecord, TelemetryCallback
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.config import RuntimeConfig
@@ -202,6 +207,7 @@ class ResilientLoop:
         *,
         capture: Callable[[], Checkpoint] | None = None,
         restore: Callable[[Checkpoint], None] | None = None,
+        repartition: Callable[[int, Sequence[int]], float] | None = None,
     ) -> Any:
         """Execute *body* to completion, surviving faults via replay.
 
@@ -210,9 +216,19 @@ class ResilientLoop:
         state to a checkpoint before a replay. Solvers without host-side
         state to rewind (the SPMD rank programs re-derive everything from
         their own checkpoint dict) pass neither, getting a pure re-run.
+        ``repartition(new_nranks, lost_ranks)`` rebuilds the solver's
+        rank-count-dependent structures (column partition, workspaces,
+        per-rank buffers) after an elastic pool shrink and returns the
+        number of state words that had to move to new owners — charged as
+        recovery traffic.
 
         Recovery actions, per exception:
 
+        * :class:`WorkerFailureError` — a real worker process died or
+          hung, and the mp backend already healed the pool (respawn) or
+          shrunk it. The loop books the stats, runs ``repartition`` for a
+          shrink (no hook → the shrink cannot be absorbed and the failure
+          propagates), restores and replays.
         * :class:`RankFailureError` — heal the failed ranks through the
           backend's injector, charge recovery traffic for the active
           checkpoint, restore, replay. Without an injector (or past
@@ -220,6 +236,9 @@ class ResilientLoop:
         * :class:`RollbackRequested` — same restore/replay path minus the
           healing; past ``max_recoveries`` it escalates to
           :class:`NumericalFaultError`.
+        * :class:`~repro.exceptions.ConvergenceError` — not recovered, but
+          the last checkpointed state is attached as ``.partial`` before
+          it propagates, so ``fail_fast`` callers can salvage the iterate.
         """
         if capture is not None:
             self._ck = capture()
@@ -227,6 +246,33 @@ class ResilientLoop:
         while True:
             try:
                 return body()
+            except ConvergenceError as err:
+                if err.partial is None and self._ck is not None:
+                    err.partial = self._partial()
+                raise
+            except WorkerFailureError as err:
+                # The backend already healed the pool; the loop's job is
+                # accounting, repartitioning (shrink) and the replay.
+                recoveries += 1
+                if recoveries > self.config.max_recoveries:
+                    raise
+                self.stats.rank_failures_recovered += 1
+                self.stats.healed_ranks.extend(err.ranks)
+                self.stats.rollbacks += 1
+                if err.action == "shrink":
+                    if repartition is None:
+                        raise
+                    self.stats.shrinks += 1
+                    self.stats.final_nranks = err.new_nranks
+                    moved = repartition(err.new_nranks, err.ranks)
+                    if moved:
+                        # Redistributed row blocks travel to new owners.
+                        self.backend.recover(float(moved))
+                else:
+                    # Counted per replaced worker (one recovery round can
+                    # respawn several simultaneously-failed ranks).
+                    self.stats.respawns += len(err.ranks)
+                self._recover(restore)
             except RankFailureError:
                 injector = self.backend.injector
                 if injector is None:
@@ -248,6 +294,21 @@ class ResilientLoop:
                     ) from None
                 self.stats.rollbacks += 1
                 self._recover(restore)
+
+    def _partial(self) -> dict[str, Any]:
+        """Salvageable state for ``ConvergenceError.partial`` (fail-fast).
+
+        The last *checkpointed* iterate — not whatever the torn collective
+        left behind — plus enough round metadata to resume or report.
+        """
+        ck = self._ck
+        return {
+            "arrays": {k: v.copy() for k, v in ck.arrays.items()},
+            "scalars": dict(ck.scalars),
+            "comm_rounds": self.comm_rounds,
+            "resilience": self.stats.as_meta(),
+            "sim_time": self.backend.elapsed,
+        }
 
     def _recover(self, restore: Callable[[Checkpoint], None] | None) -> None:
         if self._ck is not None:

@@ -7,10 +7,11 @@ hardware parallelism. This module adds the two backends that run ranks for
 real while keeping the simulated cost model as the source of truth:
 
 * :class:`MultiprocessingBackend` (``backend="mp"``) — one persistent
-  worker **process** per rank. Collective payloads move through
-  ``multiprocessing.shared_memory`` segments (one per rank, zero-copy
-  between processes) and are reduced by the workers themselves in the
-  exact pairwise-tournament order of
+  worker **process** per rank, owned by a
+  :class:`~repro.runtime.supervisor.WorkerSupervisor`. Collective
+  payloads move through ``multiprocessing.shared_memory`` segments (one
+  per rank, zero-copy between processes) and are reduced by the workers
+  themselves in the exact pairwise-tournament order of
   :func:`repro.distsim.collectives.allreduce_values`, so results are
   **bit-identical** to every simulated backend. Charged costs come from an
   internal ledger :class:`~repro.distsim.bsp.BSPCluster` driven through
@@ -41,12 +42,35 @@ same pairing (hence the same floating-point sums) as
 Robustness contract
 -------------------
 Every worker round-trip is guarded by a deadline
-(:attr:`RuntimeConfig.mp_timeout`): a worker that crashed or hangs
-mid-collective surfaces as :class:`~repro.exceptions.ConvergenceError`
-(with ``.partial`` for graceful degradation) instead of deadlocking the
-host, and the backend tears down its processes and **unlinks every
-shared-memory segment** on both the success and the failure path (the
-lifecycle tests assert ``/dev/shm`` stays clean).
+(:attr:`RuntimeConfig.mp_timeout`, plus :class:`RetryPolicy` backoff
+grace when configured). A worker that crashed or hangs mid-collective is
+detected within that deadline and handled per
+:attr:`RuntimeConfig.mp_failure_policy`:
+
+* ``"fail_fast"`` — tear down and raise
+  :class:`~repro.exceptions.ConvergenceError`; the
+  :class:`~repro.runtime.driver.ResilientLoop` attaches the last
+  checkpointed state as ``.partial`` so callers can salvage work.
+* ``"respawn"`` — SIGKILL the hung/dead ranks, spawn replacements
+  through the same bootstrap (BLAS pinning, atexit hygiene), re-attach
+  the segments and raise
+  :class:`~repro.exceptions.WorkerFailureError` so the loop rewinds to
+  the last checkpoint and replays — the final iterate is **bit-identical**
+  to an unfaulted run (checkpoints capture the RNG stream).
+* ``"shrink"`` — drop the failed ranks, renumber the survivors to a
+  contiguous P′-rank pool, carry their cost counters into a fresh
+  P′-rank ledger (dead ranks' past costs stay in the totals), and raise
+  :class:`WorkerFailureError` with ``new_nranks`` so the solver
+  deterministically repartitions its columns and resumes from the
+  checkpoint on the survivors.
+
+A seeded :class:`~repro.distsim.faults.FaultPlan` drives deterministic
+*real-process* chaos: scheduled/random crashes SIGKILL workers, stalls
+make workers really sleep, and payload corruption flips shared-memory
+contributions before the reduction (docs/RESILIENCE.md). The backend
+tears down its processes and **unlinks every shared-memory segment** on
+every path — success, fail-fast, respawn, shrink (the lifecycle and chaos
+tests assert ``/dev/shm`` stays clean and no zombies remain).
 """
 
 from __future__ import annotations
@@ -65,12 +89,18 @@ import numpy as np
 
 from repro.distsim import sparse_collectives as sc
 from repro.distsim.bsp import BSPCluster
-from repro.distsim.faults import FaultInjector
+from repro.distsim.faults import FaultInjector, RetryPolicy, as_injector
 from repro.distsim.trace import Trace
-from repro.exceptions import CommunicatorError, ConvergenceError, ValidationError
+from repro.exceptions import (
+    CommunicatorError,
+    ConvergenceError,
+    ValidationError,
+    WorkerFailureError,
+)
 from repro.runtime.backend import BSPBackend
-from repro.runtime.config import RuntimeConfig
+from repro.runtime.config import FAILURE_POLICIES, RuntimeConfig
 from repro.runtime.dedup import ReplicatedCache
+from repro.runtime.supervisor import WorkerSupervisor
 
 __all__ = [
     "MultiprocessingBackend",
@@ -84,6 +114,41 @@ _SEGMENT_PREFIX = "repro_mp"
 # Names of every shared-memory segment this process has created and not yet
 # unlinked — the leak-test surface and the atexit safety net.
 _LIVE_SEGMENTS: set[str] = set()
+
+# Counter fields carried across a pool shrink: the survivors' accumulated
+# costs seed the P′-rank ledger, the dead ranks' accumulate into the
+# retired totals so Table-1 numbers still reflect everything that happened.
+_COUNTER_FIELDS = (
+    "flops",
+    "words",
+    "messages",
+    "sparse_words",
+    "saved_words",
+    "retry_messages",
+    "retry_words",
+    "checkpoint_words",
+    "compute_time",
+    "comm_time",
+    "idle_time",
+    "clock",
+)
+
+_TOTAL_KEYS = {
+    "flops_total": "flops",
+    "words_total": "words",
+    "messages_total": "messages",
+    "sparse_words_total": "sparse_words",
+    "saved_words_total": "saved_words",
+    "retry_messages_total": "retry_messages",
+    "retry_words_total": "retry_words",
+    "checkpoint_words_total": "checkpoint_words",
+}
+
+_MAX_KEYS = {
+    "flops_per_rank_max": "flops",
+    "messages_per_rank_max": "messages",
+    "words_per_rank_max": "words",
+}
 
 
 def live_segment_names() -> frozenset[str]:
@@ -151,24 +216,29 @@ def _attach(name: str, unregister: bool) -> shared_memory.SharedMemory:
     return seg
 
 
-def _worker_main(rank: int, nranks: int, conn, unregister_shm: bool) -> None:
+def _worker_main(rank: int, nranks: int, conn, unregister_shm: bool, generation: int = 0) -> None:
     """Persistent worker loop: attach segments, execute collective steps.
 
-    Data never travels over the pipe — commands and acks only. Buffers are
-    float64 views over the shared segments; a ``reduce_level`` command
-    makes this worker accumulate its pair partner in place. Each ack
-    carries the number of elements the worker touched so the host can
-    merge per-rank data-plane metrics.
+    Data never travels over the pipe — commands and acks only, in the
+    supervisor's sequence-numbered envelope (``(seq, op, *args)`` in,
+    ``(seq, status, payload)`` out) so the host can discard stale acks
+    after a recovery. Buffers are float64 views over the shared segments;
+    a ``reduce_level`` command makes this worker accumulate its pair
+    partner in place. Each data-plane ack carries the number of elements
+    the worker touched so the host can merge per-rank metrics.
+
+    ``attach`` also (re)binds the worker's rank identity — a pool shrink
+    renumbers survivors by attaching them under their new rank/nranks.
     """
     segments: list[shared_memory.SharedMemory] = []
     views: list[np.ndarray] = []
     try:
         while True:
-            cmd = conn.recv()
-            op = cmd[0]
+            msg = conn.recv()
+            seq, op, args = msg[0], msg[1], msg[2:]
             try:
                 if op == "attach":
-                    _, names = cmd
+                    names, rank, nranks = args
                     views = []  # views must die before their segments close
                     for seg in segments:
                         seg.close()
@@ -176,9 +246,9 @@ def _worker_main(rank: int, nranks: int, conn, unregister_shm: bool) -> None:
                     views = [
                         np.frombuffer(seg.buf, dtype=np.float64) for seg in segments
                     ]
-                    conn.send(("ok", 0))
+                    conn.send((seq, "ok", 0))
                 elif op == "reduce_level":
-                    _, stride, count = cmd
+                    stride, count = args
                     touched = 0
                     if rank % (2 * stride) == 0 and rank + stride < nranks:
                         # No named slice views: a surviving local would keep
@@ -189,28 +259,40 @@ def _worker_main(rank: int, nranks: int, conn, unregister_shm: bool) -> None:
                             out=views[rank][:count],
                         )
                         touched = count
-                    conn.send(("ok", touched))
+                    conn.send((seq, "ok", touched))
                 elif op == "bcast":
-                    _, root, count = cmd
+                    root, count = args
                     touched = 0
                     if rank != root:
                         np.copyto(views[rank][:count], views[root][:count])
                         touched = count
-                    conn.send(("ok", touched))
+                    conn.send((seq, "ok", touched))
                 elif op == "barrier":
-                    conn.send(("ok", 0))
-                elif op == "sleep":  # test hook: a hung worker
-                    time.sleep(cmd[1])
-                    conn.send(("ok", 0))
+                    conn.send((seq, "ok", 0))
+                elif op == "ping":  # supervisor heartbeat / tests
+                    conn.send(
+                        (
+                            seq,
+                            "ok",
+                            {
+                                "pid": os.getpid(),
+                                "generation": generation,
+                                "blas_pinned": os.environ.get("OMP_NUM_THREADS"),
+                            },
+                        )
+                    )
+                elif op == "sleep":  # injected stall / test hook: a hung worker
+                    time.sleep(args[0])
+                    conn.send((seq, "ok", 0))
                 elif op == "crash":  # test hook: a dying worker
                     os._exit(13)
                 elif op == "exit":
-                    conn.send(("ok", 0))
+                    conn.send((seq, "ok", 0))
                     return
                 else:
-                    conn.send(("err", f"unknown command {op!r}"))
+                    conn.send((seq, "err", f"unknown command {op!r}"))
             except Exception as exc:  # surface, don't die silently
-                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+                conn.send((seq, "err", f"{type(exc).__name__}: {exc}"))
     except (EOFError, KeyboardInterrupt, BrokenPipeError):
         pass
     finally:
@@ -223,16 +305,17 @@ def _worker_main(rank: int, nranks: int, conn, unregister_shm: bool) -> None:
 
 
 class MultiprocessingBackend:
-    """``ExecutionBackend`` over persistent shared-memory worker processes.
+    """``ExecutionBackend`` over supervised shared-memory worker processes.
 
     Numerics are computed by the workers (real parallel data movement and
     reduction through ``multiprocessing.shared_memory``); the α-β-γ costs,
     clocks, trace and comm decisions are charged to an internal ledger
     :class:`BSPCluster` through its charge-only methods, so
     ``cost_summary()`` is byte-identical to a BSP run of the same
-    schedule. Fault injection is rejected — these are real processes, and
-    real failures surface as :class:`ConvergenceError` via the timeout
-    guard instead of simulated verdicts.
+    schedule. Failures are *real*: a seeded fault plan SIGKILLs, stalls
+    or corrupts actual worker processes, and ``failure_policy`` selects
+    fail-fast, supervised respawn, or pool shrink with rank
+    redistribution (see the module docstring's robustness contract).
     """
 
     parallel_ranks = False  # map_ranks is serial: closures don't cross exec
@@ -248,15 +331,33 @@ class MultiprocessingBackend:
         metrics=None,
         timeout: float = 120.0,
         min_segment_bytes: int = 1 << 13,
+        failure_policy: str = "fail_fast",
+        faults=None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if comm not in sc.COMM_MODES:
             raise ValidationError(f"comm must be one of {sc.COMM_MODES}, got {comm!r}")
         if not (np.isfinite(timeout) and timeout > 0):
             raise ValidationError(f"mp timeout must be finite and > 0, got {timeout}")
+        if failure_policy not in FAILURE_POLICIES:
+            raise ValidationError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}"
+            )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ValidationError(
+                f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
+            )
         self.comm = comm
         self.nranks = int(nranks)
         self.timeout = float(timeout)
+        self.failure_policy = failure_policy
         self.replicated = ReplicatedCache(enabled=False)
+        self._injector = as_injector(faults)
+        self._retry = retry
+        self._machine = machine
+        self._allreduce_algorithm = allreduce_algorithm
+        self._jitter_seed = jitter_seed
         # The cost ledger: a fault-free BSP cluster driven only through its
         # charge-only methods — never sees payloads, charges exactly what a
         # BSPBackend run of the same schedule charges.
@@ -271,50 +372,51 @@ class MultiprocessingBackend:
         self.worker_stats = [
             {"commands": 0, "elements": 0} for _ in range(self.nranks)
         ]
+        # Data-plane stats of ranks retired by a shrink (published at
+        # teardown after the surviving ranks, in retirement order).
+        self._retired_stats: list[dict] = []
+        # Dead ranks' accumulated cost-counter fields, folded into
+        # cost_summary() — a retired rank's past work still happened.
+        self._retired_costs: dict[str, float] = {}
+        # (action, ranks) recovery log, surfaced in tests and benchmarks.
+        self.recovery_events: list[tuple[str, tuple[int, ...]]] = []
+        self.retry_waits = 0
         self._closed = False
         self._broken: str | None = None
         self._capacity = 0
+        self._coll_index = 0
         self._segments: list[shared_memory.SharedMemory] = []
         self._views: list[np.ndarray] = []
         methods = get_all_start_methods()
         start_method = "fork" if "fork" in methods else "spawn"
-        self._ctx = get_context(start_method)
+        ctx = get_context(start_method)
         if start_method == "fork":
             # Start the host's resource tracker *before* forking so every
             # worker inherits it: one tracker, idempotent duplicate
             # registrations, no per-child tracker warning about segments
             # the host already unlinked.
             _resource_tracker.ensure_running()
-        self._conns = []
-        self._procs = []
-        for rank in range(self.nranks):
-            host_conn, worker_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(rank, self.nranks, worker_conn, start_method != "fork"),
-                daemon=True,
-                name=f"repro-mp-worker-{rank}",
-            )
-            proc.start()
-            worker_conn.close()
-            self._conns.append(host_conn)
-            self._procs.append(proc)
+        # Failures during construction cannot be recovered by replay (no
+        # checkpoint exists outside a ResilientLoop body yet) — the
+        # _recovering latch forces the fail-fast path until setup is done.
+        self._recovering = True
+        self._sup = WorkerSupervisor(
+            _worker_main,
+            self.nranks,
+            ctx=ctx,
+            unregister_shm=start_method != "fork",
+        )
         self._levels = tournament_levels(self.nranks)
         self._ensure_capacity(max(1, min_segment_bytes // 8))
+        self._recovering = False
 
     @classmethod
     def from_config(cls, config: RuntimeConfig, nranks: int) -> "MultiprocessingBackend":
-        """Build the backend a config describes (real processes: no faults)."""
+        """Build the backend a config describes (chaos plan and all)."""
         if config.cluster is not None:
             raise ValidationError(
                 "the mp backend builds its own workers; a prebuilt BSP cluster "
                 "cannot be supplied"
-            )
-        if config.faults is not None or config.retry is not None:
-            raise ValidationError(
-                "fault injection and retry policies are simulation features; "
-                "the mp backend runs real processes (use backend='bsp' to "
-                "inject faults, or rely on the mp timeout guard for real ones)"
             )
         return cls(
             nranks,
@@ -324,11 +426,18 @@ class MultiprocessingBackend:
             jitter_seed=config.jitter_seed,
             metrics=config.metrics,
             timeout=config.mp_timeout,
+            failure_policy=config.mp_failure_policy,
+            faults=config.faults,
+            retry=config.retry,
         )
 
     # ------------------------------------------------------------------ #
     # worker coordination
     # ------------------------------------------------------------------ #
+    @property
+    def supervisor(self) -> WorkerSupervisor:
+        return self._sup
+
     def _check_open(self) -> None:
         if self._broken:
             raise ConvergenceError(
@@ -339,40 +448,214 @@ class MultiprocessingBackend:
             raise CommunicatorError("mp backend has been closed")
 
     def _fail(self, why: str) -> ConvergenceError:
-        """Tear down after a worker fault; segments must not leak."""
+        """Tear down after an unrecoverable worker fault; nothing may leak."""
         self._broken = why
         self._teardown(graceful=False)
         return ConvergenceError(
             f"mp backend worker failure: {why} — worker processes terminated, "
-            "shared memory unlinked; rerun on backend='bsp' to reproduce the "
-            "schedule in simulation",
+            "shared memory unlinked; the last checkpointed state (if any) is "
+            "attached as .partial, and mp_failure_policy='respawn'/'shrink' "
+            "recovers instead of failing",
             partial=None,
         )
 
-    def _roundtrip(self, targets: Sequence[int], cmd: tuple, label: str) -> None:
-        """Send *cmd* to *targets* and await every ack under the deadline."""
-        for r in targets:
-            try:
-                self._conns[r].send(cmd)
-            except (BrokenPipeError, OSError):
-                raise self._fail(f"worker {r} pipe broken during {label}") from None
+    def _await(self, rank: int, seq: int, label: str) -> Any:
+        """Await *rank*'s ack for envelope *seq*, granting retry backoff grace.
+
+        Returns the ack payload, or None when the rank failed (deadline
+        and every backoff extension exhausted, or its pipe died). Each
+        grace extension is fault-tolerance traffic: it bumps the
+        ``retry_*`` ledger counters (one ack-word recovery round) and the
+        ``recovery_retry_waits_total`` metric.
+        """
         deadline = time.monotonic() + self.timeout
+        attempt = 0
+        while True:
+            ack = self._sup.recv_ack(rank, seq, deadline)
+            if ack is not None:
+                status, payload = ack
+                if status != "ok":
+                    raise self._fail(f"worker {rank} errored in {label!r}: {payload}")
+                return payload
+            if (
+                self._retry is not None
+                and attempt < self._retry.max_retries
+                and self._sup.is_alive(rank)
+            ):
+                attempt += 1
+                grace = max(self._retry.backoff(attempt), 1e-3)
+                self.retry_waits += 1
+                self._ledger.recover(self._retry.ack_words, label="mp_retry_wait")
+                if self._metrics is not None:
+                    from repro.obs.metrics import record_recovery
+
+                    record_recovery(self._metrics, retry_waits=1)
+                deadline = time.monotonic() + grace
+                continue
+            return None
+
+    def _roundtrip(
+        self,
+        targets: Sequence[int],
+        cmd_for: Callable[[int], tuple],
+        label: str,
+    ) -> None:
+        """Send ``cmd_for(rank)`` to every target and await every ack.
+
+        A broken pipe, a worker error, or a deadline miss (after backoff
+        grace) routes to :meth:`_handle_failure` — which recovers per the
+        failure policy or raises the fail-fast ConvergenceError.
+        """
+        pending: list[tuple[int, int]] = []
+        failed: list[int] = []
         for r in targets:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0 or not self._conns[r].poll(remaining):
-                alive = self._procs[r].is_alive()
+            seq = self._sup.next_seq()
+            if self._sup.send(r, seq, *cmd_for(r)):
+                pending.append((r, seq))
+            else:
+                failed.append(r)
+        for r, seq in pending:
+            if failed:
+                # Already recovering this round: don't await the rest, a
+                # torn collective will be replayed from the checkpoint.
+                break
+            payload = self._await(r, seq, label)
+            if payload is None:
+                failed.append(r)
+            else:
+                self.worker_stats[r]["commands"] += 1
+                self.worker_stats[r]["elements"] += int(payload)
+        if failed:
+            self._handle_failure(label, failed)
+
+    def _handle_failure(self, label: str, suspects: Sequence[int]) -> None:
+        """Classify the pool and recover per the failure policy (raises).
+
+        Every rank is heartbeat-probed so simultaneous failures are
+        handled in one recovery; a live-but-unresponsive rank is *hung*
+        and treated exactly like a dead one (SIGKILLed, then respawned or
+        dropped) — a rank slower than the deadline plus backoff grace has
+        failed, which is the straggler-escalation semantic.
+        """
+        if self.failure_policy == "fail_fast" or self._recovering:
+            raise self._fail(self._describe(label, sorted(set(suspects))))
+        self._recovering = True
+        try:
+            statuses = self._sup.heartbeat(min(self.timeout, 2.0))
+            failed = sorted(
+                set(suspects) | {s.rank for s in statuses if not s.healthy}
+            )
+            if len(failed) >= self.nranks:
                 raise self._fail(
-                    f"worker {r} {'hung' if alive else 'died'} in {label!r} "
-                    f"(deadline {self.timeout:g}s)"
+                    f"every rank failed during {label!r}; nothing to recover on"
                 )
-            try:
-                status, payload = self._conns[r].recv()
-            except (EOFError, OSError):
-                raise self._fail(f"worker {r} died mid-{label}") from None
-            if status != "ok":
-                raise self._fail(f"worker {r} errored in {label!r}: {payload}")
-            self.worker_stats[r]["commands"] += 1
-            self.worker_stats[r]["elements"] += int(payload)
+            for r in failed:
+                self._sup.kill(r)  # reap dead ones, SIGKILL hung ones
+                self._sup.drain(r)
+            if self._injector is not None:
+                # Triggered scheduled crashes must not refire on replay.
+                self._injector.heal_all()
+            from repro.obs.metrics import record_recovery
+
+            if self.failure_policy == "respawn":
+                self._sup.respawn(failed)
+                self._attach_all()
+                self.recovery_events.append(("respawn", tuple(failed)))
+                record_recovery(self._metrics, respawns=len(failed), ranks_lost=len(failed))
+                raise WorkerFailureError(
+                    self._describe(label, failed)
+                    + f" — respawned rank(s) {failed}, replaying from checkpoint",
+                    ranks=tuple(failed),
+                    action="respawn",
+                )
+            # shrink: renumber the survivors to a contiguous P′-rank pool
+            survivors = [r for r in range(self.nranks) if r not in failed]
+            self._shrink_to(survivors, failed)
+            self.recovery_events.append(("shrink", tuple(failed)))
+            record_recovery(self._metrics, shrinks=1, ranks_lost=len(failed))
+            raise WorkerFailureError(
+                self._describe(label, failed)
+                + f" — pool shrunk {len(survivors) + len(failed)}→{len(survivors)}, "
+                "repartitioning and resuming from checkpoint",
+                ranks=tuple(failed),
+                action="shrink",
+                new_nranks=len(survivors),
+            )
+        finally:
+            self._recovering = False
+
+    def _describe(self, label: str, ranks: Sequence[int]) -> str:
+        states = []
+        for r in ranks:
+            alive = self._sup.is_alive(r)
+            states.append(f"worker {r} {'hung' if alive else 'died'}")
+        return (
+            f"{', '.join(states)} in {label!r} (deadline {self.timeout:g}s"
+            + (
+                f" + {self._retry.max_retries} backoff retries"
+                if self._retry is not None
+                else ""
+            )
+            + ")"
+        )
+
+    def _attach_all(self) -> None:
+        """(Re)bind every worker to the current segments under its rank."""
+        names = [seg.name for seg in self._segments]
+        self._roundtrip(
+            range(self.nranks),
+            lambda r: ("attach", names, r, self.nranks),
+            "attach",
+        )
+
+    def _shrink_to(self, survivors: list[int], failed: list[int]) -> None:
+        """Drop *failed*, renumber *survivors*, carry ledger and segments.
+
+        The survivors keep their own segments (reordered to the new rank
+        ids); the dead ranks' segments are unlinked. Their cost counters
+        move into the retired totals so ``cost_summary()`` still accounts
+        for work done before the failure, while the new P′-rank ledger is
+        seeded with the survivors' accumulated counters and clocks — the
+        cost timeline continues, it does not restart.
+        """
+        old = self._ledger
+        for r in failed:
+            for key, fld in _TOTAL_KEYS.items():
+                self._retired_costs[key] = self._retired_costs.get(key, 0.0) + getattr(
+                    old.counters[r], fld
+                )
+            for key, fld in _MAX_KEYS.items():
+                self._retired_costs[key] = max(
+                    self._retired_costs.get(key, 0.0), getattr(old.counters[r], fld)
+                )
+            self._retired_costs["elapsed"] = max(
+                self._retired_costs.get("elapsed", 0.0), old.counters[r].clock
+            )
+            self._retired_stats.append(self.worker_stats[r])
+        new = BSPCluster(
+            len(survivors),
+            self._machine,
+            allreduce_algorithm=self._allreduce_algorithm,
+            jitter_seed=self._jitter_seed,
+            trace=old.trace,
+            metrics=self._metrics,
+        )
+        for new_r, old_r in enumerate(survivors):
+            src, dst = old.counters[old_r], new.counters[new_r]
+            for fld in _COUNTER_FIELDS:
+                setattr(dst, fld, getattr(src, fld))
+        self._ledger = new
+        self.worker_stats = [self.worker_stats[r] for r in survivors]
+        self._sup.renumber(survivors)
+        keep = [self._segments[r] for r in survivors]
+        drop = [self._segments[r] for r in failed]
+        self._views = [self._views[r] for r in survivors]
+        self._segments = keep
+        for seg in drop:
+            self._unlink(seg)
+        self.nranks = len(survivors)
+        self._levels = tournament_levels(self.nranks)
+        self._attach_all()
 
     def _ensure_capacity(self, n_elements: int) -> None:
         """Grow the per-rank segments to hold *n_elements* float64 each."""
@@ -382,15 +665,13 @@ class MultiprocessingBackend:
         old = self._segments
         self._segments = []
         self._views = []
-        names = []
         for rank in range(self.nranks):
             name = f"{_SEGMENT_PREFIX}_{os.getpid()}_{rank}_{secrets.token_hex(4)}"
             seg = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
             _LIVE_SEGMENTS.add(seg.name)
             self._segments.append(seg)
             self._views.append(np.frombuffer(seg.buf, dtype=np.float64))
-            names.append(seg.name)
-        self._roundtrip(range(self.nranks), ("attach", names), "attach")
+        self._attach_all()
         for seg in old:
             self._unlink(seg)
         self._capacity = nbytes // 8
@@ -405,22 +686,7 @@ class MultiprocessingBackend:
         _LIVE_SEGMENTS.discard(seg.name)
 
     def _teardown(self, graceful: bool) -> None:
-        if graceful:
-            for r, conn in enumerate(self._conns):
-                try:
-                    conn.send(("exit",))
-                except (BrokenPipeError, OSError):
-                    pass
-        for proc in self._procs:
-            proc.join(timeout=1.0 if graceful else 0.2)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=1.0)
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
+        self._sup.shutdown(graceful=graceful)
         # Views must die before the segments: SharedMemory.close refuses
         # to tear down a buffer that still has exported numpy views.
         self._views = []
@@ -435,16 +701,20 @@ class MultiprocessingBackend:
             return
         from repro.obs.metrics import merge_rank_counts
 
+        # Retired (shrunk-away) ranks publish after the survivors; their
+        # label is positional, which keeps the pass deterministic and the
+        # totals exact even though their original rank id is gone.
+        stats = self.worker_stats + self._retired_stats
         merge_rank_counts(
             self._metrics,
             "mpbackend_commands",
-            [s["commands"] for s in self.worker_stats],
+            [s["commands"] for s in stats],
             help="collective commands executed per mp worker",
         )
         merge_rank_counts(
             self._metrics,
             "mpbackend_elements",
-            [s["elements"] for s in self.worker_stats],
+            [s["elements"] for s in stats],
             help="float64 elements reduced/copied per mp worker",
         )
 
@@ -465,6 +735,76 @@ class MultiprocessingBackend:
             self.close()
         except Exception:
             pass
+
+    # ------------------------------------------------------------------ #
+    # chaos injection
+    # ------------------------------------------------------------------ #
+    def _precollective(self, label: str) -> tuple[int, Any]:
+        """Health-check the pool and apply the chaos plan for one collective.
+
+        Returns ``(collective_index, fault_verdict)``. The index is
+        monotone for the backend's lifetime — it keeps increasing through
+        replays, exactly like the BSP cluster's, so one-shot scheduled
+        faults never refire after a recovery. Any rank found dead here
+        (externally killed, or SIGKILLed by a due scheduled crash) routes
+        to :meth:`_handle_failure` before the collective starts.
+        """
+        self._check_open()
+        index = self._coll_index
+        self._coll_index += 1
+        suspects = set(self._sup.reap())
+        fault = None
+        if self._injector is not None:
+            for r in self._injector.due_crashes(
+                self.nranks, time=self._ledger.elapsed, op_index=index
+            ):
+                if self._sup.is_alive(r):
+                    self._sup.kill(r)  # the real SIGKILL the plan schedules
+                suspects.add(r)
+            fault = self._injector.collective_fault(self.nranks, index)
+        if suspects:
+            self._handle_failure(label, sorted(suspects))
+        return index, fault
+
+    def _apply_chaos(self, index: int, fault, n: int, payload_ranks: Sequence[int]) -> None:
+        """Inject stalls and shm payload corruption for one collective.
+
+        Corruption flips the rank's shared-memory contribution *before*
+        the reduction (deterministic victim element, keyed by the plan
+        seed and the collective index); a NaN/Inf then propagates through
+        the tournament into the result, where the solver's NumericalGuard
+        sees it — the same integration point the simulated engines use.
+        Stalls make the worker really sleep; the stall acks are awaited
+        under the usual deadline + backoff grace, so a short stall is a
+        slow rank and a long one escalates to hung-rank recovery.
+        """
+        if fault is None or not fault.any:
+            return
+        for r in payload_ranks:
+            mode = fault.corruptions.get(r)
+            if mode is not None and n > 0:
+                corrupted = self._injector.corrupt(
+                    np.array(self._views[r][:n], copy=True),
+                    mode,
+                    rank=r,
+                    op_index=index,
+                )
+                np.copyto(self._views[r][:n], corrupted)
+        pending: list[tuple[int, int]] = []
+        failed: list[int] = []
+        for r, duration in sorted(fault.stalls.items()):
+            if r >= self.nranks or not self._sup.is_alive(r):
+                continue
+            seq = self._sup.next_seq()
+            if self._sup.send(r, seq, "sleep", float(duration)):
+                pending.append((r, seq))
+            else:
+                failed.append(r)
+        for r, seq in pending:
+            if not failed and self._await(r, seq, "injected stall") is None:
+                failed.append(r)
+        if failed:
+            self._handle_failure("injected stall", failed)
 
     # ------------------------------------------------------------------ #
     # shared-memory numerics
@@ -494,7 +834,9 @@ class MultiprocessingBackend:
         """Execute the pairwise reduction levels on the workers."""
         for stride, pairs in self._levels:
             self._roundtrip(
-                [dst for dst, _src in pairs], ("reduce_level", stride, n), "allreduce"
+                [dst for dst, _src in pairs],
+                lambda r: ("reduce_level", stride, n),
+                "allreduce",
             )
 
     def _result(self, n: int, shape: tuple, root: int = 0) -> np.ndarray:
@@ -505,6 +847,8 @@ class MultiprocessingBackend:
     # ------------------------------------------------------------------ #
     def allreduce(self, contribs: Sequence[np.ndarray], label: str = "allreduce") -> np.ndarray:
         n, shape = self._load(contribs, "allreduce")
+        index, fault = self._precollective(label)
+        self._apply_chaos(index, fault, n, range(self.nranks))
         if self.comm == "dense":
             self._ledger.charge_allreduce(float(n), label=label)
         else:
@@ -528,6 +872,8 @@ class MultiprocessingBackend:
         if not (0 <= root < self.nranks):
             raise CommunicatorError(f"root {root} out of range [0, {self.nranks})")
         n, shape = self._load(contribs, "reduce")
+        index, fault = self._precollective(label)
+        self._apply_chaos(index, fault, n, range(self.nranks))
         self._ledger.charge_reduce(float(n), label=label)
         self._run_tournament(n)
         # The tournament champion lives at rank 0; the host-view protocol
@@ -542,14 +888,18 @@ class MultiprocessingBackend:
         n = int(arr.size)
         self._ensure_capacity(n)
         np.copyto(self._views[root][:n], arr.reshape(-1))
+        index, fault = self._precollective(label)
+        self._apply_chaos(index, fault, n, (root,))
         self._ledger.charge_bcast(float(n), label=label)
-        self._roundtrip(range(self.nranks), ("bcast", root, n), "bcast")
+        self._roundtrip(range(self.nranks), lambda r: ("bcast", root, n), "bcast")
         return self._result(n, arr.shape, root=root)
 
     def barrier(self, label: str = "barrier") -> None:
         self._check_open()
+        index, fault = self._precollective(label)
+        self._apply_chaos(index, fault, 0, ())
         self._ledger.barrier(label=label)  # charge-only: no payload exists
-        self._roundtrip(range(self.nranks), ("barrier",), "barrier")
+        self._roundtrip(range(self.nranks), lambda r: ("barrier",), "barrier")
 
     def compute(self, flops, label: str = "compute") -> None:
         self._ledger.compute(flops, label=label)
@@ -578,7 +928,7 @@ class MultiprocessingBackend:
 
     @property
     def injector(self) -> FaultInjector | None:
-        return None
+        return self._injector
 
     @property
     def machine_name(self) -> str:
@@ -589,13 +939,22 @@ class MultiprocessingBackend:
         return self._ledger.allreduce_algorithm
 
     def cost_summary(self) -> dict | None:
-        return self._ledger.cost.summary()
+        summary = dict(self._ledger.cost.summary())
+        if self._retired_costs:
+            for key in _TOTAL_KEYS:
+                summary[key] += self._retired_costs.get(key, 0.0)
+            for key in _MAX_KEYS:
+                summary[key] = max(summary[key], self._retired_costs.get(key, 0.0))
+            summary["elapsed"] = max(
+                summary["elapsed"], self._retired_costs.get("elapsed", 0.0)
+            )
+        return summary
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = self._broken or ("closed" if self._closed else "live")
         return (
             f"MultiprocessingBackend(nranks={self.nranks}, "
-            f"machine={self.machine_name!r}, {state})"
+            f"machine={self.machine_name!r}, policy={self.failure_policy!r}, {state})"
         )
 
 

@@ -164,6 +164,11 @@ class RecoveryStats:
     recomputes: int = 0
     momentum_restarts: int = 0
     healed_ranks: list[int] = field(default_factory=list)
+    # Real-process elasticity (mp backend): supervised respawns of dead
+    # worker processes, and pool shrinks P→P′ with column repartitioning.
+    respawns: int = 0
+    shrinks: int = 0
+    final_nranks: int | None = None
 
     def as_meta(self) -> dict[str, Any]:
         return {
@@ -174,4 +179,7 @@ class RecoveryStats:
             "recomputes": self.recomputes,
             "momentum_restarts": self.momentum_restarts,
             "healed_ranks": sorted(set(self.healed_ranks)),
+            "respawns": self.respawns,
+            "shrinks": self.shrinks,
+            "final_nranks": self.final_nranks,
         }

@@ -1,0 +1,409 @@
+"""WorkerSupervisor: process lifecycle for the self-healing mp backend.
+
+The :class:`~repro.runtime.mpbackend.MultiprocessingBackend` used to own
+its worker processes directly, and the only thing it could do about a
+dead or hung rank was tear everything down. This module factors the
+process-lifecycle half of that backend into a supervisor that can also
+*recover*: it spawns ranks, monitors them via heartbeats and exit-code
+reaping, SIGKILLs hung ones, respawns dead ones in place, and renumbers
+the survivors when the pool shrinks.
+
+Responsibilities are split along the process boundary:
+
+* **Supervisor (this module)** — spawn/respawn/reap/kill/renumber worker
+  processes, the sequence-numbered command envelope, heartbeats, and the
+  ``atexit`` zombie safety net. It knows nothing about shared memory or
+  numerics.
+* **Backend (:mod:`repro.runtime.mpbackend`)** — the worker *program*
+  (shared-memory collectives), segment lifecycle, cost charging, chaos
+  injection and failure policies.
+
+Envelope protocol
+-----------------
+Every command is ``(seq, op, *args)`` and every ack ``(seq, status,
+payload)`` with a monotonically increasing ``seq`` issued by
+:meth:`WorkerSupervisor.next_seq`. After a failure mid-collective the
+surviving workers may still emit acks for commands issued *before* the
+recovery; the sequence numbers let the host discard those stale acks and
+resynchronise the survivors without restarting the whole pool
+(:meth:`recv_ack` drops any ack whose seq predates the one awaited).
+
+Replacement-worker hygiene
+--------------------------
+Respawned workers go through exactly the same bootstrap as the original
+pool (one code path, :func:`_bootstrap_worker`): BLAS thread pools are
+pinned to a single thread per worker (the solvers parallelise across
+ranks; P workers × T BLAS threads oversubscribes the host) and the
+process registers in the supervisor's ``atexit`` kill list so no path —
+initial spawn, respawn, or shrink — can leak a zombie process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import ValidationError
+
+__all__ = ["WorkerStatus", "WorkerSupervisor"]
+
+# BLAS/threading pools pinned in every worker bootstrap. ``setdefault``:
+# an explicit operator override (e.g. benchmarking the oversubscribed
+# regime) wins over the supervisor's default.
+_PIN_ENV = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+# Every live supervisor, for the atexit zombie sweep. A WeakSet so a
+# collected backend cannot pin its supervisor (its __del__ closes first).
+_LIVE_SUPERVISORS: "weakref.WeakSet[WorkerSupervisor]" = weakref.WeakSet()
+
+
+def _kill_leaked_workers() -> None:  # pragma: no cover - exit hook
+    for sup in list(_LIVE_SUPERVISORS):
+        try:
+            sup.shutdown(graceful=False)
+        except Exception:
+            pass
+
+
+atexit.register(_kill_leaked_workers)
+
+
+def _bootstrap_worker(
+    worker_main: Callable[..., None],
+    rank: int,
+    nranks: int,
+    conn,
+    unregister_shm: bool,
+    generation: int,
+    pin_blas: bool,
+) -> None:
+    """The one entry point every worker — original or replacement — runs.
+
+    Pinning must happen here rather than at the spawn site so the respawn
+    path cannot drift from the initial-pool path (the satellite bug this
+    guards against: a replacement worker spawned without the single-thread
+    BLAS pin silently oversubscribes the host after the first recovery).
+    """
+    if pin_blas:
+        for var in _PIN_ENV:
+            os.environ.setdefault(var, "1")
+    worker_main(rank, nranks, conn, unregister_shm, generation)
+
+
+@dataclass(frozen=True)
+class WorkerStatus:
+    """One rank's health as seen by :meth:`WorkerSupervisor.heartbeat`."""
+
+    rank: int
+    pid: int | None
+    alive: bool
+    exitcode: int | None
+    generation: int
+    responsive: bool
+
+    @property
+    def healthy(self) -> bool:
+        return self.alive and self.responsive
+
+
+class _Handle:
+    """Mutable bookkeeping for one supervised rank slot."""
+
+    __slots__ = ("rank", "proc", "conn", "generation")
+
+    def __init__(self, rank: int, proc, conn, generation: int) -> None:
+        self.rank = rank
+        self.proc = proc
+        self.conn = conn
+        self.generation = generation
+
+
+class WorkerSupervisor:
+    """Spawn, monitor, respawn and renumber a pool of rank processes.
+
+    Parameters
+    ----------
+    worker_main:
+        The worker program, called as ``worker_main(rank, nranks, conn,
+        unregister_shm, generation)`` inside the child process. Must be
+        picklable (module-level) so the pool also works under ``spawn``.
+    nranks:
+        Initial pool size.
+    ctx:
+        A ``multiprocessing`` context (the backend picks fork/spawn and
+        pre-starts the resource tracker under fork).
+    unregister_shm:
+        Forwarded to the worker (True under ``spawn`` — see
+        ``mpbackend._attach`` for the bpo-39959 story).
+    pin_blas:
+        Pin the BLAS/threading pools of every worker to one thread
+        (default). Applied in the shared bootstrap so replacements are
+        pinned identically to the original pool.
+    """
+
+    def __init__(
+        self,
+        worker_main: Callable[..., None],
+        nranks: int,
+        *,
+        ctx,
+        unregister_shm: bool,
+        name_prefix: str = "repro-mp-worker",
+        pin_blas: bool = True,
+    ) -> None:
+        if nranks < 1:
+            raise ValidationError(f"nranks must be >= 1, got {nranks}")
+        self._worker_main = worker_main
+        self._ctx = ctx
+        self._unregister_shm = unregister_shm
+        self._name_prefix = name_prefix
+        self._pin_blas = pin_blas
+        self._seq = 0
+        self._shutdown = False
+        self.respawn_count = 0
+        self._handles: list[_Handle] = []
+        for rank in range(nranks):
+            self._handles.append(self._spawn(rank, 0, nranks))
+        _LIVE_SUPERVISORS.add(self)
+
+    # ------------------------------------------------------------------ #
+    # pool shape
+    # ------------------------------------------------------------------ #
+    @property
+    def nranks(self) -> int:
+        return len(self._handles)
+
+    @property
+    def pids(self) -> list[int | None]:
+        return [h.proc.pid for h in self._handles]
+
+    @property
+    def generations(self) -> list[int]:
+        """Respawn generation per rank slot (0 = original worker)."""
+        return [h.generation for h in self._handles]
+
+    def pid(self, rank: int) -> int | None:
+        return self._handles[rank].proc.pid
+
+    def is_alive(self, rank: int) -> bool:
+        return self._handles[rank].proc.is_alive()
+
+    # ------------------------------------------------------------------ #
+    # envelope protocol
+    # ------------------------------------------------------------------ #
+    def next_seq(self) -> int:
+        """A fresh envelope sequence number (monotone for the pool's life)."""
+        self._seq += 1
+        return self._seq
+
+    def send(self, rank: int, seq: int, op: str, *args: Any) -> bool:
+        """Send ``(seq, op, *args)`` to *rank*; False when the pipe is broken."""
+        try:
+            self._handles[rank].conn.send((seq, op) + args)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def recv_ack(self, rank: int, seq: int, deadline: float) -> tuple[str, Any] | None:
+        """Await the ack for envelope *seq* from *rank* until *deadline*.
+
+        Returns ``(status, payload)``, or None on timeout / a dead pipe.
+        Acks with an older seq are stale leftovers from before a recovery
+        and are discarded; a *newer* seq would mean the host skipped an
+        ack it was owed, which is a protocol bug worth failing loudly on.
+        """
+        conn = self._handles[rank].conn
+        while True:
+            # Even past the deadline, drain what already arrived: when one
+            # hung rank eats a shared deadline (heartbeat sweeps), the
+            # other ranks' acks are sitting in their pipes and must still
+            # classify them as responsive.
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                if not conn.poll(remaining):
+                    return None
+                got_seq, status, payload = conn.recv()
+            except (EOFError, OSError):
+                return None
+            if got_seq == seq:
+                return status, payload
+            if got_seq > seq:
+                raise ValidationError(
+                    f"worker {rank} acked seq {got_seq} while the host awaited "
+                    f"{seq} — envelope protocol out of sync"
+                )
+            # stale ack from before a recovery: drain and keep waiting
+
+    def drain(self, rank: int) -> None:
+        """Throw away whatever acks are sitting in *rank*'s pipe."""
+        conn = self._handles[rank].conn
+        try:
+            while conn.poll(0):
+                conn.recv()
+        except (EOFError, OSError):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # health monitoring
+    # ------------------------------------------------------------------ #
+    def reap(self) -> dict[int, int | None]:
+        """Exit codes of dead workers, by rank (empty when all alive)."""
+        dead: dict[int, int | None] = {}
+        for h in self._handles:
+            if not h.proc.is_alive():
+                dead[h.rank] = h.proc.exitcode
+        return dead
+
+    def heartbeat(self, deadline_s: float) -> list[WorkerStatus]:
+        """Ping every rank and classify it within *deadline_s* seconds.
+
+        A dead process is reported without being pinged; a live process
+        that does not pong within the deadline is *hung* (``alive`` but
+        not ``responsive``) — under the respawn/shrink policies the
+        backend treats both the same way (a too-slow rank has failed).
+        """
+        if not (deadline_s > 0):
+            raise ValidationError(f"heartbeat deadline must be > 0, got {deadline_s}")
+        pending: dict[int, int] = {}
+        for h in self._handles:
+            if h.proc.is_alive():
+                seq = self.next_seq()
+                if self.send(h.rank, seq, "ping"):
+                    pending[h.rank] = seq
+        deadline = time.monotonic() + deadline_s
+        statuses = []
+        for h in self._handles:
+            responsive = False
+            if h.rank in pending:
+                ack = self.recv_ack(h.rank, pending[h.rank], deadline)
+                responsive = ack is not None and ack[0] == "ok"
+            statuses.append(
+                WorkerStatus(
+                    rank=h.rank,
+                    pid=h.proc.pid,
+                    alive=h.proc.is_alive(),
+                    exitcode=h.proc.exitcode,
+                    generation=h.generation,
+                    responsive=responsive,
+                )
+            )
+        return statuses
+
+    # ------------------------------------------------------------------ #
+    # recovery actions
+    # ------------------------------------------------------------------ #
+    def kill(self, rank: int) -> None:
+        """Forcefully terminate *rank* (SIGKILL semantics) and reap it."""
+        h = self._handles[rank]
+        if h.proc.is_alive():
+            h.proc.kill()
+        h.proc.join(timeout=5.0)
+
+    def respawn(self, ranks: Sequence[int]) -> None:
+        """Replace the workers at *ranks* with fresh processes, in place.
+
+        The dead process is reaped (killed first if it was merely hung),
+        its pipe closed, and a replacement spawned through the same
+        bootstrap as the original pool — same BLAS pinning, same atexit
+        registration, generation bumped. The replacement starts with no
+        attached segments; the backend re-attaches before reuse.
+        """
+        for rank in ranks:
+            h = self._handles[rank]
+            self.kill(rank)
+            try:
+                h.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._handles[rank] = self._spawn(rank, h.generation + 1, self.nranks)
+            self.respawn_count += 1
+
+    def renumber(self, survivors: Sequence[int]) -> None:
+        """Shrink the pool to *survivors* (old rank ids, ascending order).
+
+        Dead slots must already be reaped/killed; their handles are
+        discarded here. The surviving handles are renumbered contiguously
+        — old rank ``survivors[i]`` becomes new rank ``i`` — matching the
+        rank ids the backend rebinds into the workers via ``attach``.
+        """
+        if not survivors:
+            raise ValidationError("cannot renumber to an empty pool")
+        if sorted(survivors) != list(survivors):
+            raise ValidationError(f"survivors must be ascending, got {survivors}")
+        keep = set(survivors)
+        for h in self._handles:
+            if h.rank not in keep:
+                if h.proc.is_alive():  # pragma: no cover - caller kills first
+                    h.proc.kill()
+                h.proc.join(timeout=5.0)
+                try:
+                    h.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self._handles = [self._handles[r] for r in survivors]
+        for new_rank, h in enumerate(self._handles):
+            h.rank = new_rank
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self, graceful: bool) -> None:
+        """Stop every worker; zombie-free on both paths (idempotent)."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if graceful:
+            for h in self._handles:
+                self.send(h.rank, self.next_seq(), "exit")
+        for h in self._handles:
+            h.proc.join(timeout=1.0 if graceful else 0.2)
+            if h.proc.is_alive():
+                h.proc.terminate()
+                h.proc.join(timeout=1.0)
+            if h.proc.is_alive():  # pragma: no cover - terminate ignored
+                h.proc.kill()
+                h.proc.join(timeout=1.0)
+        for h in self._handles:
+            try:
+                h.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        _LIVE_SUPERVISORS.discard(self)
+
+    def _spawn(self, rank: int, generation: int, nranks: int) -> _Handle:
+        if self._shutdown:
+            raise ValidationError("supervisor is shut down; cannot spawn workers")
+        host_conn, worker_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_bootstrap_worker,
+            args=(
+                self._worker_main,
+                rank,
+                nranks,
+                worker_conn,
+                self._unregister_shm,
+                generation,
+                self._pin_blas,
+            ),
+            daemon=True,
+            name=f"{self._name_prefix}-{rank}",
+        )
+        proc.start()
+        worker_conn.close()
+        return _Handle(rank, proc, host_conn, generation)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        alive = sum(1 for h in self._handles if h.proc.is_alive())
+        return (
+            f"WorkerSupervisor(nranks={self.nranks}, alive={alive}, "
+            f"respawns={self.respawn_count})"
+        )

@@ -112,6 +112,27 @@ class TestRetryPolicy:
         with pytest.raises(ValidationError):
             r.backoff(0)
 
+    def test_backoff_monotone_over_the_budget(self):
+        """Each grace extension waits at least as long as the previous one."""
+        r = RetryPolicy(max_retries=6, base_backoff=2e-4, backoff_factor=1.5)
+        waits = [r.backoff(a) for a in range(1, r.max_retries + 1)]
+        assert waits == sorted(waits)
+        assert all(w > 0 for w in waits)
+
+    def test_backoff_capped_by_the_retry_budget(self):
+        """The mp backend's total grace is bounded: sum of a finite series."""
+        r = RetryPolicy(max_retries=4, base_backoff=1e-3, backoff_factor=2.0)
+        total = sum(r.backoff(a) for a in range(1, r.max_retries + 1))
+        expected = 1e-3 * (2.0**r.max_retries - 1)  # geometric sum
+        assert total == pytest.approx(expected)
+        assert r.backoff_factor == 1.0 or total < 1e-3 * 2.0**r.max_retries
+
+    def test_backoff_deterministic(self):
+        """Two identical policies grant identical grace — replays agree."""
+        a = RetryPolicy(max_retries=5, base_backoff=3e-4, backoff_factor=2.5)
+        b = RetryPolicy(max_retries=5, base_backoff=3e-4, backoff_factor=2.5)
+        assert [a.backoff(i) for i in range(1, 6)] == [b.backoff(i) for i in range(1, 6)]
+
 
 # ---------------------------------------------------------------------- #
 # corruption kernel
@@ -179,6 +200,37 @@ class TestInjector:
         assert not inj.crash_due(2, time=0.0, op_index=99)
         inj.reset()
         assert inj.crash_due(2, time=0.0, op_index=5), "reset re-arms the plan"
+
+    def test_heal_all_is_idempotent_and_sorted(self):
+        inj = FaultInjector(
+            FaultPlan(
+                crashes=(RankCrash(rank=3, at_op=1), RankCrash(rank=1, at_op=1))
+            )
+        )
+        assert inj.due_crashes(4, time=0.0, op_index=1) == (1, 3)
+        assert inj.heal_all() == (1, 3)
+        assert inj.heal_all() == ()  # nothing left to heal
+        # healed one-shot crashes never refire at any later op
+        assert inj.due_crashes(4, time=0.0, op_index=50) == ()
+
+    def test_reset_after_heal_rearms_every_spec(self):
+        inj = FaultInjector(FaultPlan(crashes=(RankCrash(rank=0, at_op=2),)))
+        inj.crash_due(0, time=0.0, op_index=2)
+        inj.heal_all()
+        inj.reset()
+        assert inj.due_crashes(2, time=0.0, op_index=2) == (0,)
+
+    def test_due_crashes_screens_all_ranks(self):
+        """The mp backend's pre-collective sweep: one call, all ranks."""
+        inj = FaultInjector(
+            FaultPlan(
+                crashes=(RankCrash(rank=0, at_time=5.0), RankCrash(rank=2, at_op=3))
+            )
+        )
+        assert inj.due_crashes(4, time=0.0, op_index=0) == ()
+        assert inj.due_crashes(4, time=6.0, op_index=3) == (0, 2)
+        with pytest.raises(ValidationError):
+            inj.due_crashes(0, time=0.0, op_index=0)
 
     def test_rate_verdicts_deterministic(self):
         plan = FaultPlan(seed=7, drop_rate=0.3, delay_rate=0.2, stall_rate=0.1,

@@ -8,7 +8,13 @@ from repro.distsim.bsp import BSPCluster
 from repro.distsim.faults import FaultPlan, RetryPolicy
 from repro.exceptions import ValidationError
 from repro.obs import MetricsRegistry
-from repro.runtime import BACKENDS, RuntimeConfig, parse_backend_spec, resolve_runtime
+from repro.runtime import (
+    BACKENDS,
+    FAILURE_POLICIES,
+    RuntimeConfig,
+    parse_backend_spec,
+    resolve_runtime,
+)
 
 
 class TestValidation:
@@ -41,15 +47,36 @@ class TestValidation:
     @pytest.mark.parametrize(
         "extra",
         [
+            # p2p drops/delays and torn collectives only exist inside the
+            # simulation engines; real pipes don't lose messages that way.
             dict(faults=FaultPlan(collective_drop_rate=0.1)),
-            dict(retry=RetryPolicy()),
+            dict(faults=FaultPlan(drop_rate=0.1)),
+            dict(faults=FaultPlan(delay_rate=0.1)),
             dict(cluster=BSPCluster(2, "comet_effective")),
+            dict(recv_timeout=1.0),
         ],
     )
     def test_mp_backend_excludes_simulation_knobs(self, extra):
-        """Real processes: simulated faults/clusters make no sense under mp."""
+        """Simulation-engine faults/clusters/deadlines make no sense under mp."""
         with pytest.raises(ValidationError):
             RuntimeConfig(backend="mp", **extra)
+
+    def test_mp_backend_accepts_real_process_chaos(self):
+        """Crashes/stalls/corruption are real under mp; retry guards real acks."""
+        cfg = RuntimeConfig(
+            backend="mp",
+            faults=FaultPlan(stall_rate=0.1, corrupt_rate=0.1),
+            retry=RetryPolicy(),
+            mp_failure_policy="respawn",
+        )
+        assert cfg.mp_failure_policy == "respawn"
+
+    def test_failure_policies_constant(self):
+        assert FAILURE_POLICIES == ("fail_fast", "respawn", "shrink")
+
+    def test_bad_failure_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            RuntimeConfig(mp_failure_policy="restart")
 
     def test_threads_backend_keeps_simulation_knobs(self):
         """threads runs its collectives on the BSP cluster — faults stay legal."""

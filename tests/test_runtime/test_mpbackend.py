@@ -251,12 +251,15 @@ class TestWorkerLifecycle:
         before_live = live_segment_names()
         before_shm = _shm_segments()
         be = MultiprocessingBackend(2, timeout=20.0)
-        # Kill rank 0 — the reducer the tournament round-trips at P=2.
-        be._conns[0].send(("crash",))
-        be._procs[0].join(timeout=10.0)
+        # Kill rank 0 — the reducer the tournament round-trips at P=2 —
+        # the way an external OOM-killer would (no supervisor involved).
+        be.supervisor.send(0, be.supervisor.next_seq(), "crash")
+        deadline = __import__("time").monotonic() + 10.0
+        while be.supervisor.is_alive(0) and __import__("time").monotonic() < deadline:
+            __import__("time").sleep(0.01)
         with pytest.raises(ConvergenceError) as exc_info:
             be.allreduce([np.ones(4), np.ones(4)])
-        assert exc_info.value.partial is None  # graceful-degradation slot
+        assert exc_info.value.partial is None  # ResilientLoop's salvage slot
         assert "worker" in str(exc_info.value)
         # Failure path must still unlink everything.
         assert live_segment_names() == before_live
@@ -269,7 +272,7 @@ class TestWorkerLifecycle:
         before_live = live_segment_names()
         before_shm = _shm_segments()
         be = MultiprocessingBackend(2, timeout=0.3)
-        be._conns[0].send(("sleep", 30.0))
+        be.supervisor.send(0, be.supervisor.next_seq(), "sleep", 30.0)
         with pytest.raises(ConvergenceError, match="hung|died"):
             be.barrier()
         assert live_segment_names() == before_live
@@ -316,14 +319,34 @@ class TestWorkerLifecycle:
 # config plumbing
 # --------------------------------------------------------------------- #
 class TestFromConfig:
-    def test_rejects_faults_and_retry(self):
+    def test_rejects_simulation_only_faults(self):
+        from repro.distsim.faults import FaultPlan
+
+        # Torn collectives and p2p drops only exist in the simulation
+        # engines; real-process chaos (crashes/stalls/corruption) and
+        # retry flow through (TestChaos in test_chaos.py drives them).
+        plan = FaultPlan(collective_drop_rate=0.5, seed=0)
+        with pytest.raises(ValidationError, match="simulation"):
+            RuntimeConfig(backend="mp", faults=plan)
+
+    def test_failure_policy_and_chaos_flow_from_config(self):
         from repro.distsim.faults import FaultPlan, RetryPolicy
 
-        plan = FaultPlan(collective_drop_rate=0.5, seed=0)
-        with pytest.raises(ValidationError, match="simulation features"):
-            RuntimeConfig(backend="mp", faults=plan)
-        with pytest.raises(ValidationError, match="simulation features"):
-            RuntimeConfig(backend="mp", retry=RetryPolicy())
+        be = MultiprocessingBackend.from_config(
+            RuntimeConfig(
+                backend="mp",
+                mp_failure_policy="respawn",
+                faults=FaultPlan(stall_rate=0.0, seed=1),
+                retry=RetryPolicy(max_retries=1),
+            ),
+            2,
+        )
+        try:
+            assert be.failure_policy == "respawn"
+            assert be.injector is not None
+            assert be._retry.max_retries == 1
+        finally:
+            be.close()
 
     def test_rejects_prebuilt_cluster(self):
         from repro.distsim.bsp import BSPCluster

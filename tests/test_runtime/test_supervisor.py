@@ -1,0 +1,168 @@
+"""WorkerSupervisor lifecycle: spawn, heartbeat, respawn, renumber, hygiene.
+
+Drives the supervisor with the real mp worker program (control-plane ops
+only — no shared memory is attached), so what is pinned here is exactly
+what the self-healing backend relies on: heartbeat classification of dead
+vs hung vs healthy ranks, in-place respawn with generation bumps and BLAS
+pinning, contiguous renumbering after a shrink, and the stale-ack
+discipline of the sequence-numbered envelope.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import get_all_start_methods, get_context
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.runtime.mpbackend import _worker_main
+from repro.runtime.supervisor import WorkerSupervisor
+
+pytestmark = pytest.mark.mp
+
+
+@pytest.fixture()
+def sup():
+    methods = get_all_start_methods()
+    start = "fork" if "fork" in methods else "spawn"
+    supervisor = WorkerSupervisor(
+        _worker_main, 4, ctx=get_context(start), unregister_shm=start != "fork"
+    )
+    yield supervisor
+    supervisor.shutdown(graceful=False)
+
+
+def _wait_dead(sup, rank, deadline_s=10.0):
+    deadline = time.monotonic() + deadline_s
+    while sup.is_alive(rank) and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert not sup.is_alive(rank)
+
+
+class TestPoolShape:
+    def test_spawns_one_process_per_rank(self, sup):
+        assert sup.nranks == 4
+        assert all(pid is not None for pid in sup.pids)
+        assert len(set(sup.pids)) == 4
+        assert sup.generations == [0, 0, 0, 0]
+
+    def test_rejects_empty_pool(self):
+        ctx = get_context("fork" if "fork" in get_all_start_methods() else "spawn")
+        with pytest.raises(ValidationError):
+            WorkerSupervisor(_worker_main, 0, ctx=ctx, unregister_shm=False)
+
+
+class TestHeartbeat:
+    def test_all_healthy(self, sup):
+        statuses = sup.heartbeat(5.0)
+        assert [s.rank for s in statuses] == [0, 1, 2, 3]
+        assert all(s.healthy for s in statuses)
+
+    def test_replacement_workers_inherit_blas_pinning(self, sup):
+        """Satellite guard: original AND respawned workers pin BLAS to 1."""
+        seq = sup.next_seq()
+        assert sup.send(1, seq, "ping")
+        status, payload = sup.recv_ack(1, seq, time.monotonic() + 5.0)
+        assert status == "ok"
+        assert payload["blas_pinned"] == "1"
+        assert payload["generation"] == 0
+        sup.respawn([1])
+        seq = sup.next_seq()
+        assert sup.send(1, seq, "ping")
+        status, payload = sup.recv_ack(1, seq, time.monotonic() + 5.0)
+        assert status == "ok"
+        assert payload["blas_pinned"] == "1"
+        assert payload["generation"] == 1
+
+    def test_dead_rank_classified_without_ping(self, sup):
+        sup.send(2, sup.next_seq(), "crash")
+        _wait_dead(sup, 2)
+        statuses = sup.heartbeat(5.0)
+        by_rank = {s.rank: s for s in statuses}
+        assert not by_rank[2].alive and not by_rank[2].healthy
+        assert by_rank[2].exitcode == 13
+        assert all(by_rank[r].healthy for r in (0, 1, 3))
+
+    def test_hung_rank_is_alive_but_unresponsive(self, sup):
+        sup.send(0, sup.next_seq(), "sleep", 30.0)
+        statuses = sup.heartbeat(0.3)
+        by_rank = {s.rank: s for s in statuses}
+        assert by_rank[0].alive and not by_rank[0].responsive
+        assert not by_rank[0].healthy
+
+
+class TestRecoveryActions:
+    def test_reap_reports_exit_codes(self, sup):
+        assert sup.reap() == {}
+        sup.send(3, sup.next_seq(), "crash")
+        _wait_dead(sup, 3)
+        assert sup.reap() == {3: 13}
+
+    def test_respawn_replaces_in_place(self, sup):
+        old_pid = sup.pid(2)
+        sup.send(2, sup.next_seq(), "crash")
+        _wait_dead(sup, 2)
+        sup.respawn([2])
+        assert sup.nranks == 4
+        assert sup.pid(2) != old_pid
+        assert sup.generations == [0, 0, 1, 0]
+        assert sup.respawn_count == 1
+        assert all(s.healthy for s in sup.heartbeat(5.0))
+
+    def test_kill_takes_down_a_hung_worker(self, sup):
+        sup.send(1, sup.next_seq(), "sleep", 30.0)
+        sup.kill(1)
+        assert not sup.is_alive(1)
+
+    def test_renumber_shrinks_contiguously(self, sup):
+        sup.kill(1)
+        surviving_pids = [sup.pid(0), sup.pid(2), sup.pid(3)]
+        sup.renumber([0, 2, 3])
+        assert sup.nranks == 3
+        assert sup.pids == surviving_pids
+        statuses = sup.heartbeat(5.0)
+        assert [s.rank for s in statuses] == [0, 1, 2]
+        assert all(s.healthy for s in statuses)
+
+    def test_renumber_validates_survivors(self, sup):
+        with pytest.raises(ValidationError):
+            sup.renumber([])
+        with pytest.raises(ValidationError):
+            sup.renumber([2, 0])
+
+
+class TestEnvelope:
+    def test_stale_acks_are_discarded(self, sup):
+        """Acks for pre-recovery commands must not satisfy newer awaits."""
+        stale_seq = sup.next_seq()
+        sup.send(0, stale_seq, "barrier")  # acked, but never awaited
+        fresh_seq = sup.next_seq()
+        sup.send(0, fresh_seq, "ping")
+        status, payload = sup.recv_ack(0, fresh_seq, time.monotonic() + 5.0)
+        assert status == "ok"
+        assert isinstance(payload, dict)  # the ping pong, not barrier's 0
+
+    def test_future_ack_is_a_protocol_error(self, sup):
+        sent = sup.next_seq()
+        sup.send(0, sent, "barrier")
+        with pytest.raises(ValidationError, match="out of sync"):
+            sup.recv_ack(0, sent - 1, time.monotonic() + 5.0)
+
+    def test_send_to_dead_pipe_returns_false(self, sup):
+        sup.kill(0)
+        sup._handles[0].conn.close()
+        assert sup.send(0, sup.next_seq(), "ping") is False
+
+
+class TestShutdown:
+    def test_shutdown_leaves_no_processes(self, sup):
+        procs = [h.proc for h in sup._handles]
+        sup.shutdown(graceful=True)
+        assert all(not p.is_alive() for p in procs)
+        sup.shutdown(graceful=True)  # idempotent
+
+    def test_spawn_after_shutdown_rejected(self, sup):
+        sup.shutdown(graceful=False)
+        with pytest.raises(ValidationError, match="shut down"):
+            sup.respawn([0])
