@@ -1,0 +1,139 @@
+"""Load-generator benchmark for the ``repro.serve`` job server.
+
+Four tenants submit a mixed λ workload against a live :class:`ServeApp`
+over real HTTP, twice: a *cold* sweep (every (problem, λ) pair unseen,
+warm-start cache empty) and a *warm* sweep (the identical workload
+resubmitted, so every solve should land an ``exact`` cache hit and exit
+after a handful of refinement iterations).
+
+Emitted to ``benchmarks/output/serve_run.json`` and gated by CI against
+``benchmarks/baselines/serve.json``:
+
+* ``cache.hit_rate`` — warm-start ladder hits over warm-eligible
+  requests; the acceptance floor proves the cross-request cache works.
+* ``speedups.warm_vs_cold_p50`` — median server-side solve seconds,
+  cold sweep over warm sweep. A warm p50 "measurably below" the cold
+  p50 is the whole point of reusing iterates; ratios of two sweeps on
+  the same host are machine-independent.
+
+Absolute p50/p99 latencies and throughput are reported for the record
+but never gated (they track the runner's hardware).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+
+from benchmarks._common import QUICK, emit, emit_json
+from repro.serve import ServeApp, ServeClient
+
+TENANTS = ("ingest", "batch", "notebook", "dashboard")
+JOBS_PER_TENANT = 6 if QUICK else 16
+# One shared design matrix per pair of tenants: big enough that a cold
+# FISTA run costs real milliseconds, small enough for a CI lane.
+D, M = (120, 480) if QUICK else (300, 1200)
+MAX_ITER = 400 if QUICK else 800
+
+
+def _workload() -> list[dict]:
+    """The 4-tenant job mix: two problems, a ladder of λs per tenant."""
+    jobs = []
+    for t_idx, tenant in enumerate(TENANTS):
+        seed = 100 + t_idx % 2  # tenants share problems pairwise
+        for j in range(JOBS_PER_TENANT):
+            jobs.append({
+                "problem": {"synthetic": {"d": D, "m": M, "seed": seed}},
+                "tenant": tenant,
+                "lam": round(0.08 - 0.01 * (j % 5), 4),
+                "max_iter": MAX_ITER,
+            })
+    return jobs
+
+
+def _drive(client: ServeClient, jobs: list[dict]) -> tuple[list[float], dict, float]:
+    """Submit every job, wait for all; return (solve seconds, kinds, wall)."""
+    t0 = time.perf_counter()
+    ids = [client.submit(job) for job in jobs]
+    latencies, kinds = [], {}
+    for job_id in ids:
+        payload = client.result(job_id, timeout=600)
+        assert payload["state"] == "done", payload
+        latencies.append(payload["solve_seconds"])
+        kind = payload["result"]["warm_start"]
+        kinds[kind] = kinds.get(kind, 0) + 1
+    return latencies, kinds, time.perf_counter() - t0
+
+
+def _quantiles(latencies: list[float]) -> dict[str, float]:
+    arr = np.asarray(latencies)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+    }
+
+
+def test_serve_load_gen():
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    app = ServeApp(
+        max_workers=1,
+        batch_max=4,
+        queue_limit=1024,
+        tenant_weights={"ingest": 2},
+    )
+    host, port = asyncio.run_coroutine_threadsafe(app.start(), loop).result(timeout=60)
+    client = ServeClient(f"http://{host}:{port}", timeout=600)
+    try:
+        jobs = _workload()
+        # Sweep 1 opts out of warm starts: a clean all-cold baseline that
+        # still populates the ladder (solutions are recorded regardless).
+        cold_lat, cold_kinds, cold_wall = _drive(
+            client, [dict(job, warm_start=False) for job in jobs]
+        )
+        warm_lat, warm_kinds, warm_wall = _drive(client, jobs)
+        stats = client.metrics()["stats"]
+    finally:
+        asyncio.run_coroutine_threadsafe(app.stop(), loop).result(timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+
+    # The warm sweep must actually have hit the cache.
+    assert warm_kinds.get("exact", 0) == len(jobs), warm_kinds
+    cold_q, warm_q = _quantiles(cold_lat), _quantiles(warm_lat)
+    speedup_p50 = cold_q["p50"] / max(warm_q["p50"], 1e-12)
+    hit_rate = stats["cache"]["hit_rate"]
+
+    n = len(jobs)
+    lines = [
+        f"4-tenant load gen: {n} jobs/sweep, d={D} m={M} max_iter={MAX_ITER}",
+        f"cold sweep: p50={cold_q['p50'] * 1e3:8.2f} ms  "
+        f"p99={cold_q['p99'] * 1e3:8.2f} ms  wall={cold_wall:6.2f} s  kinds={cold_kinds}",
+        f"warm sweep: p50={warm_q['p50'] * 1e3:8.2f} ms  "
+        f"p99={warm_q['p99'] * 1e3:8.2f} ms  wall={warm_wall:6.2f} s  kinds={warm_kinds}",
+        f"warm-vs-cold p50 speedup: {speedup_p50:6.1f}x",
+        f"cache hit rate: {hit_rate:.3f} "
+        f"({stats['cache']['warm_hits']}/{stats['cache']['warm_requests']})",
+        f"throughput: cold {n / cold_wall:6.1f} jobs/s, warm {n / warm_wall:6.1f} jobs/s",
+    ]
+    emit("serve_load_gen", "\n".join(lines))
+    emit_json("serve_run", {
+        "benchmark": "serve load gen (4 tenants, cold vs warm sweep)",
+        "config": {"tenants": len(TENANTS), "jobs_per_sweep": n,
+                   "d": D, "m": M, "max_iter": MAX_ITER},
+        "cold": {**cold_q, "wall_seconds": cold_wall, "kinds": cold_kinds},
+        "warm": {**warm_q, "wall_seconds": warm_wall, "kinds": warm_kinds},
+        "speedups": {"warm_vs_cold_p50": speedup_p50,
+                     "warm_vs_cold_p99": cold_q["p99"] / max(warm_q["p99"], 1e-12)},
+        "cache": stats["cache"],
+        "scheduler": {k: v for k, v in stats.items() if k != "cache"},
+    })
+
+    assert hit_rate > 0.0
+    assert warm_q["p50"] < cold_q["p50"]

@@ -8,6 +8,8 @@ One-command access to the solvers on registry datasets or LIBSVM files::
     python -m repro datasets
     python -m repro machines
     python -m repro trace-report run_report.json
+    python -m repro serve --port 8765
+    python -m repro submit --url http://127.0.0.1:8765 --dataset abalone --wait
 
 Results print as a summary table; ``--output result.json`` persists the
 full :class:`SolveResult` for post-processing. For distributed solves,
@@ -307,6 +309,102 @@ def _trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_weights(specs: list[str] | None) -> dict[str, int]:
+    weights: dict[str, int] = {}
+    for spec in specs or []:
+        tenant, sep, value = spec.partition("=")
+        try:
+            weight = int(value) if sep else 0
+        except ValueError:
+            weight = 0
+        if not tenant or weight < 1:
+            raise SystemExit(
+                f"--tenant-weight expects TENANT=POSITIVE_INT, got {spec!r}"
+            )
+        weights[tenant] = weight
+    return weights
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeApp
+
+    app = ServeApp(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        tenant_weights=_parse_tenant_weights(args.tenant_weight),
+        max_workers=args.max_workers,
+        batch_max=args.batch_max,
+        cache_problems=args.cache_problems,
+    )
+
+    async def run() -> None:
+        host, port = await app.start()
+        print(f"repro.serve listening on http://{host}:{port} "
+              f"(workers={args.max_workers}, queue limit={args.queue_limit})")
+        try:
+            await app.serve_forever()
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeHTTPError
+
+    if args.synthetic:
+        try:
+            d, m, seed = (int(v) for v in args.synthetic.split(","))
+        except ValueError:
+            raise SystemExit("--synthetic expects D,M,SEED (e.g. 200,1000,0)")
+        problem: dict[str, Any] = {"synthetic": {"d": d, "m": m, "seed": seed}}
+    else:
+        problem = {"dataset": args.dataset, "size": args.size}
+    request: dict[str, Any] = {
+        "problem": problem,
+        "tenant": args.tenant,
+        "solver": args.solver,
+        "lam": args.lam,
+        "max_iter": args.max_iter,
+        "warm_start": not args.no_warm_start,
+        "include_report": args.include_report,
+    }
+    if args.solver in ("sfista_dist", "rc_sfista_dist", "rc_sfista_spmd"):
+        request["runtime"] = {"nranks": args.nranks, "backend": args.backend}
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        job_id = client.submit(request)
+        print(f"submitted {job_id}")
+        if args.no_wait:
+            return 0
+        payload = client.result(job_id, timeout=args.timeout)
+    except ServeHTTPError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.retryable and exc.retry_after is not None:
+            print(f"retry after {exc.retry_after:g}s", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    result = payload["result"]
+    rows = [[k, result[k]] for k in
+            ("lam", "warm_start", "converged", "n_iterations", "nnz")
+            if k in result]
+    if "final_objective" in result:
+        rows.append(["final F", f"{result['final_objective']:.8g}"])
+    rows.append(["queue s", f"{payload.get('queue_seconds', 0.0):.4g}"])
+    rows.append(["solve s", f"{payload.get('solve_seconds', 0.0):.4g}"])
+    print(format_table(["field", "value"], rows))
+    return 0
+
+
 def _list_machines() -> int:
     rows = [
         [name, f"{m.alpha:.3g}", f"{m.beta:.3g}", f"{m.gamma:.3g}", m.description]
@@ -387,6 +485,56 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the Table 2 dataset registry")
     sub.add_parser("machines", help="list the machine-model presets")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async solve service (submit/status/result/cancel "
+        "over JSON-HTTP; docs/SERVING.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--queue-limit", type=int, default=256,
+                       help="bounded queue size; beyond it submissions get 429")
+    serve.add_argument("--max-workers", type=int, default=1,
+                       help="concurrent solver batches")
+    serve.add_argument("--batch-max", type=int, default=8,
+                       help="max same-shape jobs folded into one multi-start run")
+    serve.add_argument("--cache-problems", type=int, default=16,
+                       help="LRU capacity of the cross-request problem cache")
+    serve.add_argument("--tenant-weight", action="append", metavar="TENANT=W",
+                       help="round-robin weight for a tenant (repeatable; "
+                       "unlisted tenants get weight 1)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a solve job to a running `repro serve` instance"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8765")
+    submit.add_argument("--tenant", default="default")
+    src2 = submit.add_mutually_exclusive_group()
+    src2.add_argument("--dataset", choices=sorted(DATASETS), default="abalone")
+    src2.add_argument("--synthetic", metavar="D,M,SEED",
+                      help="synthetic problem spec instead of a registry dataset")
+    submit.add_argument("--size", choices=("scaled", "tiny"), default="tiny")
+    submit.add_argument("--lam", type=float, default=None, help="override λ")
+    submit.add_argument("--solver", choices=("fista", "ista", "sfista_dist",
+                                             "rc_sfista_dist", "rc_sfista_spmd"),
+                        default="fista")
+    submit.add_argument("--max-iter", type=int, default=500)
+    submit.add_argument("--nranks", type=int, default=4,
+                        help="ranks for the distributed solvers")
+    submit.add_argument("--backend", default="bsp",
+                        help=f"runtime backend for distributed solvers: {'|'.join(BACKENDS)}")
+    submit.add_argument("--no-warm-start", action="store_true",
+                        help="force a cold start even on a cache hit")
+    submit.add_argument("--include-report", action="store_true",
+                        help="attach the per-request RunReport to the result")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return immediately after submission instead of "
+                             "polling for the result")
+    submit.add_argument("--timeout", type=float, default=120.0,
+                        help="client-side wait deadline in seconds")
+
     trace_report = sub.add_parser(
         "trace-report",
         help="render a run report (or benchmark smoke bundle) as per-phase "
@@ -407,6 +555,10 @@ def main(argv: list[str] | None = None) -> int:
         return _list_machines()
     if args.command == "trace-report":
         return _trace_report(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "submit":
+        return _submit(args)
     return 1  # pragma: no cover
 
 

@@ -45,6 +45,7 @@ from repro.core.proxcocoa import proxcocoa
 from repro.core.reference import solve_reference
 from repro.core.logistic import L1Logistic
 from repro.core.path import lasso_path, lambda_max, PathResult
+from repro.core.warmstart import WarmStartLadder
 from repro.core.rc_sfista_spmd import rc_sfista_spmd
 from repro.core.ca_bcd import ca_bcd, ca_bcd_communication
 from repro.core.cv import cross_validate_lambda, kfold_indices, CVResult
@@ -79,6 +80,7 @@ __all__ = [
     "lasso_path",
     "lambda_max",
     "PathResult",
+    "WarmStartLadder",
     "rc_sfista_spmd",
     "ca_bcd",
     "ca_bcd_communication",

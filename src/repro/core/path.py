@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.fista import fista
 from repro.core.objectives import L1LeastSquares, _matvec_x
 from repro.core.results import SolveResult
+from repro.core.warmstart import WarmStartLadder
 from repro.exceptions import ValidationError
 from repro.utils.validation import check_in_range, check_positive
 
@@ -36,6 +37,10 @@ class PathResult:
     objectives: np.ndarray  # F(w; λ) at each grid point
     n_nonzero: np.ndarray  # support sizes along the path
     results: list[SolveResult]
+    #: Per-λ warm-start iterates: the same ladder the sweep itself used, so
+    #: downstream consumers (e.g. the serve cache) can continue warm-starting
+    #: off-grid λs without re-running the sweep.
+    warm_starts: WarmStartLadder | None = None
 
     def coefficient_at(self, lam: float) -> np.ndarray:
         """Coefficients at the grid point nearest *lam*."""
@@ -87,7 +92,7 @@ def lasso_path(
     solve = solver if solver is not None else fista
     step = problem.default_step()
 
-    w = np.zeros(problem.d)
+    ladder = WarmStartLadder(problem.d)
     coefs = np.empty((grid.size, problem.d))
     objs = np.empty(grid.size)
     nnz = np.empty(grid.size, dtype=np.int64)
@@ -95,12 +100,17 @@ def lasso_path(
     for i, lam in enumerate(grid):
         check_positive(float(lam), "lambda")
         sub = L1LeastSquares(problem.X, problem.y, float(lam))
-        res = solve(sub, w0=w, step_size=step, max_iter=max_iter, **solver_kwargs)
+        # On a strictly-decreasing grid this is exactly "previous grid
+        # point's solution" (all-zero for the first λ).
+        w0, _ = ladder.suggest(float(lam))
+        res = solve(sub, w0=w0, step_size=step, max_iter=max_iter, **solver_kwargs)
         w = res.w
+        ladder.record(float(lam), w)
         coefs[i] = w
         objs[i] = sub.value(w)
         nnz[i] = int(np.sum(w != 0))
         results.append(res)
     return PathResult(
-        lambdas=grid, coefficients=coefs, objectives=objs, n_nonzero=nnz, results=results
+        lambdas=grid, coefficients=coefs, objectives=objs, n_nonzero=nnz,
+        results=results, warm_starts=ladder,
     )

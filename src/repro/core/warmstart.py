@@ -1,0 +1,113 @@
+"""Warm-start iterates keyed on λ, shared by path sweeps and the serve cache.
+
+Both the regularization-path sweep (:func:`repro.core.path.lasso_path`) and
+the job server's cross-request cache (:class:`repro.serve.cache.SolveCache`)
+face the same question: *given that we are about to solve at λ, which
+previously computed iterate is the best starting point?* The answer used to
+live in a loop-local variable inside ``lasso_path``; :class:`WarmStartLadder`
+is that logic as a reusable object.
+
+The ladder stores ``(λ, w)`` pairs sorted by descending λ and suggests a
+start for any requested λ:
+
+* an **exact** λ match returns that iterate (a repeated solve needs only a
+  few refinement iterations);
+* otherwise the entry at the **nearest larger λ** is returned — the
+  classical path warm start: supports grow as λ decreases, so the solution
+  just above is the best predictor;
+* with only smaller λs recorded, the nearest of those is still far better
+  than zero (its support is a superset);
+* an empty ladder suggests the all-zero cold start.
+
+For a strictly-decreasing λ sweep the suggestions reduce exactly to
+"previous grid point's solution", which is what ``lasso_path`` always did —
+the refactor is behavior-preserving and the golden path tests pin it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["WarmStartLadder", "WARM_KINDS"]
+
+#: Provenance tags returned by :meth:`WarmStartLadder.suggest`.
+WARM_KINDS = ("cold", "exact", "path")
+
+
+class WarmStartLadder:
+    """λ-keyed warm-start iterates for one fixed problem (``X``, ``y``).
+
+    The ladder never mutates stored iterates and callers must not either:
+    every repository solver copies ``w0`` on entry, so handing out the
+    stored array directly is safe and allocation-free.
+    """
+
+    def __init__(self, d: int) -> None:
+        if d < 1:
+            raise ValidationError(f"dimension d must be >= 1, got {d}")
+        self.d = int(d)
+        # Descending λ; parallel lists keep bisection simple and allocation-light.
+        self._lambdas: list[float] = []
+        self._iterates: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._lambdas)
+
+    @property
+    def lambdas(self) -> tuple[float, ...]:
+        """Recorded grid, descending."""
+        return tuple(self._lambdas)
+
+    def iterate_at(self, lam: float) -> np.ndarray:
+        """The iterate recorded at exactly *lam* (KeyError when absent)."""
+        lam = float(lam)
+        for known, w in zip(self._lambdas, self._iterates):
+            if known == lam:
+                return w
+        raise KeyError(f"no iterate recorded at lambda={lam!r}")
+
+    def suggest(self, lam: float) -> tuple[np.ndarray, str]:
+        """Best starting iterate for a solve at *lam*.
+
+        Returns ``(w0, kind)`` with ``kind`` one of :data:`WARM_KINDS`.
+        """
+        lam = float(lam)
+        if not np.isfinite(lam) or lam <= 0:
+            raise ValidationError(f"lambda must be finite and > 0, got {lam}")
+        if not self._lambdas:
+            return np.zeros(self.d), "cold"
+        # Nearest entry at or above lam; the list is descending, so that is
+        # the last index with λ >= lam.
+        best = None
+        for i, known in enumerate(self._lambdas):
+            if known < lam:
+                break
+            best = i
+        if best is not None and self._lambdas[best] == lam:
+            return self._iterates[best], "exact"
+        if best is not None:
+            return self._iterates[best], "path"
+        # Only smaller λs recorded: the largest of them sits right below.
+        return self._iterates[0], "path"
+
+    def record(self, lam: float, w: np.ndarray) -> None:
+        """Store iterate *w* for *lam* (replacing an exact-λ entry)."""
+        lam = float(lam)
+        if not np.isfinite(lam) or lam <= 0:
+            raise ValidationError(f"lambda must be finite and > 0, got {lam}")
+        w = np.asarray(w, dtype=np.float64)
+        if w.shape != (self.d,):
+            raise ValidationError(f"iterate must have shape ({self.d},), got {w.shape}")
+        w = w.copy()
+        for i, known in enumerate(self._lambdas):
+            if known == lam:
+                self._iterates[i] = w
+                return
+            if known < lam:
+                self._lambdas.insert(i, lam)
+                self._iterates.insert(i, w)
+                return
+        self._lambdas.append(lam)
+        self._iterates.append(w)

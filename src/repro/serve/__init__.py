@@ -1,0 +1,44 @@
+"""Solver-as-a-service: async job server with warm-start caching.
+
+The production-scale entry point (ROADMAP item 2): instead of one CLI
+invocation per solve, ``repro.serve`` exposes submit/status/result/cancel
+over JSON-HTTP with a bounded multi-tenant fair queue, batching of
+same-shape requests into multi-start runs, and a cross-request
+:class:`SolveCache` that turns repeated-λ and λ-grid traffic into warm
+starts. See docs/SERVING.md; start one with ``python -m repro serve``.
+"""
+
+from repro.serve.cache import CacheEntry, SolveCache
+from repro.serve.client import ServeClient, ServeHTTPError
+from repro.serve.jobs import FairQueue, Job
+from repro.serve.protocol import (
+    JOB_STATES,
+    SERVE_SOLVERS,
+    QueueFullError,
+    SubmitRequest,
+    canonical_problem_spec,
+    error_payload,
+    problem_fingerprint,
+    result_payload,
+)
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import ServeApp
+
+__all__ = [
+    "CacheEntry",
+    "FairQueue",
+    "JOB_STATES",
+    "Job",
+    "QueueFullError",
+    "SERVE_SOLVERS",
+    "ServeApp",
+    "ServeClient",
+    "ServeHTTPError",
+    "Scheduler",
+    "SolveCache",
+    "SubmitRequest",
+    "canonical_problem_spec",
+    "error_payload",
+    "problem_fingerprint",
+    "result_payload",
+]

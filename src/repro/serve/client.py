@@ -1,0 +1,106 @@
+"""Blocking JSON-HTTP client for the solve service.
+
+Used by ``python -m repro submit``, the load-generator benchmark and the
+end-to-end tests. Stdlib only (:mod:`http.client`); one connection per
+request because the server answers ``Connection: close``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.exceptions import ReproError, ValidationError
+
+__all__ = ["ServeClient", "ServeHTTPError"]
+
+
+class ServeHTTPError(ReproError, RuntimeError):
+    """A non-2xx answer from the service, with the decoded error payload."""
+
+    def __init__(self, status: int, payload: dict[str, Any]) -> None:
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = error.get("message") or f"HTTP {status}"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.retryable = bool(error.get("retryable"))
+        self.retry_after = error.get("retry_after")
+
+
+class ServeClient:
+    """Talk to a running :class:`~repro.serve.server.ServeApp`."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValidationError(f"only http:// URLs are supported, got {base_url!r}")
+        host = parts.netloc or parts.path
+        if not host:
+            raise ValidationError(f"cannot parse host from {base_url!r}")
+        self.host = host
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------- #
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        conn = http.client.HTTPConnection(self.host, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            return response.status, decoded, dict(response.getheaders())
+        finally:
+            conn.close()
+
+    def _checked(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        status, payload, _headers = self._request(method, path, body)
+        if status >= 400:
+            raise ServeHTTPError(status, payload)
+        return payload
+
+    # -- API ------------------------------------------------------------- #
+    def submit(self, request: dict[str, Any]) -> str:
+        """Submit a job; returns its id."""
+        return self._checked("POST", "/v1/jobs", request)["id"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._checked("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._checked("GET", "/v1/metrics")
+
+    def healthz(self) -> dict[str, Any]:
+        return self._checked("GET", "/v1/healthz")
+
+    def result(self, job_id: str, *, wait: bool = True, timeout: float = 60.0) -> dict[str, Any]:
+        """Fetch a job's result, polling (honouring Retry-After) when *wait*.
+
+        Raises :class:`ServeHTTPError` for failed/cancelled jobs and
+        :class:`TimeoutError` when *wait* expires with the job unfinished.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status, payload, headers = self._request("GET", f"/v1/jobs/{job_id}/result")
+            if status == 200:
+                return payload
+            if status == 202 and wait:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(f"job {job_id} unfinished after {timeout:g}s")
+                time.sleep(float(headers.get("Retry-After", 0.05)))
+                continue
+            if status == 202:
+                return payload
+            raise ServeHTTPError(status, payload)

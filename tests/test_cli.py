@@ -95,3 +95,52 @@ class TestSolve:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServeCli:
+    def test_bad_tenant_weight_rejected(self):
+        from repro.cli import _parse_tenant_weights
+
+        assert _parse_tenant_weights(["a=2", "b=1"]) == {"a": 2, "b": 1}
+        for bad in ("a", "a=0", "a=-1", "=2", "a=x"):
+            with pytest.raises(SystemExit):
+                _parse_tenant_weights([bad])
+
+    def test_bad_synthetic_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["submit", "--synthetic", "10,50"])  # needs D,M,SEED
+
+    def test_submit_unreachable_server_fails_cleanly(self, capsys):
+        rc = main([
+            "submit", "--url", "http://127.0.0.1:9", "--synthetic", "4,10,0",
+            "--timeout", "2",
+        ])
+        assert rc == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_round_trip_against_live_server(self, capsys):
+        import asyncio
+        import threading
+
+        from repro.serve import ServeApp
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        app = ServeApp(max_workers=1)
+        host, port = asyncio.run_coroutine_threadsafe(
+            app.start(), loop).result(timeout=30)
+        try:
+            rc = main([
+                "submit", "--url", f"http://{host}:{port}",
+                "--synthetic", "8,40,1", "--lam", "0.05", "--max-iter", "150",
+            ])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "submitted job-" in out
+            assert "warm_start" in out and "cold" in out
+        finally:
+            asyncio.run_coroutine_threadsafe(app.stop(), loop).result(timeout=30)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            loop.close()

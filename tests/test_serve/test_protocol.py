@@ -1,0 +1,144 @@
+"""Wire protocol: spec canonicalisation, fingerprints, error mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.results import SolveResult
+from repro.exceptions import (
+    ConvergenceError,
+    FaultError,
+    ValidationError,
+    WorkerFailureError,
+)
+from repro.serve.protocol import (
+    QueueFullError,
+    SubmitRequest,
+    canonical_problem_spec,
+    error_payload,
+    problem_fingerprint,
+    result_payload,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class TestCanonicalSpec:
+    def test_dataset_spec_normalises_defaults(self):
+        spec = canonical_problem_spec({"dataset": "abalone"})
+        assert spec == {"dataset": "abalone", "size": "tiny"}
+
+    def test_synthetic_spec_fills_defaults(self):
+        spec = canonical_problem_spec({"synthetic": {"d": 10, "m": 50}})
+        assert spec["synthetic"]["d"] == 10
+        assert spec["synthetic"]["density"] == 1.0
+        assert spec["synthetic"]["seed"] == 0
+
+    def test_equivalent_specs_share_a_fingerprint(self):
+        explicit = {"synthetic": {"d": 10, "m": 50, "density": 1.0,
+                                  "support_fraction": 0.2, "noise": 0.05, "seed": 0}}
+        implicit = {"synthetic": {"d": 10, "m": 50}}
+        assert problem_fingerprint(explicit) == problem_fingerprint(implicit)
+
+    def test_different_problems_differ(self):
+        a = problem_fingerprint({"synthetic": {"d": 10, "m": 50}})
+        b = problem_fingerprint({"synthetic": {"d": 10, "m": 51}})
+        assert a != b
+
+    @pytest.mark.parametrize("bad", [
+        {},  # neither dataset nor synthetic
+        {"dataset": "abalone", "synthetic": {"d": 1, "m": 1}},  # both
+        {"dataset": "no_such_dataset"},
+        {"dataset": "abalone", "size": "huge"},
+        {"dataset": "abalone", "extra": 1},
+        {"synthetic": {"m": 50}},  # missing d
+        {"synthetic": {"d": 0, "m": 50}},
+        {"synthetic": {"d": 10, "m": 50, "bogus": 1}},
+        {"synthetic": {"d": 10, "m": 50, "seed": 1.5}},
+        "not-a-dict",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            canonical_problem_spec(bad)
+
+
+class TestSubmitRequest:
+    def test_round_trip(self):
+        req = SubmitRequest.from_json({
+            "problem": {"synthetic": {"d": 5, "m": 20}},
+            "tenant": "t1", "solver": "fista", "lam": 0.1,
+            "max_iter": 42, "warm_start": False,
+        })
+        again = SubmitRequest.from_json(req.to_json())
+        assert again == req
+
+    def test_batch_key_groups_same_shape(self):
+        a = SubmitRequest.from_json({"problem": {"synthetic": {"d": 5, "m": 20}}, "lam": 0.1})
+        b = SubmitRequest.from_json({"problem": {"synthetic": {"d": 5, "m": 20}}, "lam": 0.2,
+                                     "tenant": "other"})
+        c = SubmitRequest.from_json({"problem": {"synthetic": {"d": 6, "m": 20}}, "lam": 0.1})
+        assert a.batch_key == b.batch_key  # λ and tenant do not split batches
+        assert a.batch_key != c.batch_key
+
+    @pytest.mark.parametrize("bad", [
+        {"problem": {"synthetic": {"d": 5, "m": 20}}, "solver": "nope"},
+        {"problem": {"synthetic": {"d": 5, "m": 20}}, "lam": -1.0},
+        {"problem": {"synthetic": {"d": 5, "m": 20}}, "lam": "high"},
+        {"problem": {"synthetic": {"d": 5, "m": 20}}, "max_iter": 0},
+        {"problem": {"synthetic": {"d": 5, "m": 20}}, "rel_change_tol": -1e-9},
+        {"problem": {"synthetic": {"d": 5, "m": 20}}, "tenant": ""},
+        {"problem": {"synthetic": {"d": 5, "m": 20}}, "warm_start": "yes"},
+        {"problem": {"synthetic": {"d": 5, "m": 20}}, "surprise": 1},
+        {"no_problem": True},
+        [],
+    ])
+    def test_bad_requests_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            SubmitRequest.from_json(bad)
+
+
+def _result(w, converged=True):
+    return SolveResult(w=np.asarray(w, dtype=float), converged=converged, n_iterations=7)
+
+
+class TestErrorMapping:
+    def test_validation_is_400_not_retryable(self):
+        status, body = error_payload(ValidationError("bad"))
+        assert status == 400 and body["retryable"] is False
+
+    def test_queue_full_is_429_with_retry_after(self):
+        status, body = error_payload(QueueFullError("full", retry_after=0.25))
+        assert status == 429 and body["retryable"] and body["retry_after"] == 0.25
+
+    def test_worker_failure_is_503_with_recovery_detail(self):
+        exc = WorkerFailureError("rank died", ranks=(2,), action="shrink", new_nranks=3)
+        status, body = error_payload(exc)
+        assert status == 503
+        assert body["retryable"] and body["retry_after"] > 0
+        assert body["ranks"] == [2] and body["action"] == "shrink"
+        assert body["new_nranks"] == 3
+
+    def test_fault_error_is_503(self):
+        status, body = error_payload(FaultError("torn collective"))
+        assert status == 503 and body["retryable"]
+
+    def test_convergence_error_ships_partial(self):
+        exc = ConvergenceError("gave up", partial=_result([1.0, 0.0, 2.0], converged=False))
+        status, body = error_payload(exc)
+        assert status == 500 and body["retryable"]
+        assert body["partial"]["nnz"] == 2
+        assert body["partial"]["w"] == [1.0, 0.0, 2.0]
+
+    def test_unknown_exception_is_500(self):
+        status, body = error_payload(RuntimeError("boom"))
+        assert status == 500 and body["retryable"] is False
+
+
+def test_result_payload_summarises():
+    payload = result_payload(_result([0.0, 3.0]), lam=0.5, warm_kind="path")
+    assert payload["lam"] == 0.5
+    assert payload["warm_start"] == "path"
+    assert payload["nnz"] == 1
+    assert payload["w"] == [0.0, 3.0]
+    assert payload["n_iterations"] == 7

@@ -1,0 +1,118 @@
+"""FairQueue: bounds, FIFO, weighted round-robin, starvation-freedom."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.serve.jobs import FairQueue, Job
+from repro.serve.protocol import QueueFullError, SubmitRequest
+
+pytestmark = pytest.mark.serve
+
+_SPEC = {"synthetic": {"d": 4, "m": 10}}
+
+
+def _job(tenant: str) -> Job:
+    return Job(request=SubmitRequest.from_json({"problem": _SPEC, "tenant": tenant}))
+
+
+class TestBounds:
+    def test_push_beyond_limit_raises_queue_full(self):
+        q = FairQueue(limit=2)
+        q.push(_job("a"))
+        q.push(_job("a"))
+        with pytest.raises(QueueFullError):
+            q.push(_job("b"))
+        assert len(q) == 2
+
+    def test_bad_limit_and_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            FairQueue(limit=0)
+        with pytest.raises(ValidationError):
+            FairQueue(weights={"a": 0})
+        with pytest.raises(ValidationError):
+            FairQueue(weights={"a": "2"})
+
+
+class TestOrdering:
+    def test_single_tenant_is_fifo(self):
+        q = FairQueue()
+        jobs = [_job("a") for _ in range(5)]
+        for j in jobs:
+            q.push(j)
+        assert [q.pop().id for _ in range(5)] == [j.id for j in jobs]
+        assert q.pop() is None
+
+    def test_equal_weights_alternate(self):
+        q = FairQueue()
+        for _ in range(3):
+            q.push(_job("a"))
+            q.push(_job("b"))
+        tenants = [q.pop().request.tenant for _ in range(6)]
+        assert tenants == ["a", "b", "a", "b", "a", "b"]
+
+    def test_weighted_tenant_drains_its_share(self):
+        q = FairQueue(weights={"big": 2})
+        for _ in range(4):
+            q.push(_job("big"))
+            q.push(_job("small"))
+        tenants = [q.pop().request.tenant for _ in range(8)]
+        # weight-2 tenant takes two per turn, weight-1 tenant one
+        assert tenants == ["big", "big", "small", "big", "big", "small", "small", "small"]
+
+    def test_flood_cannot_starve_other_tenant(self):
+        q = FairQueue(limit=100)
+        for _ in range(50):
+            q.push(_job("flooder"))
+        q.push(_job("victim"))
+        tenants = [q.pop().request.tenant for _ in range(3)]
+        assert "victim" in tenants
+
+    def test_remove_mid_queue(self):
+        q = FairQueue()
+        first, second = _job("a"), _job("a")
+        q.push(first)
+        q.push(second)
+        assert q.remove(second.id) is second
+        assert q.remove("job-nope") is None
+        assert [q.pop().id, q.pop()] == [first.id, None]
+
+    def test_take_matching_preserves_non_matches(self):
+        q = FairQueue()
+        jobs = [_job("a"), _job("b"), _job("a")]
+        for j in jobs:
+            q.push(j)
+        taken = q.take_matching(lambda j: j.request.tenant == "a", max_jobs=5)
+        assert [j.id for j in taken] == [jobs[0].id, jobs[2].id]
+        assert len(q) == 1 and q.pop().id == jobs[1].id
+
+
+@given(
+    arrivals=st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=60),
+    weights=st.fixed_dictionaries(
+        {}, optional={t: st.integers(1, 3) for t in ("a", "b", "c", "d")}
+    ),
+)
+def test_no_tenant_starves(arrivals, weights):
+    """Any backlogged tenant is served within one full weighted cycle."""
+    q = FairQueue(limit=1000, weights=weights)
+    for tenant in arrivals:
+        q.push(_job(tenant))
+    backlog = {t: arrivals.count(t) for t in set(arrivals)}
+    # Upper bound on one cycle: every backlogged tenant spends its weight.
+    waits: dict[str, int] = {}
+    for i in range(len(arrivals)):
+        job = q.pop()
+        assert job is not None
+        waits.setdefault(job.request.tenant, i)
+    assert q.pop() is None
+    cycle = sum(q.weight(t) for t in backlog)
+    for tenant, first_serve in waits.items():
+        assert first_serve < cycle, (
+            f"tenant {tenant} first served at pop {first_serve}, "
+            f"cycle bound {cycle}"
+        )
+    # Conservation: everyone got exactly their jobs.
+    assert set(waits) == set(backlog)
