@@ -30,6 +30,12 @@ import numpy as np
 
 from repro.core.fista import fista, ista
 from repro.core.cd import coordinate_descent_lasso
+from repro.core.model import (
+    LOSSES,
+    ERMObjective,
+    canonical_penalty_spec,
+    make_loss,
+)
 from repro.core.objectives import L1LeastSquares
 from repro.core.proxcocoa import proxcocoa
 from repro.core.rc_sfista import rc_sfista
@@ -70,18 +76,39 @@ DIST_SOLVERS = ("sfista_dist", "rc_sfista_dist", "rc_sfista_spmd", "proxcocoa")
 #: Solvers that accept a :class:`repro.runtime.RuntimeConfig` — and with it
 #: the fault/resilience/telemetry flags below.
 RUNTIME_SOLVERS = ("sfista_dist", "rc_sfista_dist", "rc_sfista_spmd")
+#: Solvers that accept an arbitrary (loss, penalty) objective; the rest
+#: are l1-least-squares specific (cd, proxcocoa, the serial s-fista pair).
+GENERAL_OBJECTIVE_SOLVERS = ("fista", "ista") + RUNTIME_SOLVERS
 
 
-def _load_problem(args: argparse.Namespace) -> L1LeastSquares:
+def _load_problem(args: argparse.Namespace) -> ERMObjective:
     if args.libsvm:
         X, y = load_libsvm(args.libsvm)
         lam = args.lam
         if lam is None:
             grad0 = (X.matvec(y) if not isinstance(X, np.ndarray) else X @ y) / X.shape[1]
             lam = 0.1 * float(np.max(np.abs(grad0)))
-        return L1LeastSquares(X, y, lam)
-    ds = get_dataset(args.dataset, size=args.size)
-    return ds.problem(lam=args.lam)
+        base = L1LeastSquares(X, y, lam)
+    else:
+        ds = get_dataset(args.dataset, size=args.size)
+        base = ds.problem(lam=args.lam)
+    try:
+        penalty = canonical_penalty_spec(args.penalty)
+    except Exception as exc:
+        raise SystemExit(f"--penalty: {exc}")
+    if args.loss == "squared" and penalty == "l1":
+        return base
+    if args.solver not in GENERAL_OBJECTIVE_SOLVERS:
+        raise SystemExit(
+            "--loss/--penalty need an objective-generic solver "
+            f"(--solver {' | '.join(GENERAL_OBJECTIVE_SOLVERS)})"
+        )
+    model_loss = make_loss(args.loss)
+    y = base.y
+    if model_loss.classification:
+        # Regression targets become ±1 labels by sign (ties go to +1).
+        y = np.where(np.asarray(y) >= 0, 1.0, -1.0)
+    return ERMObjective(base.X, y, loss=model_loss, penalty=penalty, lam=base.lam)
 
 
 def _build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
@@ -201,6 +228,7 @@ def _solve(args: argparse.Namespace) -> int:
     rows = [
         ["solver", name],
         ["d × m", f"{problem.d} × {problem.m}"],
+        ["objective", f"{problem.loss.name} + {problem.penalty.spec}"],
         ["lambda", f"{problem.lam:.5g}"],
         ["iterations", result.n_iterations],
         ["comm rounds", result.n_comm_rounds],
@@ -367,6 +395,8 @@ def _submit(args: argparse.Namespace) -> int:
         problem: dict[str, Any] = {"synthetic": {"d": d, "m": m, "seed": seed}}
     else:
         problem = {"dataset": args.dataset, "size": args.size}
+    problem["loss"] = args.loss
+    problem["penalty"] = args.penalty
     request: dict[str, Any] = {
         "problem": problem,
         "tenant": args.tenant,
@@ -427,6 +457,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--size", choices=("scaled", "tiny"), default="scaled")
     solve.add_argument("--solver", choices=SERIAL_SOLVERS + DIST_SOLVERS, default="rc_sfista")
     solve.add_argument("--lam", type=float, default=None, help="override λ")
+    solve.add_argument("--loss", choices=LOSSES, default="squared",
+                       help="smooth loss ℓ(xᵀw, y); classification losses "
+                       "binarize the targets by sign")
+    solve.add_argument("--penalty", default="l1", metavar="SPEC",
+                       help="penalty spec: l1 | elastic_net[:l2=R] | "
+                       "group_l1[:size=N]")
     solve.add_argument("--k", type=int, default=1, help="iteration-overlap factor")
     solve.add_argument("--S", type=int, default=1, help="Hessian-reuse steps")
     solve.add_argument("--b", type=float, default=0.01, help="sampling rate")
@@ -517,6 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="synthetic problem spec instead of a registry dataset")
     submit.add_argument("--size", choices=("scaled", "tiny"), default="tiny")
     submit.add_argument("--lam", type=float, default=None, help="override λ")
+    submit.add_argument("--loss", choices=LOSSES, default="squared",
+                        help="smooth loss for the served problem")
+    submit.add_argument("--penalty", default="l1", metavar="SPEC",
+                        help="penalty spec: l1 | elastic_net[:l2=R] | "
+                        "group_l1[:size=N]")
     submit.add_argument("--solver", choices=("fista", "ista", "sfista_dist",
                                              "rc_sfista_dist", "rc_sfista_spmd"),
                         default="fista")

@@ -31,6 +31,21 @@ from repro.core.proximal import (
     ZeroProx,
     GroupL1Prox,
 )
+from repro.core.model import (
+    LOSSES,
+    PENALTIES,
+    ERMObjective,
+    LogisticLoss,
+    Regularizer,
+    SmoothLoss,
+    SquaredHingeLoss,
+    SquaredLoss,
+    canonical_penalty_spec,
+    make_loss,
+    make_penalty,
+    parse_penalty_spec,
+    resolve_objective,
+)
 from repro.core.objectives import L1LeastSquares, QuadraticModel
 from repro.core.results import SolveResult, History
 from repro.core.stopping import StoppingCriterion, relative_objective_error
@@ -58,6 +73,19 @@ __all__ = [
     "BoxProx",
     "ZeroProx",
     "GroupL1Prox",
+    "LOSSES",
+    "PENALTIES",
+    "ERMObjective",
+    "SmoothLoss",
+    "SquaredLoss",
+    "LogisticLoss",
+    "SquaredHingeLoss",
+    "Regularizer",
+    "make_loss",
+    "make_penalty",
+    "parse_penalty_spec",
+    "canonical_penalty_spec",
+    "resolve_objective",
     "L1LeastSquares",
     "QuadraticModel",
     "SolveResult",

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.objectives import L1LeastSquares
+from repro.core.model import ERMObjective
 from repro.core.proximal import soft_threshold
 from repro.exceptions import ValidationError
 from repro.sparse.csr import CSCMatrix, CSRMatrix
@@ -70,9 +70,10 @@ def hessian_reuse_update(
     v: np.ndarray,
     *,
     gamma: float,
-    thresh: float,
+    thresh: float | None = None,
     S: int = 1,
     eps_reg: float = 0.0,
+    prox=None,
 ) -> np.ndarray:
     """``S`` Hessian-reuse prox steps on the sampled model (Eqs. 20–23).
 
@@ -81,11 +82,19 @@ def hessian_reuse_update(
     momentum point ``v``, iterate ``u ← prox(u − γ(Hu − R + ε(u − v)))``.
     ``S=1, eps_reg=0`` is the plain SFISTA step. The caller charges the
     ``UPDATE_FLOPS`` cost — this function is pure arithmetic.
+
+    ``prox`` generalizes the penalty: ``None`` (the legacy l1 path, kept
+    verbatim for byte-identity) soft-thresholds at ``thresh = λγ``; a
+    callable ``prox(w, gamma)`` applies any
+    :class:`~repro.core.model.Regularizer` instead.
     """
     u = v
     for _s in range(S):
         step_dir = H @ u - R + eps_reg * (u - v)
-        u = soft_threshold(u - gamma * step_dir, thresh)
+        if prox is None:
+            u = soft_threshold(u - gamma * step_dir, thresh)
+        else:
+            u = prox(u - gamma * step_dir, gamma)
     return u
 
 
@@ -174,6 +183,80 @@ class RankData:
             flops = float(4 * self.X_local.nnz)
         return g, flops
 
+    # ---------------- generalized-loss contributions ------------------- #
+    # The methods below power the model-anchored path for non-squared
+    # losses (RuntimeConfig(loss=...)): curvature and gradients are
+    # evaluated at a round-start anchor, so the k sampled blocks of one
+    # stage-C payload share a single linearization point (the §3.3
+    # prox-Newton observation). The column partition places every sample
+    # wholly on one rank, so predictions z_i = x_iᵀw are local.
+
+    def local_predictions(self, w: np.ndarray) -> tuple[np.ndarray, float]:
+        """Per-sample local predictions ``z_p = X_pᵀ w`` plus flops."""
+        if self.m_local == 0:
+            return np.zeros(0), 0.0
+        if isinstance(self.X_local, np.ndarray):
+            z = self.X_local.T @ w
+            flops = float(2 * self.X_local.shape[0] * self.m_local)
+        else:
+            z = self.X_local.rmatvec(w)
+            flops = float(2 * self.X_local.nnz)
+        return z, flops
+
+    def loss_gradient_contribution(
+        self, w: np.ndarray, m: int, loss
+    ) -> tuple[np.ndarray, float]:
+        """Local general-loss gradient ``(1/m) X_p ℓ'(X_pᵀw, y_p)`` + flops."""
+        if self.m_local == 0:
+            return np.zeros(w.shape[0]), 0.0
+        z, fl_z = self.local_predictions(w)
+        gvec = loss.grad(z, self.y_local)
+        if isinstance(self.X_local, np.ndarray):
+            g = self.X_local @ gvec / m
+            flops = fl_z + float(2 * self.X_local.shape[0] * self.m_local)
+        else:
+            g = self.X_local.matvec(gvec) / m
+            flops = fl_z + float(2 * self.X_local.nnz)
+        return g, flops + float(2 * self.m_local)
+
+    def model_block_contribution(
+        self,
+        global_idx: np.ndarray,
+        mbar: int,
+        d: int,
+        *,
+        loss,
+        z_round: np.ndarray,
+        z_anchor: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Curvature-weighted block ``(H_p, g_p, flops)`` at the round anchor.
+
+        ``H_p = (1/m̄) X_{p,S} diag(ℓ''(z)) X_{p,S}ᵀ`` and
+        ``g_p = (1/m̄) X_{p,S} ℓ'(z)`` (plain) or the SVRG difference
+        ``(1/m̄) X_{p,S} (ℓ'(z_round) − ℓ'(z_anchor))``; summing over ranks
+        gives the global weighted sampled Hessian / gradient estimate
+        exactly. ``z_round``/``z_anchor`` are this rank's *local*
+        prediction vectors (length ``m_local``).
+        """
+        local_idx = self._restrict(global_idx)
+        if local_idx.size == 0:
+            return np.zeros((d, d)), np.zeros(d), 0.0
+        if isinstance(self.X_local, np.ndarray):
+            A = self.X_local[:, local_idx]
+        else:
+            A = self.X_local.select_columns(local_idx).to_dense()
+        ys = self.y_local[local_idx]
+        zr = z_round[local_idx]
+        c = loss.curvature(zr, ys)
+        H_p = (A * c[None, :]) @ A.T / mbar
+        gvec = loss.grad(zr, ys)
+        if z_anchor is not None:
+            gvec = gvec - loss.grad(z_anchor[local_idx], ys)
+        g_p = A @ gvec / mbar
+        n = local_idx.size
+        flops = float(2.0 * d * d * n + d * n + 2.0 * d * n + 6.0 * n)
+        return H_p, g_p, flops
+
     def _restrict(self, global_idx: np.ndarray) -> np.ndarray:
         lo = self.col_offset
         hi = lo + self.m_local
@@ -185,7 +268,7 @@ class RankData:
 class DistributedData:
     """The problem's data scattered over all ranks."""
 
-    problem: L1LeastSquares
+    problem: ERMObjective
     partition: ColumnPartition
     ranks: list[RankData]
 
@@ -194,7 +277,7 @@ class DistributedData:
         return len(self.ranks)
 
 
-def distribute_problem(problem: L1LeastSquares, nranks: int) -> DistributedData:
+def distribute_problem(problem: ERMObjective, nranks: int) -> DistributedData:
     """Column-partition *problem* over *nranks* ranks (paper §4.1)."""
     if nranks < 1:
         raise ValidationError(f"nranks must be >= 1, got {nranks}")

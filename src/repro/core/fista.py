@@ -52,10 +52,14 @@ def _prepare(
     w0: np.ndarray | None,
 ) -> tuple[float, ProximalOperator, np.ndarray]:
     if prox is None:
-        lam = getattr(problem, "lam", None)
-        if lam is None:
-            raise ValidationError("prox operator required for problems without .lam")
-        prox = L1Prox(lam)
+        # An ERMObjective carries its penalty; L1Prox(lam) remains the
+        # fallback for bare quadratic models handed an explicit λ.
+        prox = getattr(problem, "penalty", None)
+        if prox is None:
+            lam = getattr(problem, "lam", None)
+            if lam is None:
+                raise ValidationError("prox operator required for problems without .lam")
+            prox = L1Prox(lam)
     if step_size is None:
         if hasattr(problem, "default_step"):
             step_size = problem.default_step()

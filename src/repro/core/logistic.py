@@ -20,7 +20,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.objectives import _matvec_x, _matvec_xt
+from repro.core.model import (
+    ERMObjective,
+    LogisticLoss,
+    _log1pexp,
+    _matvec_x,
+    _matvec_xt,
+    _sigmoid,
+    make_penalty,
+)
 from repro.exceptions import ShapeError, ValidationError
 from repro.sparse.csr import CSCMatrix, CSRMatrix
 from repro.utils.rng import RandomState, as_generator
@@ -31,25 +39,7 @@ __all__ = ["L1Logistic"]
 Matrix = np.ndarray | CSRMatrix | CSCMatrix
 
 
-def _log1pexp(z: np.ndarray) -> np.ndarray:
-    """Numerically stable ``log(1 + e^z)``."""
-    out = np.empty_like(z)
-    pos = z > 0
-    out[pos] = z[pos] + np.log1p(np.exp(-z[pos]))
-    out[~pos] = np.log1p(np.exp(z[~pos]))
-    return out
-
-
-def _sigmoid(z: np.ndarray) -> np.ndarray:
-    out = np.empty_like(z)
-    pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    ez = np.exp(z[~pos])
-    out[~pos] = ez / (1.0 + ez)
-    return out
-
-
-class L1Logistic:
+class L1Logistic(ERMObjective):
     """l1-regularized logistic regression in the paper's data layout.
 
     Parameters
@@ -81,6 +71,12 @@ class L1Logistic:
         self.lam = check_positive(lam, "lambda", strict=False)
         self.d = d
         self.m = m
+        # Model-layer identity: logistic loss + plain l1. The specialized
+        # numerics below stay as-is; the generic ERMObjective base
+        # contributes max_sample_lipschitz / sampled_hessian_deviation
+        # (curvature_bound-scaled), making this problem a first-class
+        # citizen of the sampled distributed solvers.
+        self._adopt_model(LogisticLoss(), make_penalty("l1", lam=self.lam))
 
     # ------------------------------------------------------------------ #
     def margins(self, w: np.ndarray) -> np.ndarray:

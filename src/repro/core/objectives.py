@@ -24,6 +24,13 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.core.model import (
+    ERMObjective,
+    SquaredLoss,
+    _matvec_x,
+    _matvec_xt,
+    make_penalty,
+)
 from repro.exceptions import ShapeError, ValidationError
 from repro.sparse.csr import CSCMatrix, CSRMatrix
 from repro.utils.rng import RandomState, as_generator
@@ -38,21 +45,7 @@ def _shape_of(X: Matrix) -> tuple[int, int]:
     return X.shape
 
 
-def _matvec_xt(X: Matrix, w: np.ndarray) -> np.ndarray:
-    """Compute ``Xᵀ w`` (per-sample predictions) for any storage format."""
-    if isinstance(X, np.ndarray):
-        return X.T @ w
-    return X.rmatvec(w)
-
-
-def _matvec_x(X: Matrix, r: np.ndarray) -> np.ndarray:
-    """Compute ``X r`` for any storage format."""
-    if isinstance(X, np.ndarray):
-        return X @ r
-    return X.matvec(r)
-
-
-class L1LeastSquares:
+class L1LeastSquares(ERMObjective):
     """The l1-regularized least squares problem instance.
 
     Parameters
@@ -80,6 +73,10 @@ class L1LeastSquares:
         self.m = m
         self._deviation_cache: dict[int, float] = {}
         self._lipschitz_cache: float | None = None
+        # The model-layer identity: squared loss + plain l1 at λ. All the
+        # numerics below predate (and override) the generic ERMObjective
+        # implementations — bit-for-bit unchanged.
+        self._adopt_model(SquaredLoss(), make_penalty("l1", lam=self.lam))
 
     # ------------------------------------------------------------------ #
     # values and derivatives

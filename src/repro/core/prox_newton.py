@@ -43,7 +43,8 @@ from repro.core._dist_common import (
 )
 from repro.core.cd import coordinate_descent_quadratic
 from repro.core.fista import fista, momentum_mu, t_next
-from repro.core.objectives import L1LeastSquares, QuadraticModel
+from repro.core.model import ERMObjective, resolve_objective
+from repro.core.objectives import QuadraticModel
 from repro.core.proximal import L1Prox, soft_threshold
 from repro.core.results import History, SolveResult
 from repro.core.stopping import StoppingCriterion
@@ -62,7 +63,7 @@ __all__ = ["proximal_newton", "proximal_newton_distributed"]
 
 
 def proximal_newton(
-    problem: L1LeastSquares,
+    problem: ERMObjective,
     *,
     n_outer: int = 10,
     inner: str = "fista",
@@ -98,6 +99,19 @@ def proximal_newton(
     check_in_range(b_hessian, "b_hessian", 0.0, 1.0, low_inclusive=False)
     check_positive(damping, "damping")
     stopping = stopping or StoppingCriterion()
+    # Inherit the problem's own (loss, penalty); squared+plain-l1 keeps the
+    # historical inner prox verbatim. The exact-CD inner solver minimizes
+    # the l1 model in closed form and supports no other penalty.
+    resolved = resolve_objective(problem)
+    if not resolved.penalty.is_plain_l1(problem.lam):
+        if inner == "cd":
+            raise ValidationError(
+                "inner='cd' supports only the plain l1 penalty; use "
+                f"inner='fista' for {resolved.penalty.spec!r}"
+            )
+        inner_prox = resolved.penalty
+    else:
+        inner_prox = None  # legacy: L1Prox(lam) below, byte-identical
     rng = as_generator(seed)
     d, lam = problem.d, problem.lam
 
@@ -113,7 +127,12 @@ def proximal_newton(
     prev_obj: float | None = None
     converged = False
     outer_done = 0
-    has_pointwise_hessian = hasattr(problem, "hessian_at")
+    # Constant-curvature problems (squared loss) keep the historical
+    # cached-Hessian / data-only sampled branches; only w-dependent
+    # curvature (e.g. logistic) routes through hessian_at.
+    has_pointwise_hessian = hasattr(problem, "hessian_at") and not getattr(
+        problem, "constant_curvature", False
+    )
     for n in range(1, n_outer + 1):
         grad = problem.gradient(w)
         if has_pointwise_hessian:
@@ -131,7 +150,7 @@ def proximal_newton(
             step = 1.0 / L if L > 0 else 1.0
             z = fista(
                 model,
-                prox=L1Prox(lam),
+                prox=inner_prox if inner_prox is not None else L1Prox(lam),
                 w0=w,
                 step_size=step,
                 max_iter=inner_iters,
@@ -177,7 +196,7 @@ def proximal_newton(
 
 
 def proximal_newton_distributed(
-    problem: L1LeastSquares,
+    problem: ERMObjective,
     nranks: int,
     *,
     machine: str | MachineSpec = "comet_effective",
@@ -256,16 +275,23 @@ def proximal_newton_distributed(
     if monitor_every < 1:
         raise ValidationError(f"monitor_every must be >= 1, got {monitor_every}")
     stopping = stopping or StoppingCriterion()
+    # Legacy squared+l1 keeps every historical branch byte-identical; any
+    # other loss/penalty runs the curvature-weighted general path with the
+    # same payload sizes (blocks weighted at the outer iterate — the §3.3
+    # prox-Newton linearization point).
+    resolved = resolve_objective(problem, loss=config.loss, penalty=config.penalty)
+    view = resolved.objective
+    general = not resolved.legacy
     rng = as_generator(seed)
     d, lam = problem.d, problem.lam
     gamma = (
-        check_positive(step_size, "step_size") if step_size is not None else problem.default_step()
+        check_positive(step_size, "step_size") if step_size is not None else view.default_step()
     )
     thresh = lam * gamma
     mbar = minibatch_size(problem.m, b)
     # Proximal-point damping of the Hessian-reuse subproblem (see rc_sfista).
     eps_reg = (
-        0.25 * problem.sampled_hessian_deviation(mbar)
+        0.25 * view.sampled_hessian_deviation(mbar)
         if (inner == "rc_sfista" and S > 1)
         else 0.0
     )
@@ -275,10 +301,11 @@ def proximal_newton_distributed(
     loop = ResilientLoop(backend, config, solver="proximal_newton_distributed")
     loop.step_size = gamma
     # Reusable scratch for the sampled-block stages (bit-identical): one
-    # shared workspace, or one per rank under a parallel map_ranks.
+    # shared workspace, or one per rank under a parallel map_ranks. The
+    # general path builds curvature-weighted blocks without workspaces.
     workspaces = (
         RankWorkspaces(nranks, d, mbar, parallel=backend.parallel_ranks)
-        if config.gram_workspace
+        if config.gram_workspace and not general
         else None
     )
     loop.workspace = workspaces
@@ -299,6 +326,8 @@ def proximal_newton_distributed(
             "b": b,
             "damping": damping,
             "step_size": gamma,
+            "loss": resolved.loss.name,
+            "penalty": resolved.penalty.spec,
             "comm": config.comm,
             "machine": backend.machine_name,
             "checkpoint_every": config.checkpoint_every,
@@ -307,24 +336,49 @@ def proximal_newton_distributed(
     )
 
     def dist_full_gradient(point: np.ndarray) -> np.ndarray:
-        results = backend.map_ranks(
-            lambda p: data.ranks[p].full_gradient_contribution(point, problem.m),
-            nranks,
-        )
+        if general:
+            def contribution(p: int):
+                return data.ranks[p].loss_gradient_contribution(
+                    point, problem.m, resolved.loss
+                )
+        else:
+            def contribution(p: int):
+                return data.ranks[p].full_gradient_contribution(point, problem.m)
+        results = backend.map_ranks(contribution, nranks)
         backend.compute([fl for _g, fl in results], label="full_gradient")
         return loop.allreduce([g for g, _fl in results], "allreduce_grad")
 
+    def local_curvatures(point: np.ndarray) -> list[np.ndarray]:
+        """Per-rank curvature weights ``ℓ''(X_pᵀ point, y_p)`` (general path)."""
+        results = backend.map_ranks(
+            lambda p: data.ranks[p].local_predictions(point), nranks
+        )
+        backend.compute(
+            [fl + 2.0 * data.ranks[p].m_local for p, (_z, fl) in enumerate(results)],
+            label="curvature",
+        )
+        return [
+            resolved.loss.curvature(z, data.ranks[p].y_local)
+            for p, (z, _fl) in enumerate(results)
+        ]
+
+    # Curvature weights at the current outer iterate (general path only);
+    # refreshed at the top of every outer round.
+    curv: list[np.ndarray] | None = None
+
     def dist_hessian_apply(vec: np.ndarray) -> np.ndarray:
-        """Exact Hessian-vector product through the distributed data."""
+        """(Weighted) Hessian-vector product through the distributed data."""
 
         def apply_rank(p: int) -> tuple[np.ndarray, float]:
             rd = data.ranks[p]
             if rd.m_local == 0:
                 return np.zeros(d), 0.0
             if isinstance(rd.X_local, np.ndarray):
-                hv = rd.X_local @ (rd.X_local.T @ vec) / problem.m
+                z = rd.X_local.T @ vec
+                hv = rd.X_local @ (curv[p] * z if general else z) / problem.m
                 return hv, float(4 * rd.X_local.shape[0] * rd.m_local)
-            hv = rd.X_local.matvec(rd.X_local.rmatvec(vec)) / problem.m
+            z = rd.X_local.rmatvec(vec)
+            hv = rd.X_local.matvec(curv[p] * z if general else z) / problem.m
             return hv, float(4 * rd.X_local.nnz)
 
         results = backend.map_ranks(apply_rank, nranks)
@@ -338,6 +392,38 @@ def proximal_newton_distributed(
         how the per-rank map executes (serial or parallel).
         """
         idx_sets = [sample_indices(rng, problem.m, mbar) for _ in range(count)]
+        if general:
+            # Curvature-weighted blocks at the outer iterate — the same
+            # count·d² payload as the data-only Gram blocks below.
+            packed = [np.empty(0)] * nranks
+
+            def build_rank(p: int) -> float:
+                rd = data.ranks[p]
+                chunks: list[np.ndarray] = []
+                fl_sum = 0.0
+                for idx in idx_sets:
+                    local_idx = rd._restrict(idx)
+                    if local_idx.size == 0:
+                        chunks.append(np.zeros(d * d))
+                        continue
+                    if isinstance(rd.X_local, np.ndarray):
+                        A = rd.X_local[:, local_idx]
+                    else:
+                        A = rd.X_local.select_columns(local_idx).to_dense()
+                    c = curv[p][local_idx]
+                    H_p = (A * c[None, :]) @ A.T / mbar
+                    chunks.append(H_p.ravel())
+                    fl_sum += float(
+                        2.0 * d * d * local_idx.size + d * local_idx.size
+                    )
+                packed[p] = np.concatenate(chunks)
+                return fl_sum
+
+            backend.compute(
+                np.asarray(backend.map_ranks(build_rank, nranks)),
+                label="hessian_blocks",
+            )
+            return loop.allreduce(packed, "allreduce_G")
         if g_bufs is not None:
             packed = [buf[: count * d * d] for buf in g_bufs]
 
@@ -427,8 +513,10 @@ def proximal_newton_distributed(
         # happen (and are really charged) a second time.
 
     def main_loop() -> None:
-        nonlocal w, prev_obj, converged, outer_done, inner_count
+        nonlocal w, prev_obj, converged, outer_done, inner_count, curv
         for n in range(start_n, n_outer + 1):
+            if general:
+                curv = local_curvatures(w)
             grad = dist_full_gradient(w)
 
             # Inner solve of Eq. (19) warm-started at w.
@@ -442,7 +530,10 @@ def proximal_newton_distributed(
                     v = u + mu * (u - u_prev)
                     g = dist_hessian_apply(v - w) + grad
                     backend.compute(8.0 * d, label="update")
-                    u_new = soft_threshold(v - gamma * g, thresh)
+                    if general:
+                        u_new = resolved.penalty.prox(v - gamma * g, gamma)
+                    else:
+                        u_new = soft_threshold(v - gamma * g, thresh)
                     u_prev, u = u, u_new
                     t_prev = t_cur
                     inner_count += 1
@@ -464,7 +555,9 @@ def proximal_newton_distributed(
                         mu = momentum_mu(t_prev, t_cur)
                         v = u + mu * (u - u_prev)
                         z = hessian_reuse_update(
-                            H_j, R_j, v, gamma=gamma, thresh=thresh, S=reuse_S, eps_reg=eps_reg
+                            H_j, R_j, v, gamma=gamma, thresh=thresh, S=reuse_S,
+                            eps_reg=eps_reg,
+                            prox=resolved.penalty.prox if general else None,
                         )
                         for _s in range(reuse_S):  # Hessian-reuse prox steps
                             backend.compute(UPDATE_FLOPS(d), label="update")
@@ -477,7 +570,7 @@ def proximal_newton_distributed(
             w = w + damping * (u - w)
             outer_done = n
             if n % monitor_every == 0 or n == n_outer:
-                obj = problem.value(w)  # out of band
+                obj = view.value(w)  # out of band
                 # A non-finite iterate cannot be fixed by re-communicating.
                 loop.screen_objective(obj)
                 history.append(
@@ -528,6 +621,8 @@ def proximal_newton_distributed(
             "k": k,
             "S": S,
             "b": b,
+            "loss": resolved.loss.name,
+            "penalty": resolved.penalty.spec,
             "nranks": nranks,
             "machine": backend.machine_name,
             "comm": config.comm,

@@ -162,6 +162,10 @@ class GroupL1Prox(ProximalOperator):
         gamma = self._check_gamma(gamma)
         out = np.asarray(w, dtype=np.float64).copy()
         t = self.lam * gamma
+        if t == 0.0:
+            # exact identity — and ‖w_g‖ can underflow to 0 for subnormal
+            # blocks, which the t=0 threshold test would wrongly zero out
+            return out
         for g in self.groups:
             norm = np.linalg.norm(out[g])
             if norm <= t:

@@ -40,7 +40,7 @@ from repro.core._dist_common import (
     hessian_reuse_update,
 )
 from repro.core.fista import momentum_mu, t_next
-from repro.core.objectives import L1LeastSquares
+from repro.core.model import ERMObjective, resolve_objective
 from repro.core.results import History, SolveResult
 from repro.core.sfista import GradientEstimator, stochastic_step_size
 from repro.core.sfista_dist import _epoch_anchor_gradient
@@ -59,7 +59,7 @@ __all__ = ["rc_sfista_distributed"]
 
 
 def rc_sfista_distributed(
-    problem: L1LeastSquares,
+    problem: ERMObjective,
     nranks: int,
     *,
     machine: str | MachineSpec = "comet_effective",
@@ -142,24 +142,31 @@ def rc_sfista_distributed(
     if monitor_every < 1:
         raise ValidationError(f"monitor_every must be >= 1, got {monitor_every}")
     stopping = stopping or StoppingCriterion()
+    # The objective view: for the historical squared+l1 pair this is the
+    # problem itself and every branch below takes the legacy byte-identical
+    # path; any other loss/penalty switches to the model-anchored general
+    # path (same payload layout, same communicated words).
+    resolved = resolve_objective(problem, loss=config.loss, penalty=config.penalty)
+    view = resolved.objective
+    general = not resolved.legacy
     rng = as_generator(seed)
     mbar = minibatch_size(problem.m, b)
     gamma = (
         check_positive(step_size, "step_size")
         if step_size is not None
         else stochastic_step_size(
-            problem.lipschitz(),
+            view.lipschitz(),
             problem.m,
             mbar,
-            problem.max_sample_lipschitz,
+            view.max_sample_lipschitz,
             epoch_length=iters_per_epoch if restart_momentum else epochs * iters_per_epoch,
-            deviation=problem.sampled_hessian_deviation(mbar),
+            deviation=view.sampled_hessian_deviation(mbar),
         )
     )
     d = problem.d
     thresh = problem.lam * gamma
     # See rc_sfista: proximal-point damping of the reuse subproblem.
-    eps_reg = 0.25 * problem.sampled_hessian_deviation(mbar) if S > 1 else 0.0
+    eps_reg = 0.25 * view.sampled_hessian_deviation(mbar) if S > 1 else 0.0
 
     data = distribute_problem(problem, nranks)
     backend = build_host_backend(config, nranks)
@@ -169,9 +176,11 @@ def rc_sfista_distributed(
     # Reusable scratch: per-rank stage-C payload buffers plus the Gram
     # workspaces (one shared, or one per rank when the backend maps ranks
     # in parallel). Bit-identical to the allocating path (pinned by tests).
+    # The general path builds curvature-weighted blocks and has no
+    # workspace variant.
     workspaces = (
         RankWorkspaces(nranks, d, mbar, parallel=backend.parallel_ranks)
-        if config.gram_workspace
+        if config.gram_workspace and not general
         else None
     )
     loop.workspace = workspaces
@@ -189,6 +198,8 @@ def rc_sfista_distributed(
             "iters_per_epoch": iters_per_epoch,
             "estimator": estimator.value,
             "step_size": gamma,
+            "loss": resolved.loss.name,
+            "penalty": resolved.penalty.spec,
             "comm": config.comm,
             "machine": backend.machine_name,
             "checkpoint_every": config.checkpoint_every,
@@ -280,7 +291,13 @@ def rc_sfista_distributed(
                 anchor = w.copy()
                 full_grad = (
                     loop.screened(
-                        lambda: _epoch_anchor_gradient(backend, data, anchor, problem.m),
+                        lambda: _epoch_anchor_gradient(
+                            backend,
+                            data,
+                            anchor,
+                            problem.m,
+                            loss=resolved.loss if general else None,
+                        ),
                         "anchor gradient allreduce",
                     )
                     if estimator is GradientEstimator.SVRG
@@ -300,7 +317,41 @@ def rc_sfista_distributed(
                 # rng stream is identical whether the ranks run serially or
                 # in parallel (the map closures never touch the generator).
                 idx_sets = [sample_indices(rng, problem.m, mbar) for _ in range(block)]
-                if packed_bufs is not None:
+                round_anchor: np.ndarray | None = None
+                if general:
+                    # Model-anchored stages A+B: every block of this round
+                    # shares one linearization point a = w (round start) —
+                    # H_j and g_j are curvature/gradient of the loss at a,
+                    # packed in the same [H_j | g_j] layout and stride, so
+                    # stage C communicates exactly k(d² + d) words as before.
+                    round_anchor = w.copy()
+                    packed = [np.empty(0)] * nranks
+
+                    def build_rank(p: int) -> float:
+                        rank_data = data.ranks[p]
+                        z_r, flops = rank_data.local_predictions(round_anchor)
+                        if estimator is GradientEstimator.SVRG:
+                            z_a, fl_a = rank_data.local_predictions(anchor)
+                            flops += fl_a
+                        else:
+                            z_a = None
+                        chunks: list[np.ndarray] = []
+                        for idx in idx_sets:
+                            H_p, g_p, fl = rank_data.model_block_contribution(
+                                idx,
+                                mbar,
+                                d,
+                                loss=resolved.loss,
+                                z_round=z_r,
+                                z_anchor=z_a,
+                            )
+                            chunks.append(H_p.ravel())
+                            chunks.append(g_p)
+                            flops += fl
+                        packed[p] = np.concatenate(chunks)
+                        return flops
+
+                elif packed_bufs is not None:
                     # Workspace path: build each block directly inside the
                     # reused stage-C payload buffer — no per-iteration
                     # allocation, bit-identical payload values.
@@ -362,7 +413,15 @@ def rc_sfista_distributed(
                 for j in range(block):
                     base = j * stride
                     H = combined[base : base + d * d].reshape(d, d)
-                    if estimator is GradientEstimator.PLAIN:
+                    if general:
+                        # step_dir = Hu − R = H(u − a) + g_S(a) [+ SVRG
+                        # correction] — reduces exactly to the legacy
+                        # formulas below for the squared loss.
+                        R = H @ round_anchor - combined[base + d * d : base + stride]
+                        if estimator is not GradientEstimator.PLAIN:
+                            R = R - full_grad  # type: ignore[operator]
+                        backend.compute(2.0 * d * d, label="model_rhs")
+                    elif estimator is GradientEstimator.PLAIN:
                         R = combined[base + d * d : base + stride]
                     else:
                         R = H @ anchor - full_grad  # type: ignore[operator]
@@ -371,7 +430,8 @@ def rc_sfista_distributed(
                     mu = momentum_mu(t_prev, t_cur)
                     v = w + mu * (w - w_prev)
                     u = hessian_reuse_update(
-                        H, R, v, gamma=gamma, thresh=thresh, S=S, eps_reg=eps_reg
+                        H, R, v, gamma=gamma, thresh=thresh, S=S, eps_reg=eps_reg,
+                        prox=resolved.penalty.prox if general else None,
                     )
                     for _s in range(S):  # Eqs. (20)-(23): S prox steps on the model
                         backend.compute(UPDATE_FLOPS(d), label="update")
@@ -383,7 +443,7 @@ def rc_sfista_distributed(
                     if sampled_iter % monitor_every == 0 or (
                         epoch == epochs - 1 and rnd == n_rounds - 1 and j == block - 1
                     ):
-                        obj = problem.value(w)  # out of band
+                        obj = view.value(w)  # out of band
                         # An iterate gone non-finite cannot be fixed by
                         # re-communicating — recompute degrades to rollback.
                         loop.screen_objective(obj)
@@ -459,6 +519,8 @@ def rc_sfista_distributed(
             "mbar": mbar,
             "estimator": estimator.value,
             "step_size": gamma,
+            "loss": resolved.loss.name,
+            "penalty": resolved.penalty.spec,
             "nranks": nranks,
             "machine": backend.machine_name,
             "allreduce_algorithm": backend.allreduce_algorithm,

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core._dist_common import distribute_problem, hessian_reuse_update
 from repro.core.fista import momentum_mu, t_next
-from repro.core.objectives import L1LeastSquares
+from repro.core.model import ERMObjective, resolve_objective
 from repro.core.results import SolveResult
 from repro.core.sfista import GradientEstimator, stochastic_step_size
 from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy
@@ -55,7 +55,7 @@ __all__ = ["rc_sfista_spmd"]
 
 
 def rc_sfista_spmd(
-    problem: L1LeastSquares,
+    problem: ERMObjective,
     nranks: int,
     *,
     machine: str | MachineSpec = "comet_effective",
@@ -135,17 +135,23 @@ def rc_sfista_spmd(
         )
     if k < 1 or n_iterations < 1:
         raise ValidationError("k and n_iterations must be >= 1")
+    # Legacy squared+l1 keeps the historical byte-identical rank program;
+    # other losses/penalties run the model-anchored general path (same
+    # payload layout and stride — see rc_sfista_dist).
+    resolved = resolve_objective(problem, loss=config.loss, penalty=config.penalty)
+    view = resolved.objective
+    general = not resolved.legacy
     mbar = minibatch_size(problem.m, b)
     gamma = (
         check_positive(step_size, "step_size")
         if step_size is not None
         else stochastic_step_size(
-            problem.lipschitz(),
+            view.lipschitz(),
             problem.m,
             mbar,
-            problem.max_sample_lipschitz,
+            view.max_sample_lipschitz,
             epoch_length=n_iterations,
-            deviation=problem.sampled_hessian_deviation(mbar),
+            deviation=view.sampled_hessian_deviation(mbar),
         )
     )
     if not isinstance(seed, (int, np.integer)):
@@ -170,6 +176,8 @@ def rc_sfista_spmd(
             "n_iterations": n_iterations,
             "estimator": estimator.value,
             "step_size": gamma,
+            "loss": resolved.loss.name,
+            "penalty": resolved.penalty.spec,
             "comm": config.comm,
             "machine": backend.machine_name,
             "checkpoint_every": config.checkpoint_every,
@@ -217,7 +225,9 @@ def rc_sfista_spmd(
         rng = as_generator(int(seed))
         # Per-rank scratch: each rank's packed payload must stay intact
         # until the collective completes, so buffers are program-local.
-        workspace = GramWorkspace(d, mbar) if config.gram_workspace else None
+        workspace = (
+            GramWorkspace(d, mbar) if config.gram_workspace and not general else None
+        )
         packed_buf = np.empty(k * stride) if workspace is not None else None
         if workspace is not None and ctx.rank == 0:
             loop.workspace = workspace
@@ -241,7 +251,12 @@ def rc_sfista_spmd(
             prev_obj = ck["prev_obj"]
             rng.bit_generator.state = copy.deepcopy(ck["rng_state"])
         elif estimator is GradientEstimator.SVRG:
-            g_p, _fl = rank_data.full_gradient_contribution(anchor, problem.m)
+            if general:
+                g_p, _fl = rank_data.loss_gradient_contribution(
+                    anchor, problem.m, resolved.loss
+                )
+            else:
+                g_p, _fl = rank_data.full_gradient_contribution(anchor, problem.m)
             for _attempt in range(config.max_recoveries + 1):
                 full_grad = yield ctx.allreduce(g_p, comm=config.comm)
                 if not screen_replicated(ctx, full_grad, "anchor gradient allreduce"):
@@ -256,8 +271,27 @@ def rc_sfista_spmd(
 
         while done < n_iterations:
             block = min(k, n_iterations - done)
+            round_anchor = None
             # Stages A+B: local contributions for the whole block.
-            if workspace is not None:
+            if general:
+                # Model-anchored block: linearize the loss at the round
+                # anchor a = w; the payload keeps the [H_j | g_j] layout
+                # and the k(d² + d)-word stride of the legacy path.
+                round_anchor = w.copy()
+                z_r, _flz = rank_data.local_predictions(round_anchor)
+                z_a = None
+                if estimator is GradientEstimator.SVRG:
+                    z_a, _fla = rank_data.local_predictions(anchor)
+                chunks = []
+                for _j in range(block):
+                    idx = sample_indices(rng, problem.m, mbar)
+                    H_p, g_p, _fl = rank_data.model_block_contribution(
+                        idx, mbar, d, loss=resolved.loss, z_round=z_r, z_anchor=z_a
+                    )
+                    chunks.append(H_p.ravel())
+                    chunks.append(g_p)
+                packed = np.concatenate(chunks)
+            elif workspace is not None:
                 packed = packed_buf[: block * stride]
                 for _j in range(block):
                     base = _j * stride
@@ -311,14 +345,23 @@ def rc_sfista_spmd(
                 t_cur = t_next(t_prev)
                 mu = momentum_mu(t_prev, t_cur)
 
-                def compute_update(base=base, mu=mu, w=w, w_prev=w_prev):
+                def compute_update(
+                    base=base, mu=mu, w=w, w_prev=w_prev, round_anchor=round_anchor
+                ):
                     H = combined[base : base + d * d].reshape(d, d)
-                    if estimator is GradientEstimator.PLAIN:
+                    if general:
+                        R = H @ round_anchor - combined[base + d * d : base + stride]
+                        if estimator is not GradientEstimator.PLAIN:
+                            R = R - full_grad
+                    elif estimator is GradientEstimator.PLAIN:
                         R = combined[base + d * d : base + stride]
                     else:
                         R = H @ anchor - full_grad
                     v = w + mu * (w - w_prev)
-                    return hessian_reuse_update(H, R, v, gamma=gamma, thresh=thresh)
+                    return hessian_reuse_update(
+                        H, R, v, gamma=gamma, thresh=thresh,
+                        prox=resolved.penalty.prox if general else None,
+                    )
 
                 w_new = replicated.get(epoch, ("update", it_no), compute_update)
                 w_prev, w = w, w_new
@@ -328,7 +371,7 @@ def rc_sfista_spmd(
                 if monitored:
                     # Out of band, replicated: computed once per epoch.
                     obj = replicated.get(
-                        epoch, ("objective", it_no), lambda w=w: problem.value(w)
+                        epoch, ("objective", it_no), lambda w=w: view.value(w)
                     )
                     if screen_replicated(ctx, obj, "monitored objective"):
                         # A diverged iterate cannot be fixed by
@@ -398,6 +441,8 @@ def rc_sfista_spmd(
             "mbar": mbar,
             "estimator": estimator.value,
             "step_size": gamma,
+            "loss": resolved.loss.name,
+            "penalty": resolved.penalty.spec,
             "nranks": nranks,
             "comm": config.comm,
             "checkpoint_every": config.checkpoint_every,

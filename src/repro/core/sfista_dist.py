@@ -32,7 +32,7 @@ from repro.core._dist_common import (
     hessian_reuse_update,
 )
 from repro.core.fista import momentum_mu, t_next
-from repro.core.objectives import L1LeastSquares
+from repro.core.model import ERMObjective, resolve_objective
 from repro.core.proximal import soft_threshold
 from repro.core.results import History, SolveResult
 from repro.core.sfista import GradientEstimator, stochastic_step_size
@@ -53,24 +53,30 @@ __all__ = ["sfista_distributed"]
 
 
 def _epoch_anchor_gradient(
-    backend: ExecutionBackend, data, w: np.ndarray, m: int
+    backend: ExecutionBackend, data, w: np.ndarray, m: int, *, loss=None
 ) -> np.ndarray:
     """SVRG anchor gradient: local contributions + one d-word allreduce.
 
     The per-rank contributions go through ``backend.map_ranks`` so a
     real-parallelism backend computes them concurrently; each closure
     touches only its own rank's data, keeping results bit-identical to
-    the serial sweep.
+    the serial sweep. ``loss=None`` is the legacy squared-loss sweep
+    (kept verbatim); a :class:`~repro.core.model.SmoothLoss` computes
+    ``(1/m) X ℓ'(Xᵀw, y)`` instead, with identical labels and payload.
     """
-    results = backend.map_ranks(
-        lambda p: data.ranks[p].full_gradient_contribution(w, m), data.nranks
-    )
+    if loss is None:
+        def contribution(p: int):
+            return data.ranks[p].full_gradient_contribution(w, m)
+    else:
+        def contribution(p: int):
+            return data.ranks[p].loss_gradient_contribution(w, m, loss)
+    results = backend.map_ranks(contribution, data.nranks)
     backend.compute([fl for _g, fl in results], label="anchor_gradient")
     return backend.allreduce([g for g, _fl in results], label="allreduce_anchor_grad")
 
 
 def sfista_distributed(
-    problem: L1LeastSquares,
+    problem: ERMObjective,
     nranks: int,
     *,
     machine: str | MachineSpec = "comet_effective",
@@ -145,18 +151,24 @@ def sfista_distributed(
     if monitor_every < 1:
         raise ValidationError(f"monitor_every must be >= 1, got {monitor_every}")
     stopping = stopping or StoppingCriterion()
+    # Legacy squared+l1 keeps the historical byte-identical branches; any
+    # other loss/penalty takes the model-anchored general path with the
+    # same payload layout (see rc_sfista_dist).
+    resolved = resolve_objective(problem, loss=config.loss, penalty=config.penalty)
+    view = resolved.objective
+    general = not resolved.legacy
     rng = as_generator(seed)
     mbar = minibatch_size(problem.m, b)
     gamma = (
         check_positive(step_size, "step_size")
         if step_size is not None
         else stochastic_step_size(
-            problem.lipschitz(),
+            view.lipschitz(),
             problem.m,
             mbar,
-            problem.max_sample_lipschitz,
+            view.max_sample_lipschitz,
             epoch_length=iters_per_epoch if restart_momentum else epochs * iters_per_epoch,
-            deviation=problem.sampled_hessian_deviation(mbar),
+            deviation=view.sampled_hessian_deviation(mbar),
         )
     )
     d = problem.d
@@ -169,10 +181,11 @@ def sfista_distributed(
     stride = d * d + d
     # Reusable scratch (bit-identical to the allocating path): the Gram
     # workspaces (shared, or one per rank under a parallel map) plus one
-    # [H_p | R_p] payload buffer per rank.
+    # [H_p | R_p] payload buffer per rank. The general path builds
+    # curvature-weighted blocks and has no workspace variant.
     workspaces = (
         RankWorkspaces(nranks, d, mbar, parallel=backend.parallel_ranks)
-        if config.gram_workspace
+        if config.gram_workspace and not general
         else None
     )
     loop.workspace = workspaces
@@ -187,6 +200,8 @@ def sfista_distributed(
             "estimator": estimator.value,
             "comm_mode": comm_mode,
             "step_size": gamma,
+            "loss": resolved.loss.name,
+            "penalty": resolved.penalty.spec,
             "comm": config.comm,
             "machine": backend.machine_name,
             "checkpoint_every": config.checkpoint_every,
@@ -272,7 +287,13 @@ def sfista_distributed(
                 anchor = w.copy()
                 full_grad = (
                     loop.screened(
-                        lambda: _epoch_anchor_gradient(backend, data, anchor, problem.m),
+                        lambda: _epoch_anchor_gradient(
+                            backend,
+                            data,
+                            anchor,
+                            problem.m,
+                            loss=resolved.loss if general else None,
+                        ),
                         "anchor gradient allreduce",
                     )
                     if estimator is GradientEstimator.SVRG
@@ -292,7 +313,38 @@ def sfista_distributed(
                 mu = momentum_mu(t_prev, t_cur)
                 v = w + mu * (w - w_prev)
 
-                if comm_mode == "hessian":
+                if comm_mode == "hessian" and general:
+                    # General path: one [H | g] block linearized at the
+                    # momentum point v — same d² + d words as the legacy
+                    # payload. step_dir = Hv − R below collapses to the
+                    # sampled loss gradient at v (the H transport is the
+                    # paper-faithful PN framing: every rank receives H).
+                    def build_rank(p: int) -> tuple[np.ndarray, float]:
+                        rank_data = data.ranks[p]
+                        z_v, fl_z = rank_data.local_predictions(v)
+                        if estimator is GradientEstimator.SVRG:
+                            z_a, fl_a = rank_data.local_predictions(anchor)
+                        else:
+                            z_a, fl_a = None, 0.0
+                        H_p, g_p, fl = rank_data.model_block_contribution(
+                            idx, mbar, d, loss=resolved.loss, z_round=z_v, z_anchor=z_a
+                        )
+                        return np.concatenate([H_p.ravel(), g_p]), fl_z + fl_a + fl
+
+                    results = backend.map_ranks(build_rank, nranks)
+                    packed = [buf for buf, _fl in results]
+                    backend.compute([fl for _buf, fl in results], label="hessian_blocks")
+                    combined = loop.allreduce(packed, label="allreduce_HR")
+                    H = combined[: d * d].reshape(d, d)
+                    R = H @ v - combined[d * d :]
+                    if estimator is not GradientEstimator.PLAIN:
+                        R = R - full_grad  # type: ignore[operator]
+                    backend.compute(2.0 * d * d, label="model_rhs")
+                    w_new = hessian_reuse_update(
+                        H, R, v, gamma=gamma, prox=resolved.penalty.prox
+                    )
+                    backend.compute(UPDATE_FLOPS(d), label="update")
+                elif comm_mode == "hessian":
                     # Stages A+B: local sampled Gram blocks, one closure
                     # per rank (parallel on backends that map ranks for
                     # real; each touches only its own buffers/workspace).
@@ -353,6 +405,15 @@ def sfista_distributed(
                             A = rank_data.X_local[:, local_idx]
                         else:
                             A = rank_data.X_local.select_columns(local_idx).to_dense()
+                        if general:
+                            ys = rank_data.y_local[local_idx]
+                            gvec = resolved.loss.grad(A.T @ v, ys)
+                            extra = 0.0
+                            if estimator is GradientEstimator.SVRG:
+                                gvec = gvec - resolved.loss.grad(A.T @ anchor, ys)
+                                extra = float(2 * A.shape[0] * A.shape[1])
+                            g_p = A @ gvec / mbar
+                            return g_p, float(4 * A.shape[0] * A.shape[1]) + extra
                         if estimator is GradientEstimator.PLAIN:
                             g_p = A @ (A.T @ v - rank_data.y_local[local_idx]) / mbar
                         else:
@@ -365,7 +426,10 @@ def sfista_distributed(
                     if estimator is GradientEstimator.SVRG:
                         g = g + full_grad  # type: ignore[operator]
                     backend.compute(8.0 * d, label="update")
-                    w_new = soft_threshold(v - gamma * g, thresh)
+                    if general:
+                        w_new = resolved.penalty.prox(v - gamma * g, gamma)
+                    else:
+                        w_new = soft_threshold(v - gamma * g, thresh)
 
                 w_prev, w = w, w_new
                 t_prev = t_cur
@@ -374,7 +438,7 @@ def sfista_distributed(
                 if total_iter % monitor_every == 0 or (
                     epoch == epochs - 1 and _n == iters_per_epoch - 1
                 ):
-                    obj = problem.value(w)  # out of band
+                    obj = view.value(w)  # out of band
                     loop.screen_objective(obj)
                     history.append(
                         total_iter,
@@ -440,6 +504,8 @@ def sfista_distributed(
             "estimator": estimator.value,
             "comm_mode": comm_mode,
             "step_size": gamma,
+            "loss": resolved.loss.name,
+            "penalty": resolved.penalty.spec,
             "nranks": nranks,
             "machine": backend.machine_name,
             "allreduce_algorithm": backend.allreduce_algorithm,

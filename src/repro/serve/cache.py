@@ -33,6 +33,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.core.model import ERMObjective, make_loss
 from repro.core.objectives import L1LeastSquares
 from repro.core.path import lambda_max
 from repro.core.warmstart import WarmStartLadder
@@ -52,43 +53,66 @@ class CacheEntry:
 
     fingerprint: str
     spec: dict[str, Any]
-    problem: L1LeastSquares  # at the entry's default λ
+    problem: ERMObjective  # at the entry's default λ
     default_lam: float
     ladder: WarmStartLadder
     workspace: GramWorkspace
     #: Cached problem views at previously requested λs (same X/y objects,
     #: so the CSC memo and any Lipschitz estimate stay shared).
-    _at_lam: dict[float, L1LeastSquares] = field(default_factory=dict)
+    _at_lam: dict[float, ERMObjective] = field(default_factory=dict)
 
-    def problem_at(self, lam: float) -> L1LeastSquares:
+    def problem_at(self, lam: float) -> ERMObjective:
         lam = float(lam)
         prob = self._at_lam.get(lam)
         if prob is None:
-            if lam == self.problem.lam:
-                prob = self.problem
+            base = self.problem
+            if lam == base.lam:
+                prob = base
+            elif type(base) is L1LeastSquares:
+                prob = L1LeastSquares(base.X, base.y, lam)
             else:
-                prob = L1LeastSquares(self.problem.X, self.problem.y, lam)
+                prob = ERMObjective(
+                    base.X,
+                    base.y,
+                    loss=base.loss,
+                    penalty=base.penalty.at_lam(lam, base.d),
+                    lam=lam,
+                )
             self._at_lam[lam] = prob
         return prob
 
 
-def _build_problem(spec: Mapping[str, Any]) -> L1LeastSquares:
+def _build_problem(spec: Mapping[str, Any]) -> ERMObjective:
+    loss = spec.get("loss", "squared")
+    penalty = spec.get("penalty", "l1")
+    legacy = loss == "squared" and penalty == "l1"
     if "dataset" in spec:
         ds = get_dataset(spec["dataset"], size=spec["size"])
-        return ds.problem()
-    params = spec["synthetic"]
-    X, y, _w_true = make_regression(
-        params["d"],
-        params["m"],
-        density=params["density"],
-        support_fraction=params["support_fraction"],
-        noise=params["noise"],
-        rng=params["seed"],
-    )
-    lam = 0.1 * lambda_max(L1LeastSquares(X, y, 1.0))
-    if lam <= 0:
-        raise ValidationError("synthetic problem has zero lambda_max")
-    return L1LeastSquares(X, y, lam)
+        base = ds.problem()
+        if legacy:
+            return base
+        X, y, lam = base.X, base.y, base.lam
+    else:
+        params = spec["synthetic"]
+        X, y, _w_true = make_regression(
+            params["d"],
+            params["m"],
+            density=params["density"],
+            support_fraction=params["support_fraction"],
+            noise=params["noise"],
+            rng=params["seed"],
+        )
+        lam = 0.1 * lambda_max(L1LeastSquares(X, y, 1.0))
+        if lam <= 0:
+            raise ValidationError("synthetic problem has zero lambda_max")
+        if legacy:
+            return L1LeastSquares(X, y, lam)
+    model_loss = make_loss(loss)
+    if model_loss.classification:
+        # Regression targets become ±1 labels by sign (ties go to +1) so
+        # the same dataset/synthetic specs serve classification losses.
+        y = np.where(np.asarray(y) >= 0, 1.0, -1.0)
+    return ERMObjective(X, y, loss=model_loss, penalty=penalty, lam=lam)
 
 
 class SolveCache:

@@ -9,10 +9,14 @@ to a 400 response.
 A submitted job names its problem *by spec*, not by shipping matrices:
 either a registry dataset (``{"dataset": "covtype", "size": "tiny"}``) or
 a deterministic synthetic generator call (``{"synthetic": {"d": ..,
-"m": .., "density": .., "seed": ..}}``). Specs are canonicalised and
+"m": .., "density": .., "seed": ..}}``). Either form may add an
+objective: ``"loss"`` (one of :data:`~repro.core.model.LOSSES`, default
+``"squared"``) and ``"penalty"`` (a spec string like ``"l1"`` or
+``"elastic_net:l2=0.5"``, default ``"l1"``). Specs are canonicalised and
 fingerprinted (:func:`problem_fingerprint`) — two requests naming the same
 spec share one cached problem instance, its memoized CSC twin, its Gram
-workspace and its warm-start ladder (docs/SERVING.md).
+workspace and its warm-start ladder, while requests differing only in
+loss or penalty never collide (docs/SERVING.md).
 
 Failure mapping (the table in docs/SERVING.md):
 
@@ -37,6 +41,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.core.model import canonical_penalty_spec, make_loss
 from repro.data.datasets import DATASETS
 from repro.exceptions import (
     ConvergenceError,
@@ -83,12 +88,30 @@ class QueueFullError(ReproError, RuntimeError):
         self.retry_after = retry_after
 
 
+def _canonical_objective(spec: Mapping[str, Any]) -> tuple[str, str]:
+    """Validate and normalise the optional ``loss``/``penalty`` spec keys.
+
+    Unknown names raise :class:`~repro.exceptions.ValidationError` — the
+    model layer's messages list the allowed values, and the server maps
+    the exception to a 400 response.
+    """
+    loss = spec.get("loss", "squared")
+    if not isinstance(loss, str):
+        raise ValidationError(f"problem 'loss' must be a string, got {loss!r}")
+    make_loss(loss)  # raises with the allowed values on an unknown name
+    penalty = spec.get("penalty", "l1")
+    if not isinstance(penalty, str):
+        raise ValidationError(f"problem 'penalty' must be a string, got {penalty!r}")
+    return loss, canonical_penalty_spec(penalty)
+
+
 def canonical_problem_spec(spec: Mapping[str, Any]) -> dict[str, Any]:
     """Validate and normalise a problem spec to its canonical dict form.
 
     The canonical form is what gets fingerprinted, so every optional key
     is resolved to an explicit value here — two ways of writing the same
-    problem collapse to one cache entry.
+    problem collapse to one cache entry, and the ``loss``/``penalty``
+    keys are always present so distinct objectives never share one.
     """
     if not isinstance(spec, Mapping):
         raise ValidationError(f"problem spec must be an object, got {type(spec).__name__}")
@@ -98,6 +121,7 @@ def canonical_problem_spec(spec: Mapping[str, Any]) -> dict[str, Any]:
         raise ValidationError(
             "problem spec needs exactly one of 'dataset' or 'synthetic'"
         )
+    loss, penalty = _canonical_objective(spec)
     if has_dataset:
         name = spec["dataset"]
         if name not in DATASETS:
@@ -107,14 +131,17 @@ def canonical_problem_spec(spec: Mapping[str, Any]) -> dict[str, Any]:
         size = spec.get("size", "tiny")
         if size not in ("tiny", "scaled"):
             raise ValidationError(f"dataset size must be 'tiny' or 'scaled', got {size!r}")
-        extra = set(spec) - {"dataset", "size"}
+        extra = set(spec) - {"dataset", "size", "loss", "penalty"}
         if extra:
             raise ValidationError(f"unknown problem spec keys {sorted(extra)}")
-        return {"dataset": str(name), "size": str(size)}
+        return {
+            "dataset": str(name), "size": str(size),
+            "loss": loss, "penalty": penalty,
+        }
     synth = spec["synthetic"]
     if not isinstance(synth, Mapping):
         raise ValidationError("'synthetic' must be an object of generator parameters")
-    extra = set(spec) - {"synthetic"}
+    extra = set(spec) - {"synthetic", "loss", "penalty"}
     if extra:
         raise ValidationError(f"unknown problem spec keys {sorted(extra)}")
     unknown = set(synth) - _SYNTHETIC_KEYS
@@ -136,7 +163,7 @@ def canonical_problem_spec(spec: Mapping[str, Any]) -> dict[str, Any]:
                 raise ValidationError(f"synthetic {key!r} must be numeric")
             value = float(value)
         out[key] = value
-    return {"synthetic": out}
+    return {"synthetic": out, "loss": loss, "penalty": penalty}
 
 
 def problem_fingerprint(spec: Mapping[str, Any]) -> str:

@@ -88,6 +88,40 @@ class TestSolve:
         assert rc == 0
         assert "0.5" in capsys.readouterr().out
 
+    def test_general_objective_solve(self, capsys):
+        rc = main([
+            "solve", "--dataset", "covtype", "--size", "tiny",
+            "--solver", "rc_sfista_dist", "--nranks", "2",
+            "--loss", "logistic", "--penalty", "elastic_net:l2=0.5",
+            "--b", "0.2", "--epochs", "1", "--iters-per-epoch", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "logistic + elastic_net:l2=0.5" in out
+
+    def test_group_lasso_via_fista(self, capsys):
+        rc = main([
+            "solve", "--dataset", "covtype", "--size", "tiny",
+            "--solver", "fista", "--penalty", "group_l1:size=2",
+            "--epochs", "1", "--iters-per-epoch", "20",
+        ])
+        assert rc == 0
+        assert "squared + group_l1:size=2" in capsys.readouterr().out
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--loss", "hinge"])
+
+    def test_malformed_penalty_rejected(self):
+        with pytest.raises(SystemExit, match="penalty"):
+            main(["solve", "--dataset", "covtype", "--size", "tiny",
+                  "--solver", "fista", "--penalty", "elastic_net:l2=-1"])
+
+    def test_objective_needs_generic_solver(self):
+        with pytest.raises(SystemExit, match="objective-generic"):
+            main(["solve", "--dataset", "covtype", "--size", "tiny",
+                  "--solver", "cd", "--loss", "logistic"])
+
     def test_unknown_solver_rejected(self):
         with pytest.raises(SystemExit):
             main(["solve", "--solver", "adam"])

@@ -1,0 +1,406 @@
+"""The `repro.core.model` layer: losses, regularizers, ERM objectives.
+
+Three contracts live here:
+
+* analytic derivatives of every :class:`SmoothLoss` match central
+  differences (the generalized solvers trust ``grad``/``curvature``);
+* penalty specs parse, canonicalise and reject malformed input at
+  build time, and :func:`resolve_objective` detects the legacy
+  squared+l1 combination exactly;
+* **byte-identity pin** — default runs and explicit
+  ``RuntimeConfig(loss="squared", penalty="l1")`` runs produce
+  bit-identical iterates and equal charged costs across all four
+  runtime solvers, so the refactor cannot have perturbed history.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    LOSSES,
+    PENALTIES,
+    ERMObjective,
+    LogisticLoss,
+    Regularizer,
+    SquaredHingeLoss,
+    SquaredLoss,
+    canonical_penalty_spec,
+    make_loss,
+    make_penalty,
+    parse_penalty_spec,
+    resolve_objective,
+)
+from repro.core.objectives import L1LeastSquares, QuadraticModel
+from repro.core.prox_newton import proximal_newton_distributed
+from repro.core.proximal import ElasticNetProx, GroupL1Prox, L1Prox
+from repro.core.rc_sfista_dist import rc_sfista_distributed
+from repro.core.rc_sfista_spmd import rc_sfista_spmd
+from repro.core.sfista_dist import sfista_distributed
+from repro.exceptions import ValidationError
+from repro.runtime import RuntimeConfig
+
+pytestmark = pytest.mark.losses
+
+ALL_LOSSES = [SquaredLoss(), LogisticLoss(), SquaredHingeLoss()]
+
+
+def _labels_for(loss, rng, n):
+    if loss.classification:
+        return np.where(rng.standard_normal(n) >= 0, 1.0, -1.0)
+    return rng.standard_normal(n)
+
+
+# --------------------------------------------------------------------- #
+# losses: analytic derivatives vs central differences
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda lo: lo.name)
+class TestSmoothLossDerivatives:
+    H = 1e-6
+
+    def _safe_points(self, loss, rng, n):
+        """Predictions away from any kink (squared hinge at yz == 1)."""
+        z = 3.0 * rng.standard_normal(n)
+        y = _labels_for(loss, rng, n)
+        if isinstance(loss, SquaredHingeLoss):
+            keep = np.abs(1.0 - y * z) > 1e-3
+            z, y = z[keep], y[keep]
+        return z, y
+
+    def test_grad_matches_central_difference(self, loss):
+        rng = np.random.default_rng(0)
+        z, y = self._safe_points(loss, rng, 64)
+        num = (loss.values(z + self.H, y) - loss.values(z - self.H, y)) / (2 * self.H)
+        np.testing.assert_allclose(loss.grad(z, y), num, rtol=1e-5, atol=1e-6)
+
+    def test_curvature_matches_central_difference(self, loss):
+        rng = np.random.default_rng(1)
+        z, y = self._safe_points(loss, rng, 64)
+        num = (loss.grad(z + self.H, y) - loss.grad(z - self.H, y)) / (2 * self.H)
+        np.testing.assert_allclose(loss.curvature(z, y), num, rtol=1e-4, atol=1e-5)
+
+    def test_curvature_bound_holds(self, loss):
+        rng = np.random.default_rng(2)
+        z, y = self._safe_points(loss, rng, 256)
+        assert np.all(loss.curvature(z, y) <= loss.curvature_bound + 1e-12)
+        assert np.all(loss.curvature(z, y) >= 0.0)
+
+    def test_vectorized_shapes(self, loss):
+        rng = np.random.default_rng(3)
+        z, y = self._safe_points(loss, rng, 17)
+        for fn in (loss.values, loss.grad, loss.curvature):
+            assert fn(z, y).shape == z.shape
+
+
+class TestLossFactoryAndLabels:
+    def test_registry_covers_constant(self):
+        assert LOSSES == ("squared", "logistic", "squared_hinge")
+        for name in LOSSES:
+            assert make_loss(name).name == name
+
+    def test_instance_passthrough(self):
+        loss = LogisticLoss()
+        assert make_loss(loss) is loss
+
+    def test_unknown_loss_lists_allowed(self):
+        with pytest.raises(ValidationError, match="squared, logistic, squared_hinge"):
+            make_loss("hinge")
+
+    def test_classification_labels_validated(self):
+        y_bad = np.array([1.0, 0.0, -1.0])
+        for loss in (LogisticLoss(), SquaredHingeLoss()):
+            with pytest.raises(ValidationError, match=r"\{-1, \+1\}"):
+                loss.validate_labels(y_bad)
+        SquaredLoss().validate_labels(y_bad)  # regression: any reals
+
+    def test_constant_curvature_only_for_squared(self):
+        assert SquaredLoss().constant_curvature
+        assert not LogisticLoss().constant_curvature
+        assert not SquaredHingeLoss().constant_curvature
+
+
+# --------------------------------------------------------------------- #
+# penalty specs and the Regularizer wrapper
+# --------------------------------------------------------------------- #
+class TestPenaltySpecs:
+    def test_registry_constant(self):
+        assert PENALTIES == ("l1", "elastic_net", "group_l1")
+
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            ("l1", ("l1", {})),
+            ("elastic_net:l2=0.5", ("elastic_net", {"l2": 0.5})),
+            ("group_l1:size=4", ("group_l1", {"size": 4.0})),
+        ],
+    )
+    def test_parse_roundtrip(self, spec, expected):
+        assert parse_penalty_spec(spec) == expected
+
+    def test_canonicalisation_fills_defaults(self):
+        assert canonical_penalty_spec("l1") == "l1"
+        assert canonical_penalty_spec("elastic_net") == "elastic_net:l2=1"
+        assert canonical_penalty_spec("elastic_net:l2=1.0") == "elastic_net:l2=1"
+        assert canonical_penalty_spec("group_l1:size=4") == canonical_penalty_spec(
+            "group_l1:size=4.0"
+        )
+
+    @pytest.mark.parametrize(
+        "spec, needle",
+        [
+            ("l0", "allowed values"),
+            ("elastic_net:l2=-1", ">= 0"),
+            ("elastic_net:ridge=2", "does not accept"),
+            ("group_l1:size=0", "positive integer"),
+            ("group_l1:size=2.5", "positive integer"),
+            ("group_l1:size", "key=value"),
+            ("elastic_net:l2=much", "must be numeric"),
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec, needle):
+        with pytest.raises(ValidationError, match=needle):
+            parse_penalty_spec(spec)
+
+    def test_group_l1_needs_dimension(self):
+        with pytest.raises(ValidationError, match="d"):
+            make_penalty("group_l1:size=4", lam=0.1)
+
+
+class TestRegularizer:
+    def test_wraps_prox_and_value(self):
+        reg = make_penalty("l1", lam=0.3)
+        assert isinstance(reg, Regularizer)
+        assert isinstance(reg.op, L1Prox)
+        w = np.array([1.0, -0.5, 0.1])
+        assert reg.value(w) == pytest.approx(0.3 * np.abs(w).sum())
+        np.testing.assert_array_equal(reg.prox(w, 1.0), L1Prox(0.3).prox(w, 1.0))
+
+    def test_elastic_net_scales_ridge_with_lam(self):
+        reg = make_penalty("elastic_net:l2=2", lam=0.25)
+        assert isinstance(reg.op, ElasticNetProx)
+        assert reg.op.lam2 == pytest.approx(2 * 0.25)  # λ₂ = l2·λ
+
+    def test_group_l1_builds_contiguous_groups(self):
+        reg = make_penalty("group_l1:size=4", lam=0.1, d=10)
+        assert isinstance(reg.op, GroupL1Prox)
+        sizes = [len(g) for g in reg.op.groups]
+        assert sum(sizes) == 10 and max(sizes) <= 4
+
+    def test_at_lam_rebuilds_preserving_spec(self):
+        reg = make_penalty("elastic_net:l2=2", lam=0.25)
+        moved = reg.at_lam(0.5)
+        assert moved.lam == 0.5 and moved.spec == reg.spec
+        assert moved.op.lam2 == pytest.approx(2 * 0.5)
+
+    def test_is_plain_l1(self):
+        assert make_penalty("l1", lam=0.3).is_plain_l1(0.3)
+        assert not make_penalty("l1", lam=0.3).is_plain_l1(0.4)
+        assert not make_penalty("elastic_net:l2=1", lam=0.3).is_plain_l1(0.3)
+
+
+# --------------------------------------------------------------------- #
+# ERMObjective vs the historical L1LeastSquares
+# --------------------------------------------------------------------- #
+class TestERMObjectiveEquivalence:
+    @pytest.fixture()
+    def pair(self, tiny_covtype_problem):
+        base = tiny_covtype_problem
+        erm = ERMObjective(base.X, base.y, loss="squared", penalty="l1", lam=base.lam)
+        return base, erm
+
+    def test_value_gradient_hessian_match(self, pair):
+        base, erm = pair
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            w = rng.standard_normal(base.d)
+            assert erm.value(w) == pytest.approx(base.value(w), rel=1e-12)
+            np.testing.assert_allclose(erm.gradient(w), base.gradient(w), atol=1e-12)
+        np.testing.assert_allclose(erm.hessian, base.hessian, atol=1e-12)
+
+    def test_cached_hessian_guarded_for_nonconstant_curvature(self, pair):
+        base, _ = pair
+        erm = ERMObjective(
+            base.X, np.where(base.y >= 0, 1.0, -1.0), loss="logistic", lam=base.lam
+        )
+        assert not erm.constant_curvature
+        with pytest.raises(ValidationError):
+            _ = erm.hessian
+        H = erm.hessian_at(np.zeros(erm.d))
+        assert H.shape == (erm.d, erm.d)
+        # logistic at w=0: ℓ'' = 1/4 everywhere → H = X diag(1/4) Xᵀ / m
+        X = base.X.to_dense() if hasattr(base.X, "to_dense") else np.asarray(base.X)
+        np.testing.assert_allclose(H, 0.25 * (X @ X.T) / erm.m, atol=1e-10)
+
+    def test_quadratic_model_linearization(self, pair):
+        _, erm = pair
+        w = np.full(erm.d, 0.1)
+        qm = erm.quadratic_model(w)
+        assert isinstance(qm, QuadraticModel)
+        np.testing.assert_allclose(qm.gradient(w), erm.gradient(w), atol=1e-10)
+
+    def test_accuracy_and_residual(self, pair):
+        base, _ = pair
+        y = np.where(base.y >= 0, 1.0, -1.0)
+        erm = ERMObjective(base.X, y, loss="logistic", lam=base.lam)
+        w0 = np.zeros(erm.d)
+        assert 0.0 <= erm.accuracy(w0) <= 1.0
+        assert erm.optimality_residual(w0) >= 0.0
+
+
+class TestResolveObjective:
+    def test_default_squared_l1_is_legacy(self, tiny_covtype_problem):
+        res = resolve_objective(tiny_covtype_problem)
+        assert res.legacy
+        assert res.objective is tiny_covtype_problem
+        assert res.loss.name == "squared" and res.penalty.is_plain_l1(
+            tiny_covtype_problem.lam
+        )
+
+    def test_explicit_legacy_override_keeps_problem(self, tiny_covtype_problem):
+        res = resolve_objective(tiny_covtype_problem, loss="squared", penalty="l1")
+        assert res.legacy and res.objective is tiny_covtype_problem
+
+    def test_loss_override_builds_general_view(self, tiny_covtype_problem):
+        # Classification losses validate ±1 labels, so the override sits on
+        # a binarized view (serve/CLI binarize before resolve, too).
+        base = tiny_covtype_problem
+        classified = L1LeastSquares(
+            base.X, np.where(base.y >= 0, 1.0, -1.0), base.lam
+        )
+        res = resolve_objective(classified, loss="logistic")
+        assert not res.legacy
+        assert isinstance(res.objective, ERMObjective)
+        assert res.objective.X is classified.X
+        assert res.objective.lam == classified.lam
+
+    def test_loss_override_rejects_regression_labels(self, tiny_covtype_problem):
+        with pytest.raises(ValidationError, match=r"\{-1, \+1\}"):
+            resolve_objective(tiny_covtype_problem, loss="logistic")
+
+    def test_general_problem_passes_through(self, tiny_covtype_problem):
+        base = tiny_covtype_problem
+        erm = ERMObjective(
+            base.X, np.where(base.y >= 0, 1.0, -1.0), loss="logistic",
+            penalty="elastic_net:l2=1", lam=base.lam,
+        )
+        res = resolve_objective(erm)
+        assert not res.legacy
+        assert res.objective is erm
+
+
+# --------------------------------------------------------------------- #
+# the byte-identity pin: defaults == explicit squared+l1, bit for bit
+# --------------------------------------------------------------------- #
+def _run(solver, problem, runtime):
+    if solver is rc_sfista_spmd:
+        return solver(problem, 3, k=2, b=0.25, n_iterations=8, seed=11,
+                      runtime=runtime)
+    if solver is proximal_newton_distributed:
+        return solver(problem, 3, n_outer=2, inner_iters=6, b=0.25, seed=11,
+                      runtime=runtime)
+    return solver(problem, 3, b=0.25, epochs=1, iters_per_epoch=8, seed=11,
+                  runtime=runtime)
+
+
+@pytest.mark.parametrize(
+    "solver",
+    [rc_sfista_distributed, sfista_distributed, rc_sfista_spmd,
+     proximal_newton_distributed],
+    ids=lambda s: s.__name__,
+)
+def test_defaults_are_byte_identical_to_explicit_legacy(
+    solver, tiny_covtype_problem
+):
+    """The refactor's core promise: threading (loss, penalty) through the
+    runtime surface leaves default runs bit-for-bit unchanged — same
+    iterates, same charged communication costs."""
+    default = _run(solver, tiny_covtype_problem, RuntimeConfig())
+    explicit = _run(
+        solver, tiny_covtype_problem, RuntimeConfig(loss="squared", penalty="l1")
+    )
+    assert np.array_equal(default.w, explicit.w)  # bit-identical, no tolerance
+    assert default.cost == explicit.cost
+    assert list(default.history.objectives) == list(explicit.history.objectives)
+
+
+@pytest.mark.parametrize("backend", ["bsp", "serial", "threads"])
+def test_byte_identity_pin_holds_across_backends(backend, tiny_covtype_problem):
+    """The pin extends over the execution substrate. mp is covered
+    transitively: the conformance matrix (test_cross_backend.py) pins mp
+    bit-for-bit to the BSP reference asserted here."""
+    nranks = 1 if backend == "serial" else 3  # serial runs exactly 1 rank
+    default = rc_sfista_distributed(
+        tiny_covtype_problem, nranks, k=2, b=0.25, seed=11, epochs=1,
+        iters_per_epoch=8, runtime=RuntimeConfig(backend=backend),
+    )
+    explicit = rc_sfista_distributed(
+        tiny_covtype_problem, nranks, k=2, b=0.25, seed=11, epochs=1,
+        iters_per_epoch=8,
+        runtime=RuntimeConfig(backend=backend, loss="squared", penalty="l1"),
+    )
+    assert np.array_equal(default.w, explicit.w)
+    assert default.cost == explicit.cost
+
+
+# --------------------------------------------------------------------- #
+# general objectives descend through all four runtime solvers
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "solver",
+    [rc_sfista_distributed, sfista_distributed, rc_sfista_spmd,
+     proximal_newton_distributed],
+    ids=lambda s: s.__name__,
+)
+@pytest.mark.parametrize("penalty", ["elastic_net:l2=1", "group_l1:size=4"])
+def test_logistic_general_penalties_descend(solver, penalty, tiny_covtype_problem):
+    base = tiny_covtype_problem
+    problem = ERMObjective(
+        base.X, np.where(base.y >= 0, 1.0, -1.0), loss="logistic",
+        penalty=penalty, lam=base.lam,
+    )
+    res = _run(solver, problem, RuntimeConfig())
+    assert np.all(np.isfinite(res.w))
+    start = problem.value(np.zeros(problem.d))
+    assert problem.value(res.w) <= start + 1e-12
+
+
+@pytest.mark.parametrize(
+    "solver",
+    [rc_sfista_distributed, sfista_distributed, rc_sfista_spmd,
+     proximal_newton_distributed],
+    ids=lambda s: s.__name__,
+)
+def test_runtime_override_matches_prebuilt_objective(solver, tiny_covtype_problem):
+    """`RuntimeConfig(loss=..., penalty=...)` on a legacy problem must act
+    exactly like handing the solver a prebuilt ERMObjective."""
+    base = tiny_covtype_problem
+    y = np.where(base.y >= 0, 1.0, -1.0)
+    classified = L1LeastSquares(base.X, y, base.lam)
+    via_config = _run(
+        solver, classified,
+        RuntimeConfig(loss="logistic", penalty="elastic_net:l2=1"),
+    )
+    prebuilt = ERMObjective(
+        base.X, y, loss="logistic", penalty="elastic_net:l2=1", lam=base.lam
+    )
+    via_problem = _run(solver, prebuilt, RuntimeConfig())
+    assert np.array_equal(via_config.w, via_problem.w)
+
+
+# --------------------------------------------------------------------- #
+# property tests: objective values stay consistent with their pieces
+# --------------------------------------------------------------------- #
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16), lam=st.floats(0.01, 1.0))
+def test_erm_value_decomposes(seed, lam):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((6, 20))
+    y = np.where(rng.standard_normal(20) >= 0, 1.0, -1.0)
+    erm = ERMObjective(X, y, loss="logistic", penalty="elastic_net:l2=1", lam=lam)
+    w = rng.standard_normal(6)
+    assert erm.value(w) == pytest.approx(erm.smooth_value(w) + erm.reg_value(w))
+    z = erm.predictions(w)
+    assert erm.smooth_value(w) == pytest.approx(
+        float(np.mean(erm.loss.values(z, y)))
+    )

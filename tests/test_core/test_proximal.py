@@ -184,3 +184,93 @@ def test_soft_threshold_properties(w, t):
     # Exactly |w|−t where it survives.
     alive = out != 0
     np.testing.assert_allclose(np.abs(out[alive]), np.abs(w[alive]) - t, atol=1e-12)
+
+
+# --------------------------------------------------------------------- #
+# shared properties of every operator (hypothesis-driven)
+# --------------------------------------------------------------------- #
+_D = 12
+_GROUPS = [np.arange(0, 5), np.arange(5, 7), np.arange(7, 12)]
+#: Every operator at fixed parameters, on d=12 vectors.
+_ALL_OPERATORS = [
+    L1Prox(0.7),
+    L2SquaredProx(0.3),
+    ElasticNetProx(0.5, 0.2),
+    BoxProx(-1.0, 2.0),
+    ZeroProx(),
+    GroupL1Prox(0.6, _GROUPS),
+]
+#: The finite-valued ones (prox with γ=0 must be the identity there;
+#: BoxProx is an indicator, so its prox always projects).
+_FINITE_OPERATORS = [op for op in _ALL_OPERATORS if not isinstance(op, BoxProx)]
+
+vec12 = arrays(
+    np.float64, _D, elements=st.floats(-50, 50, allow_nan=False, width=64)
+)
+
+pytest_losses = pytest.mark.losses
+
+
+@pytest_losses
+@pytest.mark.parametrize("op", _ALL_OPERATORS, ids=lambda o: type(o).__name__)
+@settings(max_examples=25, deadline=None)
+@given(x=vec12, y=vec12, gamma=st.floats(0.01, 10))
+def test_firm_nonexpansiveness(op, x, y, gamma):
+    """⟨prox(x)−prox(y), x−y⟩ ≥ ‖prox(x)−prox(y)‖² for every prox."""
+    px, py = op.prox(x, gamma), op.prox(y, gamma)
+    diff = px - py
+    lhs = float(np.dot(diff, diff))
+    rhs = float(np.dot(x - y, diff))
+    assert lhs <= rhs + 1e-9 * max(1.0, abs(rhs))
+
+
+@pytest_losses
+@pytest.mark.parametrize("op", _FINITE_OPERATORS, ids=lambda o: type(o).__name__)
+@settings(max_examples=25, deadline=None)
+@given(w=vec12)
+def test_gamma_zero_is_identity(op, w):
+    np.testing.assert_array_equal(op.prox(w, 0.0), w)
+
+
+@pytest_losses
+@settings(max_examples=40, deadline=None)
+@given(w=vec12, gamma=st.floats(0.01, 10), lam=st.floats(0.01, 5))
+def test_moreau_decomposition_l1(w, gamma, lam):
+    """w = prox_{γλ‖·‖₁}(w) + γ·proj_{‖·‖∞≤λ}(w/γ)."""
+    op = L1Prox(lam)
+    dual = np.clip(w / gamma, -lam, lam)
+    np.testing.assert_allclose(op.prox(w, gamma) + gamma * dual, w, atol=1e-9)
+
+
+@pytest_losses
+@settings(max_examples=40, deadline=None)
+@given(w=vec12, gamma=st.floats(0.01, 10), lam=st.floats(0.01, 5))
+def test_moreau_decomposition_group_l1(w, gamma, lam):
+    """Blockwise: w_g = prox(w)_g + γ·proj_{‖·‖₂≤λ}(w_g/γ)."""
+    op = GroupL1Prox(lam, _GROUPS)
+    dual = w / gamma
+    dual = dual.copy()
+    for g in _GROUPS:
+        norm = np.linalg.norm(dual[g])
+        if norm > lam:
+            dual[g] *= lam / norm
+    np.testing.assert_allclose(op.prox(w, gamma) + gamma * dual, w, atol=1e-9)
+
+
+@pytest_losses
+@pytest.mark.parametrize("op", _ALL_OPERATORS, ids=lambda o: type(o).__name__)
+@settings(max_examples=15, deadline=None)
+@given(w=vec12, gamma=st.floats(0.05, 5), seed=st.integers(0, 2**16))
+def test_prox_minimizes_its_objective(op, w, gamma, seed):
+    """prox(w, γ) beats random perturbations on ½‖x−w‖²/γ + g(x)."""
+    p = op.prox(w, gamma)
+
+    def objective(x):
+        r = x - w
+        return 0.5 / gamma * float(np.dot(r, r)) + op.value(x)
+
+    base = objective(p)
+    assert np.isfinite(base)
+    gen = np.random.default_rng(seed)
+    for _ in range(3):
+        assert objective(p + 1e-3 * gen.standard_normal(_D)) >= base - 1e-9

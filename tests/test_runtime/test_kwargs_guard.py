@@ -96,5 +96,7 @@ def test_shape_knobs_are_never_deprecated():
         for f in dataclasses.fields(RuntimeConfig)
         if f.metadata.get("surface") == "shape"
     }
-    assert {"backend", "machine", "comm", "mp_timeout", "cluster"} <= shape
+    assert {
+        "backend", "machine", "comm", "mp_timeout", "cluster", "loss", "penalty"
+    } <= shape
     assert _DEPRECATED_KWARGS.isdisjoint(shape)

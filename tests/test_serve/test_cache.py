@@ -168,3 +168,38 @@ class TestSolveCache:
         entry = cache.entry_for({"dataset": "abalone", "size": "tiny"})
         assert entry.default_lam > 0
         assert entry.problem.d >= 1
+
+
+class TestObjectiveAwareCache:
+    def test_distinct_objectives_get_distinct_entries(self):
+        cache = SolveCache()
+        base = {"synthetic": {"d": 6, "m": 24, "seed": 3}}
+        legacy = cache.entry_for(base)
+        logi = cache.entry_for({**base, "loss": "logistic"})
+        enet = cache.entry_for({**base, "penalty": "elastic_net:l2=0.5"})
+        assert len({legacy.fingerprint, logi.fingerprint, enet.fingerprint}) == 3
+        # Default specs still build the historical L1LeastSquares type.
+        assert type(legacy.problem).__name__ == "L1LeastSquares"
+        assert type(logi.problem).__name__ == "ERMObjective"
+        assert logi.problem.loss.name == "logistic"
+        assert enet.problem.penalty.spec == "elastic_net:l2=0.5"
+
+    def test_classification_loss_binarizes_targets(self):
+        cache = SolveCache()
+        entry = cache.entry_for(
+            {"synthetic": {"d": 6, "m": 24, "seed": 3}, "loss": "logistic"}
+        )
+        assert set(np.unique(entry.problem.y)) <= {-1.0, 1.0}
+
+    def test_problem_at_preserves_loss_and_penalty(self):
+        cache = SolveCache()
+        entry = cache.entry_for(
+            {"synthetic": {"d": 6, "m": 24, "seed": 3},
+             "loss": "logistic", "penalty": "group_l1:size=2"}
+        )
+        view = entry.problem_at(entry.default_lam / 2)
+        assert view.lam == entry.default_lam / 2
+        assert view.loss.name == "logistic"
+        assert view.penalty.spec == "group_l1:size=2"
+        assert view.penalty.lam == view.lam
+        assert view.X is entry.problem.X and view.y is entry.problem.y

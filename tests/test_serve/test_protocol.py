@@ -27,7 +27,10 @@ pytestmark = pytest.mark.serve
 class TestCanonicalSpec:
     def test_dataset_spec_normalises_defaults(self):
         spec = canonical_problem_spec({"dataset": "abalone"})
-        assert spec == {"dataset": "abalone", "size": "tiny"}
+        assert spec == {
+            "dataset": "abalone", "size": "tiny",
+            "loss": "squared", "penalty": "l1",
+        }
 
     def test_synthetic_spec_fills_defaults(self):
         spec = canonical_problem_spec({"synthetic": {"d": 10, "m": 50}})
@@ -61,6 +64,54 @@ class TestCanonicalSpec:
     def test_bad_specs_rejected(self, bad):
         with pytest.raises(ValidationError):
             canonical_problem_spec(bad)
+
+
+class TestObjectiveSpecKeys:
+    def test_loss_and_penalty_default_and_canonicalise(self):
+        spec = canonical_problem_spec({"synthetic": {"d": 10, "m": 50}})
+        assert spec["loss"] == "squared" and spec["penalty"] == "l1"
+        spec = canonical_problem_spec(
+            {"dataset": "abalone", "loss": "logistic", "penalty": "elastic_net"}
+        )
+        assert spec["loss"] == "logistic"
+        assert spec["penalty"] == "elastic_net:l2=1"
+
+    def test_equivalent_penalty_specs_share_a_fingerprint(self):
+        a = problem_fingerprint(
+            {"synthetic": {"d": 10, "m": 50}, "penalty": "elastic_net"}
+        )
+        b = problem_fingerprint(
+            {"synthetic": {"d": 10, "m": 50}, "penalty": "elastic_net:l2=1.0"}
+        )
+        assert a == b
+
+    def test_distinct_objectives_never_collide(self):
+        base = {"synthetic": {"d": 10, "m": 50}}
+        fps = {
+            problem_fingerprint({**base, "loss": loss, "penalty": pen})
+            for loss in ("squared", "logistic")
+            for pen in ("l1", "elastic_net:l2=0.5", "group_l1:size=4")
+        }
+        assert len(fps) == 6
+        # ... and the default spec matches its explicit legacy spelling.
+        assert problem_fingerprint(base) == problem_fingerprint(
+            {**base, "loss": "squared", "penalty": "l1"}
+        )
+
+    @pytest.mark.parametrize("bad, needle", [
+        ({"synthetic": {"d": 10, "m": 50}, "loss": "hinge"}, "squared, logistic"),
+        ({"synthetic": {"d": 10, "m": 50}, "loss": 3}, "must be a string"),
+        ({"synthetic": {"d": 10, "m": 50}, "penalty": "l0"}, "l1, elastic_net"),
+        ({"synthetic": {"d": 10, "m": 50}, "penalty": "group_l1:size=0"}, "positive integer"),
+        ({"synthetic": {"d": 10, "m": 50}, "penalty": "elastic_net:l2=-1"}, ">= 0"),
+        ({"synthetic": {"d": 10, "m": 50}, "penalty": ["l1"]}, "must be a string"),
+    ])
+    def test_unknown_objective_maps_to_400_listing_allowed(self, bad, needle):
+        with pytest.raises(ValidationError) as exc_info:
+            canonical_problem_spec(bad)
+        status, body = error_payload(exc_info.value)
+        assert status == 400 and body["retryable"] is False
+        assert needle in body["message"]
 
 
 class TestSubmitRequest:
