@@ -48,8 +48,9 @@ from repro.core.stopping import StoppingCriterion
 from repro.data.datasets import DATASETS, get_dataset
 from repro.distsim.faults import CORRUPTION_MODES, FaultPlan, RankCrash, RetryPolicy
 from repro.distsim.machine import MACHINES
+from repro.distsim.collectives import COMM_TOPOLOGIES
 from repro.distsim.sparse_collectives import COMM_MODES
-from repro.exceptions import FormatError
+from repro.exceptions import FormatError, ValidationError
 from repro.obs import (
     MetricsRegistry,
     RunReport,
@@ -146,21 +147,29 @@ def _build_runtime(
 ) -> RuntimeConfig:
     """One RuntimeConfig from the CLI's machine/comm/fault/resilience knobs."""
     plan = _build_fault_plan(args)
-    return RuntimeConfig(
-        backend=args.backend,
-        machine=args.machine,
-        comm=args.comm,
-        faults=plan,
-        retry=RetryPolicy() if plan is not None and plan.collective_drop_rate > 0 else None,
-        recv_timeout=args.recv_timeout,
-        mp_timeout=args.mp_timeout,
-        mp_failure_policy=args.mp_failure_policy,
-        checkpoint_every=args.checkpoint_every,
-        on_nan=args.on_nan,
-        max_recoveries=args.max_recoveries,
-        telemetry=recorder,
-        metrics=registry,
-    )
+    try:
+        return RuntimeConfig(
+            backend=args.backend,
+            machine=args.machine,
+            comm=args.comm,
+            comm_topology=args.comm_topology,
+            comm_compress=args.comm_compress,
+            faults=plan,
+            retry=RetryPolicy() if plan is not None and plan.collective_drop_rate > 0 else None,
+            recv_timeout=args.recv_timeout,
+            mp_timeout=args.mp_timeout,
+            mp_failure_policy=args.mp_failure_policy,
+            checkpoint_every=args.checkpoint_every,
+            on_nan=args.on_nan,
+            max_recoveries=args.max_recoveries,
+            telemetry=recorder,
+            metrics=registry,
+        )
+    except ValidationError as exc:
+        # Bad knob combinations (e.g. --comm-topology hier on a flat
+        # machine, malformed --comm-compress specs) are CLI usage errors,
+        # not tracebacks.
+        raise SystemExit(f"invalid runtime configuration: {exc}")
 
 
 def _solve(args: argparse.Namespace) -> int:
@@ -408,6 +417,10 @@ def _submit(args: argparse.Namespace) -> int:
     }
     if args.solver in ("sfista_dist", "rc_sfista_dist", "rc_sfista_spmd"):
         request["runtime"] = {"nranks": args.nranks, "backend": args.backend}
+        if args.comm_topology != "flat":
+            request["runtime"]["comm_topology"] = args.comm_topology
+        if args.comm_compress != "none":
+            request["runtime"]["comm_compress"] = args.comm_compress
     client = ServeClient(args.url, timeout=args.timeout)
     try:
         job_id = client.submit(request)
@@ -478,6 +491,13 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--machine", choices=sorted(MACHINES), default="comet_effective")
     solve.add_argument("--comm", choices=COMM_MODES, default="dense",
                        help="allreduce payload encoding for distributed solvers")
+    solve.add_argument("--comm-topology", choices=COMM_TOPOLOGIES, default="flat",
+                       help="collective schedule: flat tournament or hier "
+                       "(two-level node-local + inter-node; needs a "
+                       "hierarchical machine, e.g. comet_4ppn or fat_tree)")
+    solve.add_argument("--comm-compress", default="none", metavar="SPEC",
+                       help="lossy collective compression: none | "
+                       "topk:frac=F | quant:bits=B (docs/COLLECTIVES.md)")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--output", help="write the SolveResult as JSON")
     solve.add_argument("--report", help="write a machine-readable run report "
@@ -566,6 +586,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ranks for the distributed solvers")
     submit.add_argument("--backend", default="bsp",
                         help=f"runtime backend for distributed solvers: {'|'.join(BACKENDS)}")
+    submit.add_argument("--comm-topology", choices=COMM_TOPOLOGIES, default="flat",
+                        help="collective schedule for distributed solvers")
+    submit.add_argument("--comm-compress", default="none", metavar="SPEC",
+                        help="lossy collective compression: none | "
+                        "topk:frac=F | quant:bits=B (docs/COLLECTIVES.md)")
     submit.add_argument("--no-warm-start", action="store_true",
                         help="force a cold start even on a cache hit")
     submit.add_argument("--include-report", action="store_true",

@@ -329,6 +329,8 @@ def proximal_newton_distributed(
             "loss": resolved.loss.name,
             "penalty": resolved.penalty.spec,
             "comm": config.comm,
+            "comm_topology": config.comm_topology,
+            "comm_compress": config.comm_compress,
             "machine": backend.machine_name,
             "checkpoint_every": config.checkpoint_every,
             "on_nan": config.on_nan,
@@ -626,6 +628,8 @@ def proximal_newton_distributed(
             "nranks": nranks,
             "machine": backend.machine_name,
             "comm": config.comm,
+            "comm_topology": config.comm_topology,
+            "comm_compress": config.comm_compress,
             "checkpoint_every": config.checkpoint_every,
             "on_nan": config.on_nan,
             "max_recoveries": config.max_recoveries,

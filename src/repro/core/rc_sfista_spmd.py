@@ -179,6 +179,8 @@ def rc_sfista_spmd(
             "loss": resolved.loss.name,
             "penalty": resolved.penalty.spec,
             "comm": config.comm,
+            "comm_topology": config.comm_topology,
+            "comm_compress": config.comm_compress,
             "machine": backend.machine_name,
             "checkpoint_every": config.checkpoint_every,
             "on_nan": config.on_nan,
@@ -445,6 +447,8 @@ def rc_sfista_spmd(
             "penalty": resolved.penalty.spec,
             "nranks": nranks,
             "comm": config.comm,
+            "comm_topology": config.comm_topology,
+            "comm_compress": config.comm_compress,
             "checkpoint_every": config.checkpoint_every,
             "on_nan": config.on_nan,
             "max_recoveries": config.max_recoveries,

@@ -203,6 +203,8 @@ def sfista_distributed(
             "loss": resolved.loss.name,
             "penalty": resolved.penalty.spec,
             "comm": config.comm,
+            "comm_topology": config.comm_topology,
+            "comm_compress": config.comm_compress,
             "machine": backend.machine_name,
             "checkpoint_every": config.checkpoint_every,
             "on_nan": config.on_nan,
@@ -510,6 +512,8 @@ def sfista_distributed(
             "machine": backend.machine_name,
             "allreduce_algorithm": backend.allreduce_algorithm,
             "comm": config.comm,
+            "comm_topology": config.comm_topology,
+            "comm_compress": config.comm_compress,
             "checkpoint_every": config.checkpoint_every,
             "on_nan": config.on_nan,
             "max_recoveries": config.max_recoveries,

@@ -24,9 +24,10 @@ from repro.exceptions import (
 )
 from repro.distsim import collectives as coll
 from repro.distsim import sparse_collectives as sc
+from repro.distsim.compress import CompressionSpec, CompressorBank, parse_compression_spec
 from repro.distsim.cost import ClusterCost, CostCounter, PhaseKind
 from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy, as_injector
-from repro.distsim.machine import MachineSpec, get_machine
+from repro.distsim.machine import HierarchicalMachine, MachineSpec, get_machine
 from repro.distsim.trace import Trace, TraceEvent
 from repro.distsim.zerocopy import dedup_enabled, freeze
 from repro.utils.rng import RandomState, as_generator
@@ -97,6 +98,9 @@ class BSPCluster:
         collective_deadline: float | None = None,
         metrics=None,
         dedup: bool | None = None,
+        comm_topology: str = "flat",
+        comm_compress: "str | CompressionSpec" = "none",
+        compress_seed: int = 0,
     ) -> None:
         if nranks < 1:
             raise ValidationError(f"nranks must be >= 1, got {nranks}")
@@ -116,6 +120,35 @@ class BSPCluster:
         self.nranks = int(nranks)
         self.machine = get_machine(machine)
         self.allreduce_algorithm = allreduce_algorithm
+        # Collectives v2 knobs (docs/COLLECTIVES.md). The defaults leave
+        # every charge, trace and result byte-identical to pre-v2 clusters.
+        if comm_topology not in coll.COMM_TOPOLOGIES:
+            raise ValidationError(
+                f"unknown comm topology {comm_topology!r}; "
+                f"choose from {coll.COMM_TOPOLOGIES}"
+            )
+        self.comm_topology = comm_topology
+        self.compress = parse_compression_spec(comm_compress)
+        if comm_topology == "hier":
+            if not (
+                isinstance(self.machine, HierarchicalMachine) and self.machine.node_size > 1
+            ):
+                raise ValidationError(
+                    f"comm_topology='hier' needs a hierarchical machine "
+                    f"(node_size > 1); {self.machine.name!r} is single-level — "
+                    f"pick e.g. 'comet_4ppn' or 'fat_tree'"
+                )
+            s = self.machine.node_size
+            if s & (s - 1):
+                raise ValidationError(
+                    f"comm_topology='hier' needs a power-of-two node_size for "
+                    f"bit-identity with the flat tournament; "
+                    f"{self.machine.name!r} has node_size={s}"
+                )
+        self._compressor = (
+            CompressorBank(self.compress, seed=compress_seed) if self.compress.enabled else None
+        )
+        self._v2_active = self.compress.enabled or comm_topology == "hier"
         self.counters = [CostCounter(rank=r) for r in range(self.nranks)]
         self.trace = trace if trace is not None else Trace()
         self._jitter_rng = as_generator(jitter_seed) if self.machine.straggler_sigma else None
@@ -176,6 +209,51 @@ class BSPCluster:
             self._m_phase_seconds = metrics.histogram(
                 "distsim_phase_seconds", help="simulated phase durations"
             )
+        # Collectives-v2 instruments exist only when the v2 knobs are active,
+        # so default-config metric snapshots stay byte-identical.
+        if metrics is not None and self._v2_active:
+            self._m_rounds_local = metrics.counter(
+                "distsim_comm_rounds_local_total",
+                help="node-local rounds of the two-level allreduce schedule",
+            )
+            self._m_rounds_remote = metrics.counter(
+                "distsim_comm_rounds_remote_total",
+                help="inter-node rounds of the allreduce schedule",
+            )
+            self._m_compress_saved = metrics.counter(
+                "distsim_comm_words_saved_compress_total",
+                help="dense-equivalent words avoided by lossy compression",
+            )
+            self._m_ef_residual = metrics.gauge(
+                "distsim_comm_error_feedback_residual",
+                help="l2 norm of the top-k error-feedback residuals",
+            )
+
+    def _publish_v2(self, charge: "coll.AllreduceCharge") -> None:
+        """Publish the v2 round/compression instruments for one allreduce."""
+        if self._metrics is None or not self._v2_active:
+            return
+        if charge.rounds_local:
+            self._m_rounds_local.inc(float(charge.rounds_local))
+        if charge.rounds_remote:
+            self._m_rounds_remote.inc(float(charge.rounds_remote))
+        if self.compress.enabled and charge.saved_words > 0:
+            self._m_compress_saved.inc(charge.saved_words * self.nranks)
+        if self._compressor is not None and self.compress.kind == "topk":
+            self._m_ef_residual.set(self._compressor.residual_norm())
+
+    # -- compression / rollback state ----------------------------------- #
+    def comm_state_snapshot(self):
+        """Compressor state (error-feedback residuals, RNG call counts).
+
+        ``None`` when compression is off; deep-copied so checkpoints can
+        restore it for bit-exact rollback replay.
+        """
+        return None if self._compressor is None else self._compressor.snapshot()
+
+    def comm_state_restore(self, snap) -> None:
+        if self._compressor is not None and snap is not None:
+            self._compressor.restore(snap)
 
     def _note_decision(self, decision: str) -> None:
         self.last_comm_decision = decision
@@ -610,20 +688,26 @@ class BSPCluster:
         """
         if mode not in sc.COMM_MODES:
             raise ValidationError(f"unknown comm mode {mode!r}; choose from {sc.COMM_MODES}")
+        if self.compress.enabled:
+            return self._allreduce_compressed(values, op=op, label=label)
         if mode == "dense":
-            return self.allreduce(
+            result = self.allreduce(
                 [sc.as_sparse_vector(v).to_dense() if isinstance(v, sc.SparseVector) else v
                  for v in values],
                 op,
                 label=label,
             )
+            self._publish_hier_rounds()
+            return result
         vectors = self._check_sparse_buffers(values, "allreduce_comm")
         n = vectors[0].n
         union = sc.support_union_size(vectors)
         density = union / n if n else 0.0
         resolved = sc.resolve_comm_mode(mode, union_density=density)
         if resolved == "sparse":
-            return self.sparse_allreduce(vectors, op, label=label)
+            result = self.sparse_allreduce(vectors, op, label=label)
+            self._publish_hier_rounds()
+            return result
         # auto decided to densify: dense cost, decision still logged.
         arrays = [v.to_dense() for v in vectors]
         self._note_decision("dense")
@@ -638,7 +722,143 @@ class BSPCluster:
             PhaseKind.COLLECTIVE,
             detail=f"auto->dense nnz={union}/{n}",
         )
+        self._publish_hier_rounds()
         return result
+
+    def _publish_hier_rounds(self) -> None:
+        """Round counters for ``comm_topology='hier'`` without compression.
+
+        The uncompressed hierarchical schedule charges exactly the legacy
+        two-level cost a hierarchical machine already pays (and its combine
+        tree is bit-identical to the flat tournament for power-of-two node
+        sizes), so only the new round counters need publishing here.
+        """
+        if not self._v2_active or self.compress.enabled or self._metrics is None:
+            return
+        local, remote = coll._round_counts(self.machine, self.nranks, self.allreduce_algorithm)
+        if local:
+            self._m_rounds_local.inc(float(local))
+        if remote:
+            self._m_rounds_remote.inc(float(remote))
+
+    def _reduce_compressed(self, arrays: list[np.ndarray], label: str) -> tuple[np.ndarray, float]:
+        """Compress contributions, reduce dense, measure the wire support.
+
+        Flat topology: every rank's contribution is compressed
+        (stream = rank) and the tournament runs over the compressed
+        buffers. Hierarchical: node blocks reduce dense first, the
+        node-leader partials are compressed (stream = node index), and the
+        inter-node tournament runs over those. Returns the reduced result
+        and — for top-k — the union nnz of the compressed payloads (the
+        support every inter-rank round ships).
+        """
+        bank = self._compressor
+        assert bank is not None
+        if self.comm_topology == "hier":
+            node_size = self.machine.node_size
+            payload = [
+                bank.compress(
+                    coll.allreduce_values(arrays[i : i + node_size], "sum"),
+                    label=label,
+                    stream=node,
+                )
+                for node, i in enumerate(range(0, len(arrays), node_size))
+            ]
+        else:
+            payload = [
+                bank.compress(a, label=label, stream=r) for r, a in enumerate(arrays)
+            ]
+        result = coll.allreduce_values(payload, "sum")
+        wire_nnz = 0.0
+        if self.compress.kind == "topk":
+            mask = np.zeros(arrays[0].shape, dtype=bool)
+            for c in payload:
+                mask |= c != 0.0
+            wire_nnz = float(np.count_nonzero(mask))
+        return result, wire_nnz
+
+    def _allreduce_compressed(
+        self,
+        values: Sequence[np.ndarray | sc.SparseVector],
+        *,
+        op: Callable[[np.ndarray, np.ndarray], np.ndarray] | str = "sum",
+        label: str = "allreduce",
+    ) -> np.ndarray:
+        """Lossy-compressed allreduce (collectives v2)."""
+        if op != "sum":
+            raise ValidationError(
+                f"comm_compress={self.compress.spec!r} supports op='sum' only, got {op!r}"
+            )
+        arrays = self._check_buffers(
+            [v.to_dense() if isinstance(v, sc.SparseVector) else v for v in values],
+            "allreduce",
+        )
+        n = int(arrays[0].size)
+        self._note_decision(self.compress.kind)
+        start = self._sync_start(label)
+        arrays = self._apply_corruption(arrays, label)
+        result, wire_nnz = self._reduce_compressed(arrays, label)
+        charge = coll.allreduce_charge(
+            self.machine,
+            self.nranks,
+            float(n),
+            algorithm=self.allreduce_algorithm,
+            topology=self.comm_topology,
+            compress=self.compress,
+            compressed_nnz=wire_nnz,
+        )
+        detail = (
+            f"topk nnz={int(wire_nnz)}/{n}"
+            if self.compress.kind == "topk"
+            else f"quant bits={self.compress.bits}"
+        )
+        self._finish_collective(
+            label,
+            start,
+            charge.cost,
+            PhaseKind.COLLECTIVE,
+            sparse_words=charge.sparse_words,
+            saved_words=charge.saved_words,
+            detail=detail,
+        )
+        self._publish_v2(charge)
+        return result
+
+    def charge_allreduce_compressed(
+        self, n: float, compressed_nnz: float, label: str = "allreduce"
+    ) -> None:
+        """Charge a compressed allreduce without moving data.
+
+        Counterpart of :meth:`_allreduce_compressed` for backends that
+        reduce the (compressed) payload elsewhere — *compressed_nnz* is the
+        union nnz of the compressed contributions they measured.
+        """
+        self._note_decision(self.compress.kind)
+        start = self._sync_start(label)
+        charge = coll.allreduce_charge(
+            self.machine,
+            self.nranks,
+            float(n),
+            algorithm=self.allreduce_algorithm,
+            topology=self.comm_topology,
+            compress=self.compress,
+            compressed_nnz=compressed_nnz,
+        )
+        detail = (
+            f"topk nnz={int(compressed_nnz)}/{int(n)}"
+            if self.compress.kind == "topk"
+            else f"quant bits={self.compress.bits}"
+        )
+        self._finish_collective(
+            label,
+            start,
+            charge.cost,
+            PhaseKind.COLLECTIVE,
+            sparse_words=charge.sparse_words,
+            saved_words=charge.saved_words,
+            detail=detail,
+        )
+        self._publish_v2(charge)
 
     def charge_allreduce_comm(
         self,
@@ -660,11 +880,13 @@ class BSPCluster:
             raise ValidationError(f"unknown comm mode {mode!r}; choose from {sc.COMM_MODES}")
         if mode == "dense":
             self.charge_allreduce(float(n), label=label)
+            self._publish_hier_rounds()
             return
         density = nnz_union / n if n else 0.0
         resolved = sc.resolve_comm_mode(mode, union_density=density)
         if resolved == "sparse":
             self.charge_sparse_allreduce(n, nnz_union, label=label)
+            self._publish_hier_rounds()
             return
         self._note_decision("dense")
         start = self._sync_start(label)
@@ -676,6 +898,7 @@ class BSPCluster:
             PhaseKind.COLLECTIVE,
             detail=f"auto->dense nnz={int(nnz_union)}/{int(n)}",
         )
+        self._publish_hier_rounds()
 
     def allgather(
         self, values: Sequence[np.ndarray], label: str = "allgather"
@@ -687,6 +910,36 @@ class BSPCluster:
         cost = coll.allgather_cost(self.machine, self.nranks, words_local)
         self._finish_collective(label, start, cost, PhaseKind.COLLECTIVE)
         return self._fanout(arrays)
+
+    def sparse_allgather(
+        self,
+        values: Sequence[sc.SparseVector | np.ndarray],
+        label: str = "sparse_allgather",
+    ) -> list[np.ndarray]:
+        """Allgather of per-rank sparse buffers (recursive doubling).
+
+        Numerically identical to :meth:`allgather` on the densified inputs;
+        charges :func:`~repro.distsim.collectives.sparse_allgather_cost`
+        with the largest per-rank payload (the uniform-block formula's
+        critical path), tagging the saving against the dense allgather.
+        """
+        vectors = self._check_sparse_buffers(values, "sparse_allgather")
+        start = self._sync_start(label)
+        gathered = sc.sparse_allgather_values(vectors)
+        n = vectors[0].n
+        nnz_max = max(v.nnz for v in vectors)
+        cost = coll.sparse_allgather_cost(self.machine, self.nranks, float(n), float(nnz_max))
+        dense = coll.allgather_cost(self.machine, self.nranks, float(n))
+        self._finish_collective(
+            label,
+            start,
+            cost,
+            PhaseKind.COLLECTIVE,
+            sparse_words=cost.words,
+            saved_words=dense.words - cost.words,
+            detail=f"sparse nnz={nnz_max}/{n}",
+        )
+        return self._fanout([v.to_dense() for v in gathered])
 
     def bcast(self, value: np.ndarray, root: int = 0, label: str = "bcast") -> np.ndarray:
         """Broadcast *value* from *root* to all ranks."""

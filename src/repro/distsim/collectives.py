@@ -35,14 +35,24 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.exceptions import CommunicatorError, ValidationError
+from repro.distsim.compress import (
+    NO_COMPRESSION,
+    CompressionSpec,
+    CompressorBank,
+    quant_payload_words,
+)
 from repro.distsim.machine import HierarchicalMachine, MachineSpec
 
 __all__ = [
     "CollectiveCost",
+    "AllreduceCharge",
     "ALLREDUCE_ALGORITHMS",
+    "COMM_TOPOLOGIES",
     "allreduce_values",
+    "hierarchical_allreduce_values",
     "resolve_reduce_op",
     "allreduce_cost",
+    "allreduce_charge",
     "allgather_cost",
     "bcast_cost",
     "reduce_cost",
@@ -56,9 +66,16 @@ __all__ = [
     "sparse_payload_words",
     "sparse_allreduce_cost",
     "sparse_allgather_cost",
+    "compressed_payload_words",
 ]
 
 ALLREDUCE_ALGORITHMS = ("recursive_doubling", "binomial_tree", "ring")
+
+#: Collective schedules selectable via ``RuntimeConfig(comm_topology=...)``.
+#: ``"flat"`` is the legacy single-level tournament (hierarchical machines
+#: only scale its *costs*); ``"hier"`` actually restructures the reduction
+#: into node-local and inter-node rounds (collectives v2).
+COMM_TOPOLOGIES = ("flat", "hier")
 
 # Index+value encoding of a sparse buffer: every stored entry travels with
 # one 8-byte index word alongside its value word (SparCML's ``S_2k``
@@ -163,6 +180,42 @@ def allreduce_values(
         level, owned = nxt, nxt_owned
     # len(values) >= 2 ⇒ the champion came out of a combine, hence owned.
     return level[0]
+
+
+def hierarchical_allreduce_values(
+    values: Sequence[np.ndarray],
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] | str = "sum",
+    *,
+    node_size: int,
+    compressor: CompressorBank | None = None,
+    label: str = "",
+) -> np.ndarray:
+    """Two-level allreduce: per-node tournaments, then one over the leaders.
+
+    Ranks are grouped into contiguous node blocks of *node_size*; each
+    block reduces with :func:`allreduce_values`, an optional *compressor*
+    transforms the node-leader partials (stream = node index — the point
+    where hierarchical compression shrinks the expensive inter-node
+    payload), and a final tournament combines the partials.
+
+    For **power-of-two** *node_size* and no compression this computes the
+    exact combine tree of the flat tournament — bit-identical results
+    (pinned by a hypothesis property test); non-power-of-two blocks would
+    pair across node boundaries in the flat schedule and are rejected by
+    the runtime-config validation.
+    """
+    if node_size < 1:
+        raise ValidationError(f"node_size must be >= 1, got {node_size}")
+    if len(values) == 0:
+        raise CommunicatorError("allreduce over zero ranks")
+    arrays = [np.asarray(v, dtype=np.float64) for v in values]
+    partials: list[np.ndarray] = []
+    for node, start in enumerate(range(0, len(arrays), node_size)):
+        partial = allreduce_values(arrays[start : start + node_size], op)
+        if compressor is not None and compressor.spec.enabled:
+            partial = compressor.compress(partial, label=label, stream=node)
+        partials.append(partial)
+    return allreduce_values(partials, op)
 
 
 def resolve_reduce_op(
@@ -375,3 +428,157 @@ def sparse_allgather_cost(
     """
     _check(p, n_local)
     return allgather_cost(machine, p, sparse_payload_words(n_local, nnz_local))
+
+
+# ---------------------------------------------------------------------- #
+# unified allreduce charging — collectives v2
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AllreduceCharge:
+    """Everything one allreduce charges, from one helper for every path.
+
+    PR 1 computed ``saved_words`` inline at each stream-and-switch call
+    site; dense and compressed paths bypassed it entirely.
+    :func:`allreduce_charge` is now the single source of those numbers, so
+    dense/sparse/top-k/quantized report through the same counters.
+    """
+
+    cost: CollectiveCost
+    #: Words that actually travelled in a non-dense (index+value) encoding.
+    sparse_words: float
+    #: Dense-equivalent words avoided (vs. the dense schedule on the same
+    #: machine/topology); >0 for sparse and compressed payloads.
+    saved_words: float
+    #: Node-local rounds of the schedule (0 on single-level machines).
+    rounds_local: int
+    #: Inter-node (network) rounds of the schedule.
+    rounds_remote: int
+    #: Encoding actually used: dense | sparse | topk | quant.
+    decision: str
+
+
+def _flat_round_count(p: int, algorithm: str) -> int:
+    if p <= 1:
+        return 0
+    if algorithm == "recursive_doubling":
+        return ceil_log2(p)
+    if algorithm == "binomial_tree":
+        return 2 * ceil_log2(p)
+    if algorithm == "ring":
+        return 2 * (p - 1)
+    raise ValidationError(
+        f"unknown allreduce algorithm {algorithm!r}; choose from {ALLREDUCE_ALGORITHMS}"
+    )
+
+
+def _round_counts(machine: MachineSpec, p: int, algorithm: str) -> tuple[int, int]:
+    """(node-local, inter-node) rounds of the allreduce schedule."""
+    if p <= 1:
+        return 0, 0
+    if isinstance(machine, HierarchicalMachine) and machine.node_size > 1:
+        ranks_per_node, n_nodes = _two_level_split(machine, p)
+        return 2 * ceil_log2(ranks_per_node), _flat_round_count(n_nodes, algorithm)
+    return 0, _flat_round_count(p, algorithm)
+
+
+def compressed_payload_words(n: float, compress: CompressionSpec, nnz: float) -> float:
+    """Wire size of one compressed contribution of dense length *n*.
+
+    Top-k ships index+value pairs over the *nnz* kept (union) support;
+    quantization ships :func:`~repro.distsim.compress.quant_payload_words`.
+    Both are capped at the dense size.
+    """
+    if compress.kind == "topk":
+        return sparse_payload_words(n, min(nnz, n))
+    if compress.kind == "quant":
+        return quant_payload_words(n, compress.bits)
+    raise ValidationError(f"not a lossy compression spec: {compress.spec!r}")
+
+
+def allreduce_charge(
+    machine: MachineSpec,
+    p: int,
+    n: float,
+    *,
+    algorithm: str = "recursive_doubling",
+    mode: str = "dense",
+    nnz_union: float = 0.0,
+    topology: str = "flat",
+    compress: CompressionSpec = NO_COMPRESSION,
+    compressed_nnz: float = 0.0,
+) -> AllreduceCharge:
+    """Charge one allreduce of a length-*n* vector: the one charging path.
+
+    * ``compress`` **off** — the legacy schedules, bit-for-bit: ``mode``
+      resolves exactly like
+      :func:`~repro.distsim.sparse_collectives.resolve_comm_mode` and the
+      cost is :func:`allreduce_cost` / :func:`sparse_allreduce_cost` on
+      *machine* (the ``"hier"`` topology changes the combine tree, not the
+      two-level cost formula a hierarchical machine already charges).
+    * ``compress`` **on** — the encoding decision is the compressor's.
+      On ``"flat"`` every round ships the compressed payload
+      (*compressed_nnz* = union nnz of the compressed contributions for
+      top-k). On ``"hier"`` the node-local rounds stay dense (shared
+      memory is cheap; compression there would only add error) and the
+      inter-node rounds ship the compressed leader partials.
+
+    ``saved_words`` is always measured against the dense schedule on the
+    same machine, so sparse and compressed paths report through one
+    counter family.
+    """
+    _check(p, n)
+    if topology not in COMM_TOPOLOGIES:
+        raise ValidationError(
+            f"unknown comm topology {topology!r}; choose from {COMM_TOPOLOGIES}"
+        )
+    dense_cost = allreduce_cost(machine, p, n, algorithm)
+    rounds_local, rounds_remote = _round_counts(machine, p, algorithm)
+
+    if not compress.enabled:
+        if mode == "sparse" or (mode == "auto" and (n == 0 or nnz_union / n < SPARSE_SWITCH_DENSITY)):
+            cost = sparse_allreduce_cost(machine, p, n, nnz_union, algorithm)
+            return AllreduceCharge(
+                cost=cost,
+                sparse_words=cost.words,
+                saved_words=dense_cost.words - cost.words,
+                rounds_local=rounds_local,
+                rounds_remote=rounds_remote,
+                decision="sparse",
+            )
+        return AllreduceCharge(
+            cost=dense_cost,
+            sparse_words=0.0,
+            saved_words=0.0,
+            rounds_local=rounds_local,
+            rounds_remote=rounds_remote,
+            decision="dense",
+        )
+
+    payload = compressed_payload_words(n, compress, compressed_nnz)
+    if (
+        topology == "hier"
+        and isinstance(machine, HierarchicalMachine)
+        and machine.node_size > 1
+        and p > 1
+    ):
+        ranks_per_node, n_nodes = _two_level_split(machine, p)
+        intra_rounds = ceil_log2(ranks_per_node)
+        flat = MachineSpec(
+            name=machine.name, alpha=machine.alpha, beta=machine.beta, gamma=machine.gamma
+        )
+        inter = allreduce_cost(flat, n_nodes, payload, algorithm)
+        cost = CollectiveCost(
+            messages=2.0 * intra_rounds + inter.messages,
+            words=2.0 * n * intra_rounds + inter.words,
+            time=2 * intra_rounds * machine.intra_message_time(n) + inter.time,
+        )
+    else:
+        cost = allreduce_cost(machine, p, payload, algorithm)
+    return AllreduceCharge(
+        cost=cost,
+        sparse_words=cost.words if compress.kind == "topk" else 0.0,
+        saved_words=dense_cost.words - cost.words,
+        rounds_local=rounds_local,
+        rounds_remote=rounds_remote,
+        decision=compress.kind,
+    )

@@ -46,9 +46,10 @@ from repro.exceptions import (
 )
 from repro.distsim import collectives as coll
 from repro.distsim import sparse_collectives as sc
+from repro.distsim.compress import CompressionSpec, CompressorBank, parse_compression_spec
 from repro.distsim.cost import ClusterCost, CostCounter, PhaseKind
 from repro.distsim.faults import FaultInjector, RetryPolicy
-from repro.distsim.machine import MachineSpec, get_machine
+from repro.distsim.machine import HierarchicalMachine, MachineSpec, get_machine
 from repro.distsim.trace import Trace, TraceEvent
 from repro.distsim.zerocopy import dedup_enabled, freeze
 
@@ -237,6 +238,9 @@ class SPMDEngine:
         retry: RetryPolicy | None = None,
         metrics=None,
         dedup: bool | None = None,
+        comm_topology: str = "flat",
+        comm_compress: "str | CompressionSpec" = "none",
+        compress_seed: int = 0,
     ) -> None:
         if nranks < 1:
             raise ValidationError(f"nranks must be >= 1, got {nranks}")
@@ -247,6 +251,35 @@ class SPMDEngine:
         self.nranks = nranks
         self.machine = get_machine(machine)
         self.allreduce_algorithm = allreduce_algorithm
+        # Collectives v2 knobs (docs/COLLECTIVES.md) — same validation and
+        # semantics as BSPCluster; defaults leave everything byte-identical.
+        if comm_topology not in coll.COMM_TOPOLOGIES:
+            raise ValidationError(
+                f"unknown comm topology {comm_topology!r}; "
+                f"choose from {coll.COMM_TOPOLOGIES}"
+            )
+        self.comm_topology = comm_topology
+        self.compress = parse_compression_spec(comm_compress)
+        if comm_topology == "hier":
+            if not (
+                isinstance(self.machine, HierarchicalMachine) and self.machine.node_size > 1
+            ):
+                raise ValidationError(
+                    f"comm_topology='hier' needs a hierarchical machine "
+                    f"(node_size > 1); {self.machine.name!r} is single-level — "
+                    f"pick e.g. 'comet_4ppn' or 'fat_tree'"
+                )
+            s = self.machine.node_size
+            if s & (s - 1):
+                raise ValidationError(
+                    f"comm_topology='hier' needs a power-of-two node_size for "
+                    f"bit-identity with the flat tournament; "
+                    f"{self.machine.name!r} has node_size={s}"
+                )
+        self._compressor = (
+            CompressorBank(self.compress, seed=compress_seed) if self.compress.enabled else None
+        )
+        self._v2_active = self.compress.enabled or comm_topology == "hier"
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.counters = [CostCounter(rank=r) for r in range(nranks)]
         self.max_steps = max_steps
@@ -307,6 +340,57 @@ class SPMDEngine:
             self._m_clock = metrics.gauge(
                 "distsim_sim_time_seconds", help="current simulated wall-clock"
             )
+        # Collectives-v2 instruments exist only when the v2 knobs are active,
+        # so default-config metric snapshots stay byte-identical.
+        if metrics is not None and self._v2_active:
+            self._m_rounds_local = metrics.counter(
+                "distsim_comm_rounds_local_total",
+                help="node-local rounds of the two-level allreduce schedule",
+            )
+            self._m_rounds_remote = metrics.counter(
+                "distsim_comm_rounds_remote_total",
+                help="inter-node rounds of the allreduce schedule",
+            )
+            self._m_compress_saved = metrics.counter(
+                "distsim_comm_words_saved_compress_total",
+                help="dense-equivalent words avoided by lossy compression",
+            )
+            self._m_ef_residual = metrics.gauge(
+                "distsim_comm_error_feedback_residual",
+                help="l2 norm of the top-k error-feedback residuals",
+            )
+
+    def _publish_v2(self, charge: "coll.AllreduceCharge") -> None:
+        """Publish the v2 round/compression instruments for one allreduce."""
+        if self._metrics is None or not self._v2_active:
+            return
+        if charge.rounds_local:
+            self._m_rounds_local.inc(float(charge.rounds_local))
+        if charge.rounds_remote:
+            self._m_rounds_remote.inc(float(charge.rounds_remote))
+        if self.compress.enabled and charge.saved_words > 0:
+            self._m_compress_saved.inc(charge.saved_words * self.nranks)
+        if self._compressor is not None and self.compress.kind == "topk":
+            self._m_ef_residual.set(self._compressor.residual_norm())
+
+    def _publish_hier_rounds(self) -> None:
+        """Round counters for ``comm_topology='hier'`` without compression."""
+        if not self._v2_active or self.compress.enabled or self._metrics is None:
+            return
+        local, remote = coll._round_counts(self.machine, self.nranks, self.allreduce_algorithm)
+        if local:
+            self._m_rounds_local.inc(float(local))
+        if remote:
+            self._m_rounds_remote.inc(float(remote))
+
+    # -- compression / rollback state ----------------------------------- #
+    def comm_state_snapshot(self):
+        """Compressor state for bit-exact rollback replay (None when off)."""
+        return None if self._compressor is None else self._compressor.snapshot()
+
+    def comm_state_restore(self, snap) -> None:
+        if self._compressor is not None and snap is not None:
+            self._compressor.restore(snap)
 
     def _fanout(self, reduced: np.ndarray) -> list[np.ndarray]:
         """Replicate a collective result to every rank.
@@ -716,7 +800,66 @@ class SPMDEngine:
                     f"allreduce comm-mode mismatch across ranks: {sorted(comms)}"
                 )
             comm = ops[0].comm
-            if comm == "dense":
+            if self.compress.enabled:
+                if ops[0].op != "sum":
+                    raise ValidationError(
+                        f"comm_compress={self.compress.spec!r} supports op='sum' "
+                        f"only, got {ops[0].op!r}"
+                    )
+                arrays = [
+                    v.to_dense() if isinstance(v, sc.SparseVector)
+                    else np.asarray(v, dtype=np.float64)
+                    for v in values
+                ]
+                n = int(arrays[0].size)
+                bank = self._compressor
+                # Same transform as BSPCluster._reduce_compressed: flat
+                # compresses per rank (stream=rank); hier reduces node
+                # blocks dense first and compresses the leader partials
+                # (stream=node index).
+                if self.comm_topology == "hier":
+                    node_size = self.machine.node_size
+                    payload = [
+                        bank.compress(
+                            coll.allreduce_values(arrays[i : i + node_size], "sum"),
+                            label="allreduce",
+                            stream=node,
+                        )
+                        for node, i in enumerate(range(0, len(arrays), node_size))
+                    ]
+                else:
+                    payload = [
+                        bank.compress(a, label="allreduce", stream=r)
+                        for r, a in enumerate(arrays)
+                    ]
+                reduced = coll.allreduce_values(payload, "sum")
+                wire_nnz = 0.0
+                if self.compress.kind == "topk":
+                    mask = np.zeros(arrays[0].shape, dtype=bool)
+                    for c in payload:
+                        mask |= c != 0.0
+                    wire_nnz = float(np.count_nonzero(mask))
+                charge = coll.allreduce_charge(
+                    self.machine,
+                    self.nranks,
+                    float(n),
+                    algorithm=self.allreduce_algorithm,
+                    topology=self.comm_topology,
+                    compress=self.compress,
+                    compressed_nnz=wire_nnz,
+                )
+                cost = charge.cost
+                sparse_words = charge.sparse_words
+                saved_words = charge.saved_words
+                detail = (
+                    f"topk nnz={int(wire_nnz)}/{n}"
+                    if self.compress.kind == "topk"
+                    else f"quant bits={self.compress.bits}"
+                )
+                results = self._fanout(reduced)
+                self._note_decision(self.compress.kind)
+                self._publish_v2(charge)
+            elif comm == "dense":
                 reduced = coll.allreduce_values(
                     [np.asarray(v, dtype=np.float64) for v in values], ops[0].op
                 )
@@ -725,6 +868,7 @@ class SPMDEngine:
                 )
                 results = self._fanout(reduced)
                 self._note_decision("dense")
+                self._publish_hier_rounds()
             else:
                 vectors = [sc.as_sparse_vector(v) for v in values]
                 n = vectors[0].n
@@ -752,6 +896,7 @@ class SPMDEngine:
                     cost = dense_cost
                     detail = f"auto->dense nnz={nnz}/{n}"
                 self._note_decision(resolved)
+                self._publish_hier_rounds()
                 reduced = reduced_sv.to_dense()
                 results = self._fanout(reduced)
         elif kind == "reduce":

@@ -184,6 +184,22 @@ MACHINES: dict[str, MachineSpec] = {
         beta_intra=1e-11,
         description="comet_effective with 4 ranks/node over shared memory.",
     ),
+    # Fat-tree cluster with 2:1 oversubscription above the leaf switches:
+    # 8 ranks/node over shared memory, inter-node links at half the
+    # per-rank injection bandwidth (β doubled vs. Comet) and switch-hop
+    # latency folded into α. The preset collectives v2's hierarchical
+    # schedule targets — inter-node words are ~8x costlier than
+    # node-local ones, so compressing the leader partials pays.
+    "fat_tree": HierarchicalMachine(
+        name="fat_tree",
+        alpha=8e-6,
+        beta=2.84e-10,
+        gamma=4e-10,
+        node_size=8,
+        alpha_intra=2e-7,
+        beta_intra=1e-11,
+        description="Fat-tree (2:1 oversubscribed) with 8 ranks/node.",
+    ),
 }
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "SparseVector",
     "as_sparse_vector",
     "sparse_allreduce_values",
+    "sparse_allgather_values",
     "support_union_size",
     "COMM_MODES",
     "resolve_comm_mode",
@@ -168,6 +169,48 @@ def sparse_allreduce_values(
             nxt.append(level[-1])
         level = nxt
     return level[0]
+
+
+def sparse_allgather_values(
+    vectors: Sequence["SparseVector | np.ndarray"],
+) -> list[SparseVector]:
+    """Recursive-doubling allgather of per-rank sparse vectors.
+
+    Complements PR 1's stream-and-switch all*reduce* path: no reduction
+    happens — every rank ends up holding all ``P`` contributions, in rank
+    order, still in index+value form. The exchange is the dissemination
+    (Bruck) schedule: in round ``r`` rank ``i`` receives rank
+    ``(i + 2^r) mod P``'s current holdings, so holdings double each round
+    and ⌈log₂P⌉ rounds suffice for any ``P`` — the round structure
+    :func:`~repro.distsim.collectives.sparse_allgather_cost` charges.
+
+    The gathered vectors are the inputs themselves (gather moves data,
+    it never rewrites it), so ``sparse_allgather_values(vs)[i].to_dense()``
+    equals the dense allgather of ``[v.to_dense() for v in vs]`` exactly.
+    """
+    p = len(vectors)
+    if p == 0:
+        raise CommunicatorError("sparse allgather over zero ranks")
+    svs = [as_sparse_vector(v) for v in vectors]
+    n = svs[0].n
+    for i, sv in enumerate(svs):
+        if sv.n != n:
+            raise CommunicatorError(
+                f"sparse allgather length mismatch: rank 0 has n={n}, rank {i} has n={sv.n}"
+            )
+    # holdings[i] maps source rank -> contribution; doubles every round.
+    holdings: list[dict[int, SparseVector]] = [{i: svs[i]} for i in range(p)]
+    stride = 1
+    while stride < p:
+        holdings = [
+            {**holdings[i], **holdings[(i + stride) % p]} for i in range(p)
+        ]
+        stride *= 2
+    result = [holdings[0][src] for src in range(p)]
+    for i in range(p):
+        if len(holdings[i]) != p:  # pragma: no cover - schedule invariant
+            raise CommunicatorError(f"allgather incomplete on rank {i}")
+    return result
 
 
 def support_union_size(vectors: Sequence["SparseVector | np.ndarray"]) -> int:

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.distsim import sparse_collectives as sc
 from repro.distsim.bsp import BSPCluster
+from repro.distsim.compress import CompressorBank, parse_compression_spec
 from repro.distsim.engine import SPMDEngine
 from repro.distsim.faults import FaultInjector, as_injector
 from repro.distsim.trace import Trace
@@ -124,13 +125,28 @@ class SerialBackend:
     nranks = 1
     parallel_ranks = False
 
-    def __init__(self, comm: str = "dense", allreduce_algorithm: str = "recursive_doubling") -> None:
+    def __init__(
+        self,
+        comm: str = "dense",
+        allreduce_algorithm: str = "recursive_doubling",
+        comm_compress: str = "none",
+        compress_seed: int = 0,
+    ) -> None:
         if comm not in sc.COMM_MODES:
             raise ValidationError(f"comm must be one of {sc.COMM_MODES}, got {comm!r}")
         self.comm = comm
         self._allreduce_algorithm = allreduce_algorithm
         self._last_decision: str | None = None
         self.replicated = ReplicatedCache(enabled=False)
+        # One rank still compresses its own contribution (stream 0): the
+        # serial backend stays bit-identical to a 1-rank BSP run in every
+        # comm_compress mode, not just the lossless ones.
+        self.compress = parse_compression_spec(comm_compress)
+        self._compressor = (
+            CompressorBank(self.compress, seed=compress_seed)
+            if self.compress.enabled
+            else None
+        )
 
     def _single(self, contribs: Sequence[np.ndarray], what: str) -> np.ndarray:
         if len(contribs) != 1:
@@ -142,12 +158,22 @@ class SerialBackend:
 
     def allreduce(self, contribs: Sequence[np.ndarray], label: str = "allreduce") -> np.ndarray:
         out = self._single(contribs, "allreduce")
+        if self._compressor is not None:
+            self._last_decision = self.compress.kind
+            return self._compressor.compress(out, label=label, stream=0)
         if self.comm == "dense":
             self._last_decision = "dense"
         else:
             density = float(np.count_nonzero(out)) / out.size if out.size else 0.0
             self._last_decision = sc.resolve_comm_mode(self.comm, union_density=density)
         return out
+
+    def comm_state_snapshot(self) -> object:
+        return self._compressor.snapshot() if self._compressor is not None else None
+
+    def comm_state_restore(self, snap: object) -> None:
+        if self._compressor is not None:
+            self._compressor.restore(snap)
 
     def reduce(self, contribs: Sequence[np.ndarray], root: int = 0, label: str = "reduce") -> np.ndarray:
         return self._single(contribs, "reduce")
@@ -245,6 +271,8 @@ class BSPBackend:
             collective_deadline=config.recv_timeout,
             metrics=config.metrics,
             dedup=config.dedup,
+            comm_topology=config.comm_topology,
+            comm_compress=config.comm_compress,
         )
         return cls(cluster, comm=config.comm)
 
@@ -268,6 +296,12 @@ class BSPBackend:
 
     def recover(self, words: float) -> None:
         self.cluster.recover(words)
+
+    def comm_state_snapshot(self) -> object:
+        return self.cluster.comm_state_snapshot()
+
+    def comm_state_restore(self, snap: object) -> None:
+        self.cluster.comm_state_restore(snap)
 
     def map_ranks(self, fn: Callable[[int], Any], count: int) -> list:
         return [fn(p) for p in range(count)]
@@ -351,6 +385,8 @@ class SPMDBackend:
             trace=Trace() if config.telemetry is not None else None,
             metrics=config.metrics,
             dedup=config.dedup,
+            comm_topology=config.comm_topology,
+            comm_compress=config.comm_compress,
         )
         return cls(engine, comm=config.comm)
 
@@ -398,6 +434,12 @@ class SPMDBackend:
     def recover(self, words: float) -> None:
         pass
 
+    def comm_state_snapshot(self) -> object:
+        return self.engine.comm_state_snapshot()
+
+    def comm_state_restore(self, snap: object) -> None:
+        self.engine.comm_state_restore(snap)
+
     def map_ranks(self, fn: Callable[[int], Any], count: int) -> list:
         return [fn(p) for p in range(count)]
 
@@ -442,7 +484,11 @@ def build_host_backend(config: RuntimeConfig, nranks: int) -> ExecutionBackend:
             )
         if config.cluster is not None:
             raise ValidationError("the serial backend does not take a prebuilt cluster")
-        return SerialBackend(comm=config.comm, allreduce_algorithm=config.allreduce_algorithm)
+        return SerialBackend(
+            comm=config.comm,
+            allreduce_algorithm=config.allreduce_algorithm,
+            comm_compress=config.comm_compress,
+        )
     if config.backend in ("mp", "threads"):
         # Imported here: mpbackend subclasses BSPBackend from this module.
         from repro.runtime.mpbackend import MultiprocessingBackend, ThreadPoolBackend

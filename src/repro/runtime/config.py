@@ -27,8 +27,10 @@ import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.distsim.collectives import COMM_TOPOLOGIES
+from repro.distsim.compress import parse_compression_spec
 from repro.distsim.faults import FaultInjector, FaultPlan, RetryPolicy
-from repro.distsim.machine import MachineSpec
+from repro.distsim.machine import HierarchicalMachine, MachineSpec, get_machine
 from repro.distsim.sparse_collectives import COMM_MODES
 from repro.exceptions import ValidationError
 from repro.obs.metrics import MetricsRegistry
@@ -125,6 +127,19 @@ class RuntimeConfig:
         Collective payload encoding: ``"dense"``, ``"sparse"``
         (index+value, O(nnz_union) words) or ``"auto"`` (per-phase
         stream-and-switch). Iterates are bit-identical across modes.
+    comm_topology:
+        Collective schedule (docs/COLLECTIVES.md): ``"flat"`` (default,
+        the legacy single-level tournament) or ``"hier"`` (two-level
+        node-local + inter-node schedule; needs a hierarchical machine
+        with a power-of-two ``node_size``, e.g. ``"comet_4ppn"`` or
+        ``"fat_tree"``). Without compression the hierarchical combine
+        tree is bit-identical to the flat one.
+    comm_compress:
+        Lossy contribution compression: ``"none"`` (default),
+        ``"topk:frac=F"`` (top-k sparsification with error feedback) or
+        ``"quant:bits=B"`` (stochastic-rounding quantization).
+        Compressed iterates differ from the uncompressed baseline but
+        are bit-identical across backends for a fixed setting.
     cluster:
         A prebuilt :class:`~repro.distsim.bsp.BSPCluster` to run on
         (costs accumulate). Mutually exclusive with ``faults``/``retry``/
@@ -179,6 +194,8 @@ class RuntimeConfig:
     loss: object = _knob(None, "shape")
     penalty: object = _knob(None, "shape")
     comm: str = _knob("dense", "shape")
+    comm_topology: str = _knob("flat", "shape")
+    comm_compress: str = _knob("none", "shape")
     jitter_seed: RandomState = _knob(None, "shape")
     cluster: "BSPCluster | None" = _knob(None, "shape")
     mp_timeout: float = _knob(120.0, "shape")
@@ -204,6 +221,30 @@ class RuntimeConfig:
             raise ValidationError(
                 f"comm must be one of {COMM_MODES}, got {self.comm!r}"
             )
+        if self.comm_topology not in COMM_TOPOLOGIES:
+            raise ValidationError(
+                f"comm_topology must be one of {COMM_TOPOLOGIES}, "
+                f"got {self.comm_topology!r}"
+            )
+        # Rejects malformed specs ("topk:frac=2", "gzip", ...) at
+        # config-build time; the concrete CompressorBank is built by the
+        # backend/cluster that owns the collective state.
+        parse_compression_spec(self.comm_compress)
+        if self.comm_topology == "hier":
+            machine = get_machine(self.machine)
+            node_size = getattr(machine, "node_size", 1)
+            if not isinstance(machine, HierarchicalMachine) or node_size <= 1:
+                raise ValidationError(
+                    "comm_topology='hier' needs a hierarchical machine with "
+                    "node_size > 1 (e.g. machine='comet_4ppn' or "
+                    f"machine='fat_tree'), got {machine.name!r}"
+                )
+            if node_size & (node_size - 1):
+                raise ValidationError(
+                    "comm_topology='hier' requires a power-of-two node_size "
+                    "so the node-local tournaments tile the flat combine "
+                    f"tree exactly, got node_size={node_size}"
+                )
         if self.loss is not None or self.penalty is not None:
             # Imported lazily: repro.core.model must not load while
             # repro.runtime is still mid-import (the solvers in
@@ -285,6 +326,11 @@ class RuntimeConfig:
             if self.dedup is not None:
                 raise ValidationError(
                     "configure dedup= on the supplied cluster, not through the solver"
+                )
+            if self.comm_topology != "flat" or self.comm_compress != "none":
+                raise ValidationError(
+                    "configure comm_topology/comm_compress on the supplied "
+                    "cluster, not through the solver"
                 )
 
     def replace(self, **changes) -> "RuntimeConfig":

@@ -69,6 +69,10 @@ class ResilientLoop:
         # Set by the solver once its γ is known; stamped into records.
         self.step_size: float = 0.0
         self._ck: Checkpoint | None = None
+        # Compressor state (error-feedback residuals, quantizer RNG call
+        # counts) captured alongside the active checkpoint: a rollback
+        # replay must re-issue bit-identical compressed collectives.
+        self._ck_comm: object = None
         # Optional GramWorkspace the solver installs; finish() reports its
         # reuse counter alongside the backend's dedup hit/miss counts.
         self.workspace = None
@@ -191,15 +195,21 @@ class ResilientLoop:
         """The checkpoint a rollback would restore (None → restart from scratch)."""
         return self._ck
 
+    def _comm_snapshot(self) -> object:
+        snap = getattr(self.backend, "comm_state_snapshot", None)
+        return snap() if snap is not None else None
+
     def commit_checkpoint(self, ck: Checkpoint) -> None:
         """Charge and promote *ck* to the active recovery point."""
         self.backend.checkpoint(ck.words)
         self._ck = ck
+        self._ck_comm = self._comm_snapshot()
         self.stats.checkpoints += 1
 
     def seed_checkpoint(self, ck: Checkpoint) -> None:
         """Install the free initial checkpoint (no traffic charged)."""
         self._ck = ck
+        self._ck_comm = self._comm_snapshot()
 
     def run(
         self,
@@ -242,6 +252,7 @@ class ResilientLoop:
         """
         if capture is not None:
             self._ck = capture()
+            self._ck_comm = self._comm_snapshot()
         recoveries = 0
         while True:
             try:
@@ -315,3 +326,5 @@ class ResilientLoop:
             self.backend.recover(self._ck.words)
             if restore is not None:
                 restore(self._ck)
+            if self._ck_comm is not None:
+                self.backend.comm_state_restore(self._ck_comm)

@@ -89,6 +89,7 @@ import numpy as np
 
 from repro.distsim import sparse_collectives as sc
 from repro.distsim.bsp import BSPCluster
+from repro.distsim.machine import HierarchicalMachine
 from repro.distsim.faults import FaultInjector, RetryPolicy, as_injector
 from repro.distsim.trace import Trace
 from repro.exceptions import (
@@ -334,6 +335,9 @@ class MultiprocessingBackend:
         failure_policy: str = "fail_fast",
         faults=None,
         retry: RetryPolicy | None = None,
+        comm_topology: str = "flat",
+        comm_compress: str = "none",
+        compress_seed: int = 0,
     ) -> None:
         if comm not in sc.COMM_MODES:
             raise ValidationError(f"comm must be one of {sc.COMM_MODES}, got {comm!r}")
@@ -367,7 +371,18 @@ class MultiprocessingBackend:
             allreduce_algorithm=allreduce_algorithm,
             jitter_seed=jitter_seed,
             metrics=metrics,
+            comm_topology=comm_topology,
+            comm_compress=comm_compress,
+            compress_seed=compress_seed,
         )
+        # The ledger validated the v2 knobs. Compression numerics happen
+        # here on the host (workers only ever reduce dense buffers), but
+        # the bank is the *ledger's*: its charge-only methods never call
+        # compress, so sharing keeps one source of error-feedback state —
+        # the residual gauge and comm_state_snapshot both read it.
+        self.comm_topology = comm_topology
+        self.compress = self._ledger.compress
+        self._compressor = self._ledger._compressor
         self._metrics = metrics
         self.worker_stats = [
             {"commands": 0, "elements": 0} for _ in range(self.nranks)
@@ -429,6 +444,8 @@ class MultiprocessingBackend:
             failure_policy=config.mp_failure_policy,
             faults=config.faults,
             retry=config.retry,
+            comm_topology=config.comm_topology,
+            comm_compress=config.comm_compress,
         )
 
     # ------------------------------------------------------------------ #
@@ -639,7 +656,13 @@ class MultiprocessingBackend:
             jitter_seed=self._jitter_seed,
             trace=old.trace,
             metrics=self._metrics,
+            comm_topology=self.comm_topology,
+            comm_compress=self.compress,
         )
+        # Carry the error-feedback/RNG state: the replay must restore the
+        # checkpointed compressor snapshot against the same bank object.
+        if self._compressor is not None:
+            new._compressor = self._compressor
         for new_r, old_r in enumerate(survivors):
             src, dst = old.counters[old_r], new.counters[new_r]
             for fld in _COUNTER_FIELDS:
@@ -845,10 +868,83 @@ class MultiprocessingBackend:
     # ------------------------------------------------------------------ #
     # ExecutionBackend protocol
     # ------------------------------------------------------------------ #
+    def _allreduce_compressed(self, n: int, shape: tuple, label: str) -> np.ndarray:
+        """Compress the loaded contributions in place, then run the tournament.
+
+        Mirrors :meth:`BSPCluster._reduce_compressed` exactly: flat
+        topology compresses every rank's shared-memory contribution
+        (stream = rank); hierarchical first runs the intra-node tournament
+        levels (stride < node_size — for power-of-two node sizes those
+        pair only within node blocks, leaving each block's dense partial
+        on its leader), compresses the leader partials (stream = node
+        index), then runs the remaining inter-node levels. Same compress
+        inputs, same streams, same reduction order — bit-identical results
+        to the BSP/threads backends.
+        """
+        bank = self._compressor
+        node_size = (
+            self._ledger.machine.node_size
+            if self.comm_topology == "hier"
+            and isinstance(self._ledger.machine, HierarchicalMachine)
+            else 1
+        )
+        if self.comm_topology == "hier":
+            intra = [(s, p) for s, p in self._levels if s < node_size]
+            inter = [(s, p) for s, p in self._levels if s >= node_size]
+            for stride, pairs in intra:
+                self._roundtrip(
+                    [dst for dst, _src in pairs],
+                    lambda r: ("reduce_level", stride, n),
+                    "allreduce",
+                )
+            leaders = list(range(0, self.nranks, node_size))
+            compressed = []
+            for node, leader in enumerate(leaders):
+                c = bank.compress(
+                    np.array(self._views[leader][:n], copy=True),
+                    label=label,
+                    stream=node,
+                )
+                np.copyto(self._views[leader][:n], c)
+                compressed.append(c)
+            for stride, pairs in inter:
+                self._roundtrip(
+                    [dst for dst, _src in pairs],
+                    lambda r: ("reduce_level", stride, n),
+                    "allreduce",
+                )
+        else:
+            compressed = []
+            for rank in range(self.nranks):
+                c = bank.compress(
+                    np.array(self._views[rank][:n], copy=True),
+                    label=label,
+                    stream=rank,
+                )
+                np.copyto(self._views[rank][:n], c)
+                compressed.append(c)
+            self._run_tournament(n)
+        wire_nnz = 0.0
+        if self.compress.kind == "topk":
+            mask = np.zeros(n, dtype=bool)
+            for c in compressed:
+                mask |= c != 0.0
+            wire_nnz = float(np.count_nonzero(mask))
+        self._ledger.charge_allreduce_compressed(float(n), wire_nnz, label=label)
+        return self._result(n, shape)
+
+    def comm_state_snapshot(self):
+        return self._ledger.comm_state_snapshot()
+
+    def comm_state_restore(self, snap) -> None:
+        self._ledger.comm_state_restore(snap)
+
     def allreduce(self, contribs: Sequence[np.ndarray], label: str = "allreduce") -> np.ndarray:
         n, shape = self._load(contribs, "allreduce")
         index, fault = self._precollective(label)
         self._apply_chaos(index, fault, n, range(self.nranks))
+        if self.compress.enabled:
+            return self._allreduce_compressed(n, shape, label)
         if self.comm == "dense":
             self._ledger.charge_allreduce(float(n), label=label)
         else:

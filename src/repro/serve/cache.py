@@ -60,6 +60,20 @@ class CacheEntry:
     #: Cached problem views at previously requested λs (same X/y objects,
     #: so the CSC memo and any Lipschitz estimate stay shared).
     _at_lam: dict[float, ERMObjective] = field(default_factory=dict)
+    #: Warm-start ladders for lossy comm-compression variants. Compressed
+    #: solves converge to *different* iterates than uncompressed ones, so
+    #: each canonical ``comm_compress`` spec gets its own ladder — a
+    #: "topk:frac=0.1" result never warm-starts a "none" request or vice
+    #: versa. The default ``ladder`` field is the "none" variant.
+    _ladders: dict[str, WarmStartLadder] = field(default_factory=dict)
+
+    def ladder_for(self, variant: str) -> WarmStartLadder:
+        if variant == "none":
+            return self.ladder
+        lad = self._ladders.get(variant)
+        if lad is None:
+            lad = self._ladders[variant] = WarmStartLadder(self.ladder.d)
+        return lad
 
     def problem_at(self, lam: float) -> ERMObjective:
         lam = float(lam)
@@ -185,13 +199,16 @@ class SolveCache:
 
     # -- warm starts ----------------------------------------------------- #
     def warm_start(
-        self, entry: CacheEntry, lam: float, *, enabled: bool = True
+        self, entry: CacheEntry, lam: float, *, enabled: bool = True,
+        variant: str = "none",
     ) -> tuple[np.ndarray, str]:
         """Starting iterate for a solve at *lam*: ``(w0, kind)``.
 
         ``kind`` is ``"exact"`` (λ seen before), ``"path"`` (neighbouring
         λ's iterate) or ``"cold"``; opting out via *enabled* always
-        returns a cold start and is counted separately.
+        returns a cold start and is counted separately. *variant* selects
+        the comm-compression ladder (``"none"`` = the lossless default) —
+        compressed and uncompressed iterates never cross-pollinate.
         """
         with self._lock:
             if not enabled:
@@ -201,7 +218,7 @@ class SolveCache:
                     kind="disabled",
                 )
                 return np.zeros(entry.ladder.d), "cold"
-            w0, kind = entry.ladder.suggest(lam)
+            w0, kind = entry.ladder_for(variant).suggest(lam)
             self._warm_requests += 1
             if kind != "cold":
                 self._warm_hits += 1
@@ -212,10 +229,12 @@ class SolveCache:
             )
             return w0, kind
 
-    def record(self, entry: CacheEntry, lam: float, w: np.ndarray) -> None:
-        """Store a finished iterate for future warm starts."""
+    def record(
+        self, entry: CacheEntry, lam: float, w: np.ndarray, *, variant: str = "none"
+    ) -> None:
+        """Store a finished iterate for future warm starts (per variant)."""
         with self._lock:
-            entry.ladder.record(lam, w)
+            entry.ladder_for(variant).record(lam, w)
 
     # -- introspection --------------------------------------------------- #
     def stats(self) -> dict[str, Any]:

@@ -38,6 +38,7 @@ from repro.core.rc_sfista_dist import rc_sfista_distributed
 from repro.core.rc_sfista_spmd import rc_sfista_spmd
 from repro.core.sfista_dist import sfista_distributed
 from repro.core.stopping import StoppingCriterion
+from repro.distsim.compress import parse_compression_spec
 from repro.exceptions import ValidationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TelemetryRecorder
@@ -56,7 +57,8 @@ _WARM_SOLVERS = ("fista", "ista")
 #: call; the rest build the :class:`~repro.runtime.RuntimeConfig`.
 _SOLVER_KEYS = {"nranks", "epochs", "iters_per_epoch", "k", "S", "b", "seed"}
 _CONFIG_KEYS = {
-    "backend", "comm", "machine", "mp_timeout", "mp_failure_policy",
+    "backend", "comm", "comm_topology", "comm_compress", "machine",
+    "mp_timeout", "mp_failure_policy",
     "checkpoint_every", "on_nan", "max_recoveries", "adaptive_restart",
 }
 
@@ -313,14 +315,22 @@ class Scheduler:
         req = job.request
         lam = float(req.lam) if req.lam is not None else entry.default_lam
         problem = entry.problem_at(lam)
+        solver_kw, config_kw = _split_runtime(req.runtime)
+        # Lossy compression changes the iterates a solve converges to, so
+        # each canonical comm_compress spec warm-starts from (and records
+        # into) its own ladder — never the lossless one.
+        variant = parse_compression_spec(
+            config_kw.get("comm_compress", "none")
+        ).spec
         warm_enabled = req.warm_start and req.solver in _WARM_SOLVERS
-        w0, warm_kind = self.cache.warm_start(entry, lam, enabled=warm_enabled)
+        w0, warm_kind = self.cache.warm_start(
+            entry, lam, enabled=warm_enabled, variant=variant
+        )
         stopping = (
             StoppingCriterion(rel_change_tol=req.rel_change_tol)
             if req.rel_change_tol is not None
             else None
         )
-        solver_kw, config_kw = _split_runtime(req.runtime)
         recorder = TelemetryRecorder() if req.include_report else None
 
         if req.solver in _WARM_SOLVERS:
@@ -342,7 +352,7 @@ class Scheduler:
         if job.cancel_requested:
             job.set_state("cancelled")
             return
-        self.cache.record(entry, lam, result.w)
+        self.cache.record(entry, lam, result.w, variant=variant)
         job.result = result_payload(result, lam=lam, warm_kind=warm_kind)
         if recorder is not None:
             job.report = recorder.report().to_dict()

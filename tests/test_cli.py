@@ -131,6 +131,58 @@ class TestSolve:
             main(["frobnicate"])
 
 
+@pytest.mark.collectives
+class TestCollectivesV2Flags:
+    def test_compressed_solve_runs(self, capsys):
+        rc = main([
+            "solve", "--dataset", "covtype", "--size", "tiny",
+            "--solver", "sfista_dist", "--nranks", "4", "--b", "0.2",
+            "--epochs", "1", "--iters-per-epoch", "10",
+            "--comm-compress", "quant:bits=8",
+        ])
+        assert rc == 0
+        assert "sim time" in capsys.readouterr().out
+
+    def test_hier_topology_solve_runs(self, capsys):
+        rc = main([
+            "solve", "--dataset", "covtype", "--size", "tiny",
+            "--solver", "sfista_dist", "--nranks", "4", "--b", "0.2",
+            "--epochs", "1", "--iters-per-epoch", "10",
+            "--machine", "fat_tree", "--comm-topology", "hier",
+            "--comm-compress", "topk:frac=0.25",
+        ])
+        assert rc == 0
+
+    def test_unknown_topology_is_argparse_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["solve", "--comm-topology", "torus"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_malformed_compress_spec_is_usage_error(self):
+        """ValidationError surfaces as a clean SystemExit, not a traceback."""
+        with pytest.raises(SystemExit, match="invalid runtime configuration"):
+            main(["solve", "--dataset", "covtype", "--size", "tiny",
+                  "--solver", "sfista_dist", "--comm-compress", "gzip"])
+
+    def test_hier_on_flat_machine_is_usage_error(self):
+        with pytest.raises(SystemExit, match="invalid runtime configuration"):
+            main(["solve", "--dataset", "covtype", "--size", "tiny",
+                  "--solver", "sfista_dist", "--machine", "comet_paper",
+                  "--comm-topology", "hier"])
+
+    @pytest.mark.parametrize("command", ["solve", "submit"])
+    def test_golden_help_text(self, command, capsys):
+        """The v2 flags and their documented forms are pinned in --help."""
+        with pytest.raises(SystemExit) as exc:
+            main([command, "--help"])
+        assert exc.value.code == 0
+        out = " ".join(capsys.readouterr().out.split())  # undo argparse wrapping
+        assert "--comm-topology {flat,hier}" in out
+        assert "--comm-compress SPEC" in out
+        assert "topk:frac=F | quant:bits=B" in out
+        assert "docs/COLLECTIVES.md" in out
+
+
 class TestServeCli:
     def test_bad_tenant_weight_rejected(self):
         from repro.cli import _parse_tenant_weights

@@ -113,3 +113,54 @@ class TestSnapshotDiff:
         snap = reg.snapshot()
         c.inc()
         assert snap["c"]["values"][""] == 1.0
+
+
+@pytest.mark.collectives
+class TestCollectivesV2Instruments:
+    """The v2 comm instruments publish only when compression/hier is active."""
+
+    def _solve(self, registry, **kw):
+        from repro.core.objectives import L1LeastSquares
+        from repro.core.sfista_dist import sfista_distributed
+        from repro.data.synthetic import make_regression
+        from repro.runtime import RuntimeConfig
+
+        X, y, _ = make_regression(
+            12, 60, density=0.4, support_fraction=0.3, noise=0.01, rng=0
+        )
+        problem = L1LeastSquares(X, y, 0.05)
+        return sfista_distributed(
+            problem, 8, b=0.2, seed=3, epochs=1, iters_per_epoch=8,
+            runtime=RuntimeConfig(metrics=registry, **kw),
+        )
+
+    def test_default_config_publishes_no_v2_instruments(self):
+        registry = MetricsRegistry()
+        self._solve(registry)
+        assert "distsim_comm_words_saved_compress_total" not in registry
+        assert "distsim_comm_error_feedback_residual" not in registry
+        assert "distsim_comm_rounds_local_total" not in registry
+
+    def test_topk_publishes_savings_and_residual(self):
+        registry = MetricsRegistry()
+        self._solve(registry, comm_compress="topk:frac=0.1")
+        assert registry.counter("distsim_comm_words_saved_compress_total").value() > 0
+        assert registry.gauge("distsim_comm_error_feedback_residual").value() > 0
+        assert registry.counter("distsim_comm_rounds_remote_total").value() > 0
+        assert registry.counter("distsim_comm_rounds_local_total").value() == 0
+
+    def test_quant_has_no_error_feedback_residual(self):
+        registry = MetricsRegistry()
+        self._solve(registry, comm_compress="quant:bits=8")
+        assert registry.counter("distsim_comm_words_saved_compress_total").value() > 0
+        assert registry.gauge("distsim_comm_error_feedback_residual").value() == 0.0
+
+    def test_hier_splits_local_and_remote_rounds(self):
+        registry = MetricsRegistry()
+        # comet_4ppn: 8 ranks = 2 nodes of 4 → both round families active.
+        self._solve(
+            registry, machine="comet_4ppn", comm_topology="hier",
+            comm_compress="quant:bits=8",
+        )
+        assert registry.counter("distsim_comm_rounds_local_total").value() > 0
+        assert registry.counter("distsim_comm_rounds_remote_total").value() > 0

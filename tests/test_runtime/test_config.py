@@ -144,6 +144,52 @@ class TestValidation:
             cfg.replace(on_nan="nope")
 
 
+@pytest.mark.collectives
+class TestCollectivesV2Knobs:
+    def test_defaults_off(self):
+        cfg = RuntimeConfig()
+        assert cfg.comm_topology == "flat"
+        assert cfg.comm_compress == "none"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(comm_compress="topk:frac=0.1"),
+            dict(comm_compress="quant:bits=8"),
+            dict(comm_compress="topk"),  # default frac
+            dict(machine="fat_tree", comm_topology="hier"),
+            dict(machine="comet_4ppn", comm_topology="hier", comm_compress="quant:bits=4"),
+        ],
+    )
+    def test_valid_combinations(self, kwargs):
+        RuntimeConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs, needle",
+        [
+            (dict(comm_topology="torus"), "comm_topology"),
+            (dict(comm_compress="gzip"), "comm_compress"),
+            (dict(comm_compress="topk:frac=0"), "frac"),
+            (dict(comm_compress="topk:frac=1.5"), "frac"),
+            (dict(comm_compress="quant:bits=0"), "bits"),
+            (dict(comm_compress="quant:bits=64"), "bits"),
+            # hier needs a hierarchical machine with node_size > 1 ...
+            (dict(comm_topology="hier"), "hierarchical machine"),
+            (dict(machine="comet_paper", comm_topology="hier"), "hierarchical machine"),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs, needle):
+        with pytest.raises(ValidationError, match=needle):
+            RuntimeConfig(**kwargs)
+
+    def test_prebuilt_cluster_excludes_v2_knobs(self):
+        with pytest.raises(ValidationError, match="supplied cluster"):
+            RuntimeConfig(
+                cluster=BSPCluster(2, "comet_effective"),
+                comm_compress="topk:frac=0.1",
+            )
+
+
 class TestResolveRuntime:
     def test_unknown_kwarg_rejected(self):
         with pytest.raises(ValidationError, match="unknown runtime kwargs"):

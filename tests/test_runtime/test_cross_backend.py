@@ -175,6 +175,110 @@ class TestRealParallelismConformance:
         assert mp1.cost is not None  # mp still charges; serial does not
 
 
+@pytest.mark.collectives
+class TestCompressedConformance:
+    """Collectives v2 slice: {bsp, mp, threads} × {topk, quant} × 2 solvers.
+
+    Compression is a deterministic host-side transform of the allreduce
+    contributions, so compressed modes must produce bit-identical iterates
+    and identical charged costs on every backend — even though they differ
+    from the uncompressed baseline.
+    """
+
+    COMPRESS = ("topk:frac=0.25", "quant:bits=8")
+    SOLVERS = ("rc_sfista_dist", "sfista_dist")
+
+    _REFERENCE: dict = {}
+
+    def _reference(self, problem, solver, compress):
+        key = (solver, compress)
+        if key not in self._REFERENCE:
+            self._REFERENCE[key] = SOLVER_RUNS[solver](
+                problem, RuntimeConfig(comm_compress=compress)
+            )
+        return self._REFERENCE[key]
+
+    @pytest.mark.parametrize(
+        "backend",
+        [pytest.param("mp", marks=pytest.mark.mp), "threads"],
+    )
+    @pytest.mark.parametrize("compress", COMPRESS)
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_bit_identical_iterates_and_charges(
+        self, tiny_covtype_problem, solver, compress, backend
+    ):
+        ref = self._reference(tiny_covtype_problem, solver, compress)
+        res = SOLVER_RUNS[solver](
+            tiny_covtype_problem,
+            RuntimeConfig(backend=backend, comm_compress=compress),
+        )
+        assert np.array_equal(ref.w, res.w)
+        assert res.cost == ref.cost
+        assert res.n_comm_rounds == ref.n_comm_rounds
+
+    @pytest.mark.parametrize("compress", COMPRESS)
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_differs_from_uncompressed_baseline(
+        self, tiny_covtype_problem, solver, compress
+    ):
+        """Lossy modes genuinely change the trajectory (and cost less)."""
+        base = _bsp_reference(tiny_covtype_problem, solver, "dense")
+        res = self._reference(tiny_covtype_problem, solver, compress)
+        assert not np.array_equal(base.w, res.w)
+        assert res.cost["words_total"] < base.cost["words_total"]
+
+    @pytest.mark.parametrize("compress", COMPRESS)
+    def test_serial_single_rank_matches_bsp(self, tiny_covtype_problem, compress):
+        """The serial backend compresses its lone contribution as stream 0,
+        exactly like a 1-rank BSP cluster."""
+        kwargs = dict(k=2, b=0.2, seed=7, epochs=1, iters_per_epoch=6)
+        bsp = rc_sfista_distributed(
+            tiny_covtype_problem, 1,
+            runtime=RuntimeConfig(comm_compress=compress), **kwargs,
+        )
+        ser = rc_sfista_distributed(
+            tiny_covtype_problem, 1,
+            runtime=RuntimeConfig(backend="serial", comm_compress=compress), **kwargs,
+        )
+        assert np.array_equal(bsp.w, ser.w)
+
+    @pytest.mark.parametrize(
+        "backend",
+        [pytest.param("mp", marks=pytest.mark.mp), "threads"],
+    )
+    @pytest.mark.parametrize("compress", COMPRESS)
+    def test_hier_topology_conformance(self, tiny_covtype_problem, backend, compress):
+        """Hierarchical compressed reductions conform across backends too
+        (node-leader partial streams instead of per-rank streams)."""
+        rt = dict(machine="fat_tree", comm_topology="hier", comm_compress=compress)
+        ref = sfista_distributed(
+            tiny_covtype_problem, 4, b=0.2, seed=3, epochs=1, iters_per_epoch=8,
+            runtime=RuntimeConfig(**rt),
+        )
+        res = sfista_distributed(
+            tiny_covtype_problem, 4, b=0.2, seed=3, epochs=1, iters_per_epoch=8,
+            runtime=RuntimeConfig(backend=backend, **rt),
+        )
+        assert np.array_equal(ref.w, res.w)
+        assert res.cost == ref.cost
+
+    def test_hier_without_compression_is_byte_identical_to_flat(
+        self, tiny_covtype_problem
+    ):
+        """Topology alone never moves a bit: iterates *and* charged costs."""
+        kwargs = dict(b=0.2, seed=3, epochs=1, iters_per_epoch=8)
+        flat = sfista_distributed(
+            tiny_covtype_problem, 4,
+            runtime=RuntimeConfig(machine="fat_tree"), **kwargs,
+        )
+        hier = sfista_distributed(
+            tiny_covtype_problem, 4,
+            runtime=RuntimeConfig(machine="fat_tree", comm_topology="hier"), **kwargs,
+        )
+        assert np.array_equal(flat.w, hier.w)
+        assert flat.cost == hier.cost
+
+
 class TestCommModesBitIdentical:
     @pytest.mark.parametrize(
         "solver_kwargs",

@@ -203,3 +203,33 @@ class TestObjectiveAwareCache:
         assert view.penalty.spec == "group_l1:size=2"
         assert view.penalty.lam == view.lam
         assert view.X is entry.problem.X and view.y is entry.problem.y
+
+
+@pytest.mark.collectives
+class TestCompressionVariantLadders:
+    """Lossy comm-compression variants never share warm starts (collectives
+    v2): a top-k iterate converges to a different point than an
+    uncompressed one, so cross-variant warm starting would poison the
+    ladder."""
+
+    def test_variants_get_independent_ladders(self):
+        cache = SolveCache()
+        entry = cache.entry_for(_SPEC)
+        d = entry.ladder.d
+        cache.record(entry, 0.5, np.ones(d))  # lossless default
+        cache.record(entry, 0.5, np.full(d, 2.0), variant="topk:frac=0.1")
+
+        w_none, kind_none = cache.warm_start(entry, 0.5)
+        w_topk, kind_topk = cache.warm_start(entry, 0.5, variant="topk:frac=0.1")
+        w_quant, kind_quant = cache.warm_start(entry, 0.5, variant="quant:bits=8")
+        assert kind_none == "exact" and np.all(w_none == 1.0)
+        assert kind_topk == "exact" and np.all(w_topk == 2.0)
+        assert kind_quant == "cold"  # never seen → never borrows
+
+    def test_none_variant_is_the_default_ladder(self):
+        cache = SolveCache()
+        entry = cache.entry_for(_SPEC)
+        assert entry.ladder_for("none") is entry.ladder
+        lad = entry.ladder_for("quant:bits=8")
+        assert lad is entry.ladder_for("quant:bits=8")
+        assert lad is not entry.ladder

@@ -327,3 +327,30 @@ class TestGeneralObjectives:
             SubmitRequest.from_json({
                 "problem": {**_SPEC, "loss": "hinge"},
             })
+
+
+@pytest.mark.collectives
+class TestCompressionVariants:
+    def test_compressed_results_never_seed_lossless_warm_starts(self):
+        """Collectives v2: every solve records into the ladder keyed by its
+        canonical comm_compress spec. A quantized distributed solve at λ
+        must not warm-start a later lossless fista request at the same λ
+        (their fixed points differ); fista's own ladder still hits."""
+        async def main():
+            runtime = {
+                "nranks": 2, "epochs": 1, "iters_per_epoch": 40,
+                "comm_compress": "quant:bits=8",
+            }
+            s = Scheduler()
+            await s.start()
+            try:
+                await _submit_and_wait(
+                    s, [_request(0.05, solver="sfista_dist", runtime=runtime)]
+                )
+                (first,) = await _submit_and_wait(s, [_request(0.05)])
+                (second,) = await _submit_and_wait(s, [_request(0.05)])
+            finally:
+                await s.stop()
+            assert first.result["warm_start"] == "cold"  # not polluted
+            assert second.result["warm_start"] == "exact"
+        _run(main())
